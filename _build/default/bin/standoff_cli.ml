@@ -1,0 +1,370 @@
+(* Command-line interface to the StandOff XQuery engine.
+
+   Subcommands:
+     query      evaluate an XQuery (with the four StandOff axes) against
+                XML documents loaded from disk
+     shred      load a document and print storage/annotation statistics
+     xmark-gen  generate an XMark document, optionally stand-off
+                transformed with its BLOB
+     axes       run the four StandOff joins between two node sets and
+                print the §3.1-style table *)
+
+module Doc = Standoff_store.Doc
+module Collection = Standoff_store.Collection
+module Blob = Standoff_store.Blob
+module Config = Standoff.Config
+module Op = Standoff.Op
+module Annots = Standoff.Annots
+module Engine = Standoff_xquery.Engine
+module Gen = Standoff_xmark.Gen
+module Standoffify = Standoff_xmark.Standoffify
+
+open Cmdliner
+
+let load_collection ?db docs blobs =
+  let coll =
+    match db with
+    | Some path -> Standoff_store.Persist.load_collection path
+    | None -> Collection.create ()
+  in
+  List.iter
+    (fun path ->
+      let name = Filename.basename path in
+      let doc =
+        (* .sodb documents load from the binary store, skipping the
+           parse/shred pipeline. *)
+        if Filename.check_suffix path ".sodb" then
+          Standoff_store.Persist.load_doc path
+        else Doc.of_dom ~name (Standoff_xml.Parser.parse_file path)
+      in
+      ignore (Collection.add coll doc))
+    docs;
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          Collection.add_blob coll (Blob.of_file ~name path)
+      | None -> Collection.add_blob coll (Blob.of_file ~name:(Filename.basename spec) spec))
+    blobs;
+  coll
+
+let handle_errors f =
+  try f () with
+  | Standoff_xquery.Err.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Standoff_xquery.Lexer.Syntax_error { line; col; msg } ->
+      Printf.eprintf "syntax error at line %d, col %d: %s\n" line col msg;
+      exit 1
+  | Standoff_xml.Parser.Parse_error { line; col; msg } ->
+      Printf.eprintf "XML parse error at line %d, col %d: %s\n" line col msg;
+      exit 1
+  | Annots.Invalid_region { pre; msg } ->
+      Printf.eprintf "invalid region on node %d: %s\n" pre msg;
+      exit 1
+  | Standoff_store.Persist.Corrupt msg ->
+      Printf.eprintf "corrupt database file: %s\n" msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "i/o error: %s\n" msg;
+      exit 1
+
+(* ---------------- shared options ---------------- *)
+
+let docs_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"XML document to load (repeatable).")
+
+let blobs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "b"; "blob" ] ~docv:"NAME=FILE"
+        ~doc:"BLOB to register under NAME (repeatable).")
+
+let db_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "db" ] ~docv:"FILE"
+        ~doc:"Load a saved collection database (see the db-save command).")
+
+let strategy_conv =
+  Arg.conv
+    ( (fun s ->
+        try Ok (Config.strategy_of_string s)
+        with Invalid_argument m -> Error (`Msg m)),
+      fun fmt s -> Format.pp_print_string fmt (Config.strategy_to_string s) )
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Config.Loop_lifted
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Evaluation strategy: udf-nocand | udf-cand | basic | loop-lifted.")
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"XQuery text, or @FILE to read it from FILE.")
+  in
+  let context_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "c"; "context" ] ~docv:"DOCNAME"
+          ~doc:"Document that leading '/' paths refer to.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"Abort after this long.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the desugared query instead of evaluating it.")
+  in
+  let run docs blobs db strategy context timeout explain query =
+    handle_errors (fun () ->
+        let query =
+          if String.length query > 0 && query.[0] = '@' then (
+            let path = String.sub query 1 (String.length query - 1) in
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic)))
+          else query
+        in
+        if explain then begin
+          print_endline (Engine.explain query);
+          exit 0
+        end;
+        let coll = load_collection ?db docs blobs in
+        let engine = Engine.create ~strategy coll in
+        match timeout with
+        | None ->
+            let r = Engine.run engine ?context_doc:context query in
+            print_endline r.Engine.serialized
+        | Some seconds -> (
+            match
+              Engine.run_with_timeout engine ?context_doc:context ~seconds query
+            with
+            | Standoff_util.Timing.Finished (r, t) ->
+                print_endline r.Engine.serialized;
+                Printf.eprintf "(%.3fs)\n" t
+            | Standoff_util.Timing.Timed_out t ->
+                Printf.eprintf "DNF: gave up after %.1fs\n" t;
+                exit 2))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XQuery with StandOff axis support")
+    Term.(
+      const run $ docs_arg $ blobs_arg $ db_arg $ strategy_arg $ context_arg
+      $ timeout_arg $ explain_arg $ query_arg)
+
+(* ---------------- shred ---------------- *)
+
+let shred_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run path =
+    handle_errors (fun () ->
+        let dom = Standoff_xml.Parser.parse_file path in
+        let doc = Doc.of_dom ~name:(Filename.basename path) dom in
+        Doc.check_invariants doc;
+        Printf.printf "document:      %s\n" path;
+        Printf.printf "nodes:         %d\n" (Doc.node_count doc);
+        Printf.printf "attributes:    %d\n" (Doc.attribute_count doc);
+        Printf.printf "elements:      %d\n" (Array.length (Doc.all_elements doc));
+        let annots = Annots.extract Config.default doc in
+        Printf.printf "annotations:   %d (attribute representation, start/end)\n"
+          (Annots.annotation_count annots);
+        Printf.printf "region rows:   %d\n"
+          (Standoff.Region_index.row_count annots.Annots.index);
+        let annots_el =
+          Annots.extract (Config.with_region_elements Config.default) doc
+        in
+        Printf.printf
+          "annotations:   %d (element representation, region/start/end)\n"
+          (Annots.annotation_count annots_el))
+  in
+  Cmd.v
+    (Cmd.info "shred" ~doc:"Shred a document and print storage statistics")
+    Term.(const run $ file_arg)
+
+(* ---------------- xmark-gen ---------------- *)
+
+let xmark_cmd =
+  let scale_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "scale" ] ~docv:"FACTOR" ~doc:"XMark scale factor (1.0 = 110MB).")
+  in
+  let seed_arg =
+    Arg.(value & opt int64 20060630L & info [ "seed" ] ~docv:"SEED")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output XML file.")
+  in
+  let standoff_arg =
+    Arg.(
+      value & flag
+      & info [ "standoff" ]
+          ~doc:"Apply the StandOff transformation (writes FILE plus FILE.blob).")
+  in
+  let no_permute_arg =
+    Arg.(
+      value & flag
+      & info [ "no-permute" ] ~doc:"Skip the coarse permutation step.")
+  in
+  let run scale seed out standoff no_permute =
+    handle_errors (fun () ->
+        let dom = Gen.generate { Gen.scale; seed } in
+        if standoff then begin
+          let t = Standoffify.transform ~permute:(not no_permute) dom in
+          Standoff_xml.Serializer.to_file ~declaration:true out t.Standoffify.doc;
+          let oc = open_out_bin (out ^ ".blob") in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc t.Standoffify.blob);
+          Printf.printf "wrote %s and %s.blob\n" out out
+        end
+        else begin
+          Standoff_xml.Serializer.to_file ~declaration:true out dom;
+          Printf.printf "wrote %s\n" out
+        end)
+  in
+  Cmd.v
+    (Cmd.info "xmark-gen" ~doc:"Generate an XMark document (optionally stand-off)")
+    Term.(
+      const run $ scale_arg $ seed_arg $ out_arg $ standoff_arg $ no_permute_arg)
+
+(* ---------------- axes ---------------- *)
+
+let axes_cmd =
+  let context_q =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"XPATH" ~doc:"Context node expression (S1).")
+  in
+  let candidate_q =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "to" ] ~docv:"XPATH" ~doc:"Candidate node expression (S2).")
+  in
+  let run docs blobs strategy from_q to_q =
+    handle_errors (fun () ->
+        let coll = load_collection docs blobs in
+        let engine = Engine.create ~strategy coll in
+        List.iter
+          (fun op ->
+            let q =
+              Printf.sprintf "%s(%s, %s)" (Op.to_string op) from_q to_q
+            in
+            let r = Engine.run engine q in
+            Printf.printf "%s:\n%s\n\n" (Op.to_string op) r.Engine.serialized)
+          Op.all)
+  in
+  Cmd.v
+    (Cmd.info "axes"
+       ~doc:"Run all four StandOff joins between two node expressions")
+    Term.(
+      const run $ docs_arg $ blobs_arg $ strategy_arg $ context_q $ candidate_q)
+
+(* ---------------- index ---------------- *)
+
+let index_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let region_el_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "region-element" ] ~docv:"NAME"
+          ~doc:"Use the element representation with this region element name.")
+  in
+  let run path region_el =
+    handle_errors (fun () ->
+        let doc =
+          if Filename.check_suffix path ".sodb" then
+            Standoff_store.Persist.load_doc path
+          else
+            Doc.of_dom ~name:(Filename.basename path)
+              (Standoff_xml.Parser.parse_file path)
+        in
+        let config =
+          match region_el with
+          | Some region_name ->
+              Config.with_region_elements ~region_name Config.default
+          | None -> Config.default
+        in
+        let annots = Annots.extract config doc in
+        let idx = annots.Annots.index in
+        Printf.printf "%12s %12s %8s  %s\n" "start" "end" "id" "element";
+        for row = 0 to Standoff.Region_index.row_count idx - 1 do
+          let pre = idx.Standoff.Region_index.ids.(row) in
+          Printf.printf "%12Ld %12Ld %8d  %s%s\n"
+            idx.Standoff.Region_index.starts.(row)
+            idx.Standoff.Region_index.ends.(row)
+            pre
+            (Option.value ~default:"?" (Doc.name_of doc pre))
+            (if idx.Standoff.Region_index.region_ranks.(row) > 0 then
+               Printf.sprintf " (region %d)"
+                 idx.Standoff.Region_index.region_ranks.(row)
+             else "")
+        done;
+        Printf.printf "%d region rows over %d annotations\n"
+          (Standoff.Region_index.row_count idx)
+          (Annots.annotation_count annots))
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"Print the region index (start|end|id, clustered on start)")
+    Term.(const run $ file_arg $ region_el_arg)
+
+(* ---------------- db-save ---------------- *)
+
+let db_save_cmd =
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.sodb")
+  in
+  let run docs blobs out =
+    handle_errors (fun () ->
+        let coll = load_collection docs blobs in
+        Standoff_store.Persist.save_collection coll out;
+        Printf.printf "saved %d document(s) to %s\n" (Collection.doc_count coll)
+          out)
+  in
+  Cmd.v
+    (Cmd.info "db-save"
+       ~doc:
+         "Shred documents and save them (plus BLOBs) as a binary database \
+          that 'query --db' loads without re-parsing")
+    Term.(const run $ docs_arg $ blobs_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "standoff-cli"
+      ~doc:"Stand-off annotation querying with XQuery (Alink et al., 2006)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_cmd; shred_cmd; xmark_cmd; axes_cmd; index_cmd; db_save_cmd ]))

@@ -1,0 +1,1 @@
+examples/forensics.ml: Array Buffer List Option Printf Standoff Standoff_interval Standoff_store Standoff_xquery String

@@ -1,0 +1,1 @@
+examples/genomics.ml: Printf Standoff_store Standoff_util Standoff_xquery String

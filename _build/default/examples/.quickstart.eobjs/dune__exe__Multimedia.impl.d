@@ -1,0 +1,1 @@
+examples/multimedia.ml: Array Option Printf Standoff Standoff_store Standoff_xquery String

@@ -1,0 +1,1 @@
+examples/temporal.ml: List Printf Standoff_store Standoff_xquery String

@@ -1,0 +1,123 @@
+(* Genome sequence annotation: the application area the paper's
+   conclusion singles out for future work.
+
+   A reference sequence (the BLOB, one byte per base) carries
+   annotations from independent pipelines: gene models (genes, exons,
+   CDS — where a spliced CDS is a non-contiguous area over its exons),
+   repeat-masker intervals, and variant calls.  Coordinates are base
+   positions; everything is stand-off, so adding a new annotation track
+   never touches the sequence or the other tracks.
+
+     dune exec examples/genomics.exe *)
+
+module Collection = Standoff_store.Collection
+module Blob = Standoff_store.Blob
+module Engine = Standoff_xquery.Engine
+
+let rng = Standoff_util.Prng.create 1234L
+
+(* A 10 kb synthetic chromosome region. *)
+let sequence =
+  String.init 10_000 (fun _ ->
+      "ACGT".[Standoff_util.Prng.int rng 4])
+
+let region (a, b) =
+  Printf.sprintf "<region><start>%d</start><end>%d</end></region>" a b
+
+let annotations =
+  String.concat ""
+    [
+      "<chromosome name=\"chr21-slice\">";
+      "<genes>";
+      (* geneA: two exons; its CDS is the non-contiguous spliced area. *)
+      Printf.sprintf "<gene id=\"geneA\" strand=\"+\">%s</gene>" (region (1000, 4999));
+      Printf.sprintf "<exon gene=\"geneA\" rank=\"1\">%s</exon>" (region (1000, 1799));
+      Printf.sprintf "<exon gene=\"geneA\" rank=\"2\">%s</exon>" (region (4200, 4999));
+      Printf.sprintf "<cds gene=\"geneA\">%s%s</cds>"
+        (region (1100, 1799)) (region (4200, 4820));
+      (* geneB: single exon, inside a repeat-rich region. *)
+      Printf.sprintf "<gene id=\"geneB\" strand=\"-\">%s</gene>" (region (6200, 7599));
+      Printf.sprintf "<exon gene=\"geneB\" rank=\"1\">%s</exon>" (region (6200, 7599));
+      Printf.sprintf "<cds gene=\"geneB\">%s</cds>" (region (6300, 7500));
+      "</genes>";
+      "<repeats>";
+      Printf.sprintf "<repeat family=\"Alu\">%s</repeat>" (region (2500, 2799));
+      Printf.sprintf "<repeat family=\"LINE1\">%s</repeat>" (region (6000, 6900));
+      Printf.sprintf "<repeat family=\"Alu\">%s</repeat>" (region (9000, 9300));
+      "</repeats>";
+      "<variants>";
+      Printf.sprintf "<snv id=\"rs1\" alt=\"T\">%s</snv>" (region (1500, 1500));
+      Printf.sprintf "<snv id=\"rs2\" alt=\"G\">%s</snv>" (region (3000, 3000));
+      Printf.sprintf "<snv id=\"rs3\" alt=\"A\">%s</snv>" (region (4500, 4500));
+      Printf.sprintf "<snv id=\"rs4\" alt=\"C\">%s</snv>" (region (6500, 6500));
+      Printf.sprintf "<deletion id=\"del1\">%s</deletion>" (region (7400, 7520));
+      "</variants>";
+      "</chromosome>";
+    ]
+
+let prolog = "declare option standoff-region \"region\";\n"
+
+let () =
+  let coll = Collection.create () in
+  ignore (Collection.load_string coll ~name:"chr21.xml" annotations);
+  Collection.add_blob coll (Blob.of_string ~name:"chr21.fa" sequence);
+  let engine = Engine.create coll in
+  let run q = (Engine.run engine (prolog ^ q)).Engine.serialized in
+
+  print_endline "Stand-off genome annotation over a 10 kb sequence slice\n";
+
+  (* Coding variants: SNVs inside a spliced CDS.  rs1 (exonic, coding)
+     and rs3 (exonic, coding) qualify; rs2 falls in the intron — inside
+     the gene's extent but outside the CDS area, which only the
+     non-contiguous containment semantics can tell apart. *)
+  Printf.printf "coding SNVs (inside a spliced CDS): %s\n"
+    (run
+       "for $v in doc(\"chr21.xml\")//cds/select-narrow::snv \
+        order by standoff-start($v) return string($v/@id)");
+
+  Printf.printf "intronic/intergenic SNVs:           %s\n"
+    (run
+       "for $v in doc(\"chr21.xml\")//cds/reject-narrow::snv \
+        order by standoff-start($v) return string($v/@id)");
+
+  (* Genes overlapping repeat elements: candidate assembly artefacts. *)
+  Printf.printf "genes overlapping repeats:          %s\n"
+    (run
+       "for $g in doc(\"chr21.xml\")//repeat/select-wide::gene \
+        return string($g/@id)");
+
+  (* Variants that touch coding sequence without lying inside it —
+     they cross a CDS boundary (overlap minus containment, via the
+     node-set difference operator). *)
+  Printf.printf "variants crossing a CDS boundary:   %s\n\n"
+    (run
+       "for $v in doc(\"chr21.xml\")//cds/select-wide::deletion \
+        except doc(\"chr21.xml\")//cds/select-narrow::deletion \
+        return string($v/@id)");
+
+  (* Allen relation report for geneB against the LINE1 repeat. *)
+  Printf.printf "geneB vs LINE1 repeat: %s\n"
+    (run
+       "standoff-relation(doc(\"chr21.xml\")//gene[@id = \"geneB\"], \
+        doc(\"chr21.xml\")//repeat[@family = \"LINE1\"])");
+
+  (* Exons per gene, longest first, with their sequence extracted from
+     the BLOB. *)
+  print_endline "\nexon catalogue (longest first):";
+  print_endline
+    (run
+       "for $e in doc(\"chr21.xml\")//exon\n\
+        order by standoff-end($e) - standoff-start($e) descending\n\
+        return concat(string($e/@gene), \" exon \", string($e/@rank),\n\
+        \"  [\", string(standoff-start($e)), \"..\", \
+        string(standoff-end($e)), \"]  \",\n\
+        string-length(standoff-snippet($e, \"chr21.fa\")), \" bp, starts \",\n\
+        substring(standoff-snippet($e, \"chr21.fa\"), 1, 12), \"...\")");
+
+  (* The spliced transcript: the CDS area's regions concatenate to the
+     mature coding sequence. *)
+  Printf.printf "\ngeneA spliced CDS length: %s bp (of %s bp genomic span)\n"
+    (run "string-length(standoff-snippet(doc(\"chr21.xml\")//cds[@gene = \"geneA\"], \"chr21.fa\"))")
+    (run
+       "string(standoff-end(doc(\"chr21.xml\")//cds[@gene = \"geneA\"]) - \
+        standoff-start(doc(\"chr21.xml\")//cds[@gene = \"geneA\"]) + 1)")

@@ -1,0 +1,132 @@
+(* Multimedia retrieval: an extended version of the paper's Figure 1.
+
+   A one-hour broadcast annotated by three tools on a millisecond
+   timeline: shot boundary detection (video track), music
+   identification and speech recognition (audio track).  The speech
+   recogniser also produced a transcript BLOB whose regions are
+   *character* offsets — two position spaces coexist in one collection,
+   one document each.
+
+     dune exec examples/multimedia.exe *)
+
+module Collection = Standoff_store.Collection
+module Blob = Standoff_store.Blob
+module Doc = Standoff_store.Doc
+module Config = Standoff.Config
+module Annots = Standoff.Annots
+module Engine = Standoff_xquery.Engine
+
+let minutes m = m * 60_000
+
+(* Timeline annotations, positions in milliseconds. *)
+let timeline =
+  let shot id a b =
+    Printf.sprintf "<shot id=\"%s\" start=\"%d\" end=\"%d\"/>" id a b
+  in
+  let music artist a b =
+    Printf.sprintf "<music artist=\"%s\" start=\"%d\" end=\"%d\"/>" artist a b
+  in
+  let speech who a b =
+    Printf.sprintf "<speech speaker=\"%s\" start=\"%d\" end=\"%d\"/>" who a b
+  in
+  String.concat ""
+    [
+      "<broadcast>";
+      "<video>";
+      shot "opening-titles" 0 (minutes 2);
+      shot "studio-intro" (minutes 2) (minutes 5);
+      shot "interview" (minutes 5) (minutes 25);
+      shot "concert-footage" (minutes 25) (minutes 40);
+      shot "studio-outro" (minutes 40) (minutes 55);
+      shot "credits" (minutes 55) (minutes 60);
+      "</video>";
+      "<audio>";
+      music "U2" 0 (minutes 2 - 1);
+      music "Bach" (minutes 24) (minutes 41);
+      music "Outro-Jingle" (minutes 54) (minutes 60);
+      speech "host" (minutes 2) (minutes 6);
+      speech "guest" (minutes 6) (minutes 24);
+      speech "host" (minutes 40) (minutes 55);
+      "</audio>";
+      "</broadcast>";
+    ]
+
+(* The transcript document annotates a text BLOB by character range. *)
+let transcript_text =
+  "Welcome to the show. Tonight we talk to the composer about the new \
+   recording. It was a wonderful experience, she says. Thank you for \
+   watching."
+
+let transcript =
+  "<transcript>\
+   <utterance speaker=\"host\" start=\"0\" end=\"75\"/>\
+   <utterance speaker=\"guest\" start=\"76\" end=\"119\"/>\
+   <utterance speaker=\"host\" start=\"120\" end=\"146\"/>\
+   <mention entity=\"composer\" start=\"44\" end=\"51\"/>\
+   <mention entity=\"recording\" start=\"63\" end=\"75\"/>\
+   </transcript>"
+
+let () =
+  let coll = Collection.create () in
+  ignore (Collection.load_string coll ~name:"timeline.xml" timeline);
+  ignore (Collection.load_string coll ~name:"transcript.xml" transcript);
+  Collection.add_blob coll (Blob.of_string ~name:"transcript.txt" transcript_text);
+  let engine = Engine.create coll in
+  let run q = (Engine.run engine q).Engine.serialized in
+
+  print_endline "One-hour broadcast, three annotation tools, one timeline\n";
+
+  Printf.printf "shots played entirely under Bach:\n  %s\n\n"
+    (run
+       "for $s in doc(\"timeline.xml\")//music[@artist = \"Bach\"]\
+        /select-narrow::shot return string($s/@id)");
+
+  Printf.printf "shots touched by any music at all:\n  %s\n\n"
+    (run
+       "for $s in doc(\"timeline.xml\")//music/select-wide::shot \
+        return string($s/@id)");
+
+  Printf.printf "music-free shots (reject-wide):\n  %s\n\n"
+    (run
+       "for $s in doc(\"timeline.xml\")//music/reject-wide::shot \
+        return string($s/@id)");
+
+  (* Speech over music: simultaneous overlap of two audio layers. *)
+  Printf.printf "speech segments overlapping music (voice-over):\n  %s\n\n"
+    (run
+       "for $s in doc(\"timeline.xml\")//music/select-wide::speech \
+        return concat(string($s/@speaker), \" [\", \
+        string($s/@start idiv 60000), \"m-\", \
+        string($s/@end idiv 60000), \"m]\")");
+
+  (* Steps match within one fragment only: the transcript document has
+     its own (character) position space and is queried separately. *)
+  Printf.printf "transcript mentions inside host utterances:\n  %s\n\n"
+    (run
+       "for $m in doc(\"transcript.xml\")//utterance[@speaker = \"host\"]\
+        /select-narrow::mention return string($m/@entity)");
+
+  (* The same snippets straight from XQuery, via the extension
+     builtin. *)
+  Printf.printf "who said 'recording'? %s\n\n"
+    (run
+       "for $u in doc(\"transcript.xml\")//mention[@entity = \"recording\"]\
+        /select-wide::utterance\n\
+        return concat(string($u/@speaker), \": \", \
+        standoff-snippet($u, \"transcript.txt\"))");
+
+  (* Pull the actual text of each mention out of the BLOB. *)
+  let doc =
+    Collection.doc coll
+      (Option.get (Collection.doc_id_of_name coll "transcript.xml"))
+  in
+  let annots = Annots.extract Config.default doc in
+  let blob = Option.get (Collection.blob coll "transcript.txt") in
+  print_endline "mention snippets from the transcript BLOB:";
+  Array.iter
+    (fun pre ->
+      match (Doc.attribute doc pre "entity", Annots.area_of annots pre) with
+      | Some entity, Some area ->
+          Printf.printf "  %-10s %S\n" entity (Blob.read_area blob area)
+      | _ -> ())
+    (Doc.elements_named doc "mention")

@@ -1,0 +1,121 @@
+(* Natural language processing: concurrent, overlapping annotation
+   hierarchies over one text.
+
+   Three independent tools annotate the same sentence by token
+   position: a syntactic parser (sentences, phrases), a named-entity
+   recogniser, and a prosody tagger whose units cross phrase
+   boundaries — the classic "multiple hierarchies" problem of
+   concurrent markup (paper section 1).  A separable verb construction
+   gives one annotation a non-contiguous area.
+
+     dune exec examples/nlp.exe *)
+
+module Collection = Standoff_store.Collection
+module Blob = Standoff_store.Blob
+module Engine = Standoff_xquery.Engine
+
+(* Token positions 0-12:
+   0:ze  1:belde  2:haar  3:moeder  4:gisteren  5:na  6:een  7:lange
+   8:dag  9:op  10:en  11:ging  12:slapen
+   Dutch: "ze belde haar moeder gisteren na een lange dag op en ging
+   slapen" — the separable verb "belde ... op" occupies positions 1
+   and 9: a non-contiguous area. *)
+let corpus =
+  "ze belde haar moeder gisteren na een lange dag op en ging slapen"
+
+let region (a, b) =
+  Printf.sprintf "<region><start>%d</start><end>%d</end></region>" a b
+
+let annotations =
+  String.concat ""
+    [
+      "<corpus>";
+      (* syntax layer *)
+      "<syntax>";
+      Printf.sprintf "<sentence id=\"s1\">%s</sentence>" (region (0, 12));
+      Printf.sprintf "<np id=\"np1\" role=\"subj\">%s</np>" (region (0, 0));
+      Printf.sprintf "<np id=\"np2\" role=\"obj\">%s</np>" (region (2, 3));
+      Printf.sprintf "<pp id=\"pp1\">%s</pp>" (region (5, 8));
+      (* the separable verb: belde ... op *)
+      Printf.sprintf "<verb id=\"v1\" lemma=\"opbellen\">%s%s</verb>"
+        (region (1, 1)) (region (9, 9));
+      Printf.sprintf "<verb id=\"v2\" lemma=\"gaan\">%s</verb>" (region (11, 11));
+      "</syntax>";
+      (* entity layer *)
+      "<entities>";
+      Printf.sprintf "<entity type=\"person\">%s</entity>" (region (2, 3));
+      Printf.sprintf "<entity type=\"time\">%s</entity>" (region (4, 4));
+      "</entities>";
+      (* prosody layer: intonation units crossing phrase boundaries *)
+      "<prosody>";
+      Printf.sprintf "<unit contour=\"rise\">%s</unit>" (region (0, 4));
+      Printf.sprintf "<unit contour=\"fall\">%s</unit>" (region (5, 12));
+      "</prosody>";
+      (* token layer *)
+      "<tokens>";
+      String.concat ""
+        (List.mapi
+           (fun i w -> Printf.sprintf "<token form=\"%s\">%s</token>" w (region (i, i)))
+           (String.split_on_char ' ' corpus));
+      "</tokens>";
+      "</corpus>";
+    ]
+
+let prolog = "declare option standoff-region \"region\";\n"
+
+let () =
+  let coll = Collection.create () in
+  ignore (Collection.load_string coll ~name:"corpus.xml" annotations);
+  Collection.add_blob coll (Blob.of_string ~name:"corpus.txt" corpus);
+  let engine = Engine.create coll in
+  let run q = (Engine.run engine (prolog ^ q)).Engine.serialized in
+
+  Printf.printf "corpus: %s\n\n" corpus;
+
+  (* Entities inside object noun phrases — navigation between two
+     annotation layers that share no tree structure. *)
+  Printf.printf "entities inside object NPs: %s\n"
+    (run
+       "for $e in doc(\"corpus.xml\")//np[@role = \"obj\"]\
+        /select-narrow::entity return string($e/@type)");
+
+  (* Tokens of the separable verb: the area has two regions, and
+     containment collects exactly its two tokens. *)
+  Printf.printf "tokens of the separable verb 'opbellen': %s\n"
+    (run
+       "for $t in doc(\"corpus.xml\")//verb[@lemma = \"opbellen\"]\
+        /select-narrow::token return string($t/@form)");
+
+  (* Tokens not covered by any syntactic phrase (np/pp/verb):
+     containment anti-join over a union of context sets. *)
+  Printf.printf "tokens outside every phrase: %s\n"
+    (run
+       "for $t in (doc(\"corpus.xml\")//np | doc(\"corpus.xml\")//pp \
+        | doc(\"corpus.xml\")//verb)/reject-narrow::token \
+        return string($t/@form)");
+
+  (* Prosodic units that cross a phrase boundary: they overlap a
+     phrase without either containing the other. *)
+  Printf.printf "prosodic units overlapping the PP: %s\n"
+    (run
+       "for $u in doc(\"corpus.xml\")//pp/select-wide::unit \
+        return string($u/@contour)");
+
+  (* Phrases wholly inside the rising intonation unit. *)
+  Printf.printf "phrases inside the rising contour: %s\n"
+    (run
+       "for $p in doc(\"corpus.xml\")//unit[@contour = \"rise\"]\
+        /select-narrow::*[name(.) = \"np\" or name(.) = \"pp\"] \
+        return string($p/@id)");
+
+  (* Cross-check a non-contiguous containment subtlety: the verb area
+     {1,9} is NOT contained in the prosodic unit [0,4] (token 9
+     escapes), but it does overlap it. *)
+  Printf.printf "is 'opbellen' inside the rising unit? %s\n"
+    (run
+       "exists(doc(\"corpus.xml\")//unit[@contour = \"rise\"]\
+        /select-narrow::verb[@lemma = \"opbellen\"])");
+  Printf.printf "does it overlap the rising unit?     %s\n"
+    (run
+       "exists(doc(\"corpus.xml\")//unit[@contour = \"rise\"]\
+        /select-wide::verb[@lemma = \"opbellen\"])")

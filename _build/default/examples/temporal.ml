@@ -1,0 +1,122 @@
+(* Temporal databases: stand-off joins as temporal joins.
+
+   The paper's related-work section ties the StandOff merge joins to
+   the sort-merge joins of temporal databases (Gao, Jensen, Snodgrass,
+   Soo; VLDB Journal 2005) — the semi-join and anti-join between
+   validity intervals are exactly select/reject-wide and -narrow.  Here
+   the "BLOB" is a timeline measured in days since 2000-01-01; an
+   employee re-hired after a gap has a non-contiguous employment
+   history, which interval-pair temporal joins famously mishandle.
+
+     dune exec examples/temporal.exe *)
+
+module Collection = Standoff_store.Collection
+module Engine = Standoff_xquery.Engine
+
+let day_of ~y ~m = ((y - 2000) * 365) + ((m - 1) * 30)
+
+let region (a, b) =
+  Printf.sprintf "<region><start>%d</start><end>%d</end></region>" a b
+
+let annotations =
+  let employment name stints =
+    Printf.sprintf "<employment who=\"%s\">%s</employment>" name
+      (String.concat "" (List.map region stints))
+  in
+  let project id span =
+    Printf.sprintf "<project id=\"%s\">%s</project>" id (region span)
+  in
+  let salary who amount span =
+    Printf.sprintf "<salary who=\"%s\" amount=\"%d\">%s</salary>" who amount
+      (region span)
+  in
+  String.concat ""
+    [
+      "<history>";
+      "<staff>";
+      (* Ada: continuous 2000-2009. *)
+      employment "ada" [ (day_of ~y:2000 ~m:1, day_of ~y:2009 ~m:12) ];
+      (* Grace: two stints with a gap during 2004-2005. *)
+      employment "grace"
+        [
+          (day_of ~y:2001 ~m:3, day_of ~y:2004 ~m:6);
+          (day_of ~y:2006 ~m:1, day_of ~y:2008 ~m:12);
+        ];
+      (* Edsger: joined late. *)
+      employment "edsger" [ (day_of ~y:2007 ~m:1, day_of ~y:2009 ~m:12) ];
+      "</staff>";
+      "<projects>";
+      project "apollo" (day_of ~y:2002 ~m:1, day_of ~y:2003 ~m:12);
+      project "babel" (day_of ~y:2004 ~m:1, day_of ~y:2006 ~m:12);
+      project "colossus" (day_of ~y:2008 ~m:1, day_of ~y:2008 ~m:12);
+      "</projects>";
+      "<payroll>";
+      salary "ada" 60 (day_of ~y:2000 ~m:1, day_of ~y:2005 ~m:12);
+      salary "ada" 75 (day_of ~y:2006 ~m:1, day_of ~y:2009 ~m:12);
+      salary "grace" 65 (day_of ~y:2001 ~m:3, day_of ~y:2004 ~m:6);
+      salary "grace" 80 (day_of ~y:2006 ~m:1, day_of ~y:2008 ~m:12);
+      (* A payroll bug: salary recorded across Grace's employment gap. *)
+      salary "grace" 70 (day_of ~y:2005 ~m:1, day_of ~y:2005 ~m:12);
+      "</payroll>";
+      "</history>";
+    ]
+
+let prolog = "declare option standoff-region \"region\";\n"
+
+let () =
+  let coll = Collection.create () in
+  ignore (Collection.load_string coll ~name:"history.xml" annotations);
+  let engine = Engine.create coll in
+  let run q = (Engine.run engine (prolog ^ q)).Engine.serialized in
+
+  print_endline "Temporal joins over employment/project/payroll intervals\n";
+
+  (* Temporal containment semi-join: projects that ran entirely within
+     someone's employment.  babel (2004-2006) spans Grace's gap: her
+     two stints do NOT cover it, so only Ada qualifies for babel. *)
+  print_endline "who could staff each project for its whole duration?";
+  print_endline
+    (run
+       "for $e in doc(\"history.xml\")//employment\n\
+        for $p in $e/select-narrow::project\n\
+        order by string($p/@id)\n\
+        return concat(string($p/@id), \": \", string($e/@who))");
+  print_newline ();
+
+  (* Temporal intersection semi-join. *)
+  Printf.printf "who overlapped with project babel at all? %s\n\n"
+    (run
+       "for $e in doc(\"history.xml\")//project[@id = \"babel\"]\
+        /select-wide::employment return string($e/@who)");
+
+  (* Temporal anti-join as an integrity audit: salary intervals not
+     covered by the {e same} person's employment.  Grace's 2005 record
+     falls into her gap — only the area semantics catches it; a check
+     against her employment's overall extent (2001-2008) would pass
+     it. *)
+  Printf.printf "payroll rows outside the earner's employment periods:\n%s\n\n"
+    (run
+       "for $e in doc(\"history.xml\")//employment\n\
+        for $s in $e/reject-narrow::salary[@who = $e/@who]\n\
+        return concat(string($s/@who), \" @\", string($s/@amount), \"k \", \
+        string(standoff-relation($s, $e)))");
+
+  (* The check a single-interval temporal model would do — compare
+     against the employment's overall extent via standoff-start/end —
+     misses the bad row, because the gap disappears in the extent. *)
+  Printf.printf "rows flagged by a naive extent-bounds audit: %s(none)\n\n"
+    (run
+       "for $e in doc(\"history.xml\")//employment\n\
+        for $s in doc(\"history.xml\")//salary[@who = $e/@who]\n\
+        where standoff-start($s) < standoff-start($e) \
+        or standoff-end($s) > standoff-end($e)\n\
+        return concat(string($s/@who), \" @\", string($s/@amount), \"k\")");
+
+  (* Allen relations: the classic 13-way interval classification. *)
+  print_endline "Allen relation of each project to Ada's employment:";
+  print_endline
+    (run
+       "for $p in doc(\"history.xml\")//project\n\
+        order by standoff-start($p)\n\
+        return concat(string($p/@id), \": \", standoff-relation($p, \
+        doc(\"history.xml\")//employment[@who = \"ada\"]))")

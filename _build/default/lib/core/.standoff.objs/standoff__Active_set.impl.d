@@ -1,0 +1,1 @@
+lib/core/active_set.ml: Array Hashtbl Int64 Printf Standoff_util

@@ -1,0 +1,1 @@
+lib/core/annots.ml: Array Config Int64 List Option Printf Region_index Standoff_interval Standoff_store Standoff_util String

@@ -1,0 +1,1 @@
+lib/core/annots.mli: Config Region_index Standoff_interval Standoff_store

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Annots Config Hashtbl List Standoff_store

@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Annots Config Standoff_store

@@ -1,0 +1,1 @@
+lib/core/join.ml: Active_set Annots Array Config Merge_join_ll Op Region_index Standoff_interval Standoff_util Udf_join

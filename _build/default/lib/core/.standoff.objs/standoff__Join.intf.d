@@ -1,0 +1,1 @@
+lib/core/join.mli: Active_set Annots Config Op Standoff_util

@@ -1,0 +1,1 @@
+lib/core/merge_join_ll.ml: Active_set Annots Array Int64 List Region_index Standoff_interval Standoff_util

@@ -1,0 +1,1 @@
+lib/core/merge_join_ll.mli: Active_set Annots Region_index Standoff_util

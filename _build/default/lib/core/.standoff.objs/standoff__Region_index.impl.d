@@ -1,0 +1,1 @@
+lib/core/region_index.ml: Array Format Int64 List Standoff_interval Standoff_util

@@ -1,0 +1,1 @@
+lib/core/region_index.mli: Format Standoff_interval

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Annots Array List Op Option Standoff_interval Standoff_util

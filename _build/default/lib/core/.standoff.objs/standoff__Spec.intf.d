@@ -1,0 +1,1 @@
+lib/core/spec.mli: Annots Op Standoff_interval

@@ -1,0 +1,1 @@
+lib/core/udf_join.ml: Annots Array Op Standoff_interval Standoff_util

@@ -1,0 +1,1 @@
+lib/core/udf_join.mli: Annots Op Standoff_util

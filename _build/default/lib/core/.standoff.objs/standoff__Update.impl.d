@@ -1,0 +1,1 @@
+lib/core/update.ml: Annots Array Catalog Config Int64 Printf Standoff_interval Standoff_store String

@@ -1,0 +1,1 @@
+lib/core/update.mli: Catalog Config Standoff_interval Standoff_store

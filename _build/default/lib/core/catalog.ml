@@ -1,0 +1,33 @@
+type entry = {
+  config : Config.t;
+  annots : Annots.t;
+}
+
+type t = (string, entry list ref) Hashtbl.t
+(* Keyed on document name, which collections keep unique; the handful
+   of configurations per document live in a short list. *)
+
+let create () : t = Hashtbl.create 8
+
+let annots cat config doc =
+  let key = doc.Standoff_store.Doc.doc_name in
+  let entries =
+    match Hashtbl.find_opt cat key with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add cat key r;
+        r
+  in
+  match
+    List.find_opt
+      (fun e -> Config.equal e.config config && e.annots.Annots.doc == doc)
+      !entries
+  with
+  | Some e -> e.annots
+  | None ->
+      let a = Annots.extract config doc in
+      entries := { config; annots = a } :: !entries;
+      a
+
+let invalidate cat doc = Hashtbl.remove cat doc.Standoff_store.Doc.doc_name

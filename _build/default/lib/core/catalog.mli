@@ -1,0 +1,20 @@
+(** Per-document annotation catalogues.
+
+    The region index is part of the document's stored representation
+    in the paper ("we added a region index to the relational
+    representation of XML documents", §4.3).  This module gives each
+    (document, configuration) pair exactly one extracted
+    {!Annots.t}, built on first use. *)
+
+type t
+
+(** [create ()] is an empty catalogue. *)
+val create : unit -> t
+
+(** [annots cat config doc] is the cached annotation table of [doc]
+    under [config], extracting it on first request. *)
+val annots : t -> Config.t -> Standoff_store.Doc.t -> Annots.t
+
+(** [invalidate cat doc] drops cached entries for [doc] (all
+    configurations) — for callers that rebuild documents. *)
+val invalidate : t -> Standoff_store.Doc.t -> unit

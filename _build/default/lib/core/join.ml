@@ -1,0 +1,225 @@
+module Vec = Standoff_util.Vec
+module Timing = Standoff_util.Timing
+module Search = Standoff_util.Search
+module Area = Standoff_interval.Area
+
+(* ------------------------------------------------------------------ *)
+(* Post-processing: match rows -> unique (iter, node-id) in document
+   order (paper §4.4: "some post-processing occurs that maps these
+   into node-ids (unique and in document order per iter)").          *)
+
+(* Pairs are packed into single integers (iter in the high bits, node
+   id in the low 31) so sorting uses the unboxed int fast path; node
+   ids are pre ranks and iteration numbers are row counts, so both fit
+   comfortably. *)
+let pack iter pre = (iter lsl 31) lor pre
+let unpack_iter key = key asr 31
+let unpack_pre key = key land 0x7FFFFFFF
+
+let sort_dedup_pairs pairs =
+  let arr = Vec.to_array pairs in
+  let n = Array.length arr in
+  (* Nested annotations cluster the index like the tree, so matches
+     usually emerge already sorted and duplicate-free; detect that in
+     one pass before paying for a sort. *)
+  let strictly_sorted = ref true in
+  for i = 1 to n - 1 do
+    if arr.(i - 1) >= arr.(i) then strictly_sorted := false
+  done;
+  if !strictly_sorted then
+    (Array.map unpack_iter arr, Array.map unpack_pre arr)
+  else begin
+    Array.sort (fun (a : int) b -> compare a b) arr;
+    let iters = Vec.create () and pres = Vec.create () in
+    Array.iteri
+      (fun i key ->
+        if i = 0 || arr.(i - 1) <> key then begin
+          Vec.push iters (unpack_iter key);
+          Vec.push pres (unpack_pre key)
+        end)
+      arr;
+    (Vec.to_array iters, Vec.to_array pres)
+  end
+
+let region_count annots pre =
+  match Annots.area_of annots pre with
+  | Some area -> Area.region_count area
+  | None -> 0
+
+(* Containment between areas requires every candidate region inside
+   the same context annotation: count the distinct matched regions per
+   (iter, context, candidate) group and keep full covers (§3.1). *)
+let finalize_narrow_multi annots (matches : Merge_join_ll.match_row Vec.t) =
+  let quads =
+    Vec.map
+      (fun m ->
+        (m.Merge_join_ll.m_iter, m.Merge_join_ll.m_ctx, m.Merge_join_ll.m_cand,
+         m.Merge_join_ll.m_rank))
+      matches
+  in
+  let arr = Vec.to_array quads in
+  Array.sort compare arr;
+  let pairs = Vec.create () in
+  let n = Array.length arr in
+  let i = ref 0 in
+  while !i < n do
+    let iter, ctx, cand, _ = arr.(!i) in
+    let covered = ref 0 in
+    let j = ref !i in
+    let prev_rank = ref (-1) in
+    while
+      !j < n
+      && (fun (it, cx, cd, _) -> it = iter && cx = ctx && cd = cand) arr.(!j)
+    do
+      let _, _, _, rank = arr.(!j) in
+      if rank <> !prev_rank then begin
+        incr covered;
+        prev_rank := rank
+      end;
+      incr j
+    done;
+    if !covered = region_count annots cand then Vec.push pairs (pack iter cand);
+    i := !j
+  done;
+  sort_dedup_pairs pairs
+
+let finalize_select op annots ~single_region matches =
+  if (not single_region) && Op.is_narrow op then
+    finalize_narrow_multi annots matches
+  else
+    sort_dedup_pairs
+      (Vec.map
+         (fun m -> pack m.Merge_join_ll.m_iter m.Merge_join_ll.m_cand)
+         matches)
+
+(* The anti-joins return, per live iteration, the candidates that the
+   corresponding semi-join did not match.  The loop relation supplies
+   iterations with an empty context, which reject all of nothing and
+   therefore return every candidate. *)
+let complement ~loop ~candidate_ids (matched_iters, matched_pres) =
+  let iters = Vec.create () and pres = Vec.create () in
+  let n = Array.length matched_iters in
+  let row = ref 0 in
+  Array.iter
+    (fun iter ->
+      while !row < n && matched_iters.(!row) < iter do
+        incr row
+      done;
+      let m = ref !row in
+      Array.iter
+        (fun cand ->
+          while
+            !m < n && matched_iters.(!m) = iter && matched_pres.(!m) < cand
+          do
+            incr m
+          done;
+          let is_matched =
+            !m < n && matched_iters.(!m) = iter && matched_pres.(!m) = cand
+          in
+          if not is_matched then begin
+            Vec.push iters iter;
+            Vec.push pres cand
+          end)
+        candidate_ids)
+    loop;
+  (Vec.to_array iters, Vec.to_array pres)
+
+(* ------------------------------------------------------------------ *)
+(* Merge-join execution for one already-built context.                *)
+
+let merge_join_lifted op annots ~active_set ~deadline ~loop ctx cand_index =
+  let single_region = annots.Annots.max_regions_per_area = 1 in
+  let sweep =
+    match Op.select_of op with
+    | Op.Select_narrow -> Merge_join_ll.select_narrow
+    | Op.Select_wide | Op.Reject_narrow | Op.Reject_wide ->
+        Merge_join_ll.select_wide
+  in
+  let matches = sweep ~active_set ~deadline ~single_region ctx cand_index in
+  let selected =
+    finalize_select (Op.select_of op) annots ~single_region matches
+  in
+  if Op.is_select op then selected
+  else
+    complement ~loop
+      ~candidate_ids:(Region_index.annotation_ids cand_index)
+      selected
+
+(* ------------------------------------------------------------------ *)
+(* Sorted-array intersection, for the post-join name-test filtering
+   of the Figure 2 baseline.                                          *)
+
+let intersect_sorted a b =
+  let out = Vec.create () in
+  Array.iter (fun x -> if Search.mem_sorted_int b x then Vec.push out x) a;
+  Vec.to_array out
+
+let run_sequence op strategy annots ?(active_set = Active_set.Sorted_list)
+    ?(deadline = Timing.no_deadline) ~context ~candidates () =
+  match strategy with
+  | Config.Udf_no_candidates ->
+      (* Figure 2: join against everything, then apply the node test to
+         the join result. *)
+      let joined = Udf_join.join op annots ~deadline ~context ~candidates:None in
+      (match candidates with
+      | None -> joined
+      | Some ids -> intersect_sorted joined ids)
+  | Config.Udf_candidates ->
+      Udf_join.join op annots ~deadline ~context ~candidates
+  | Config.Basic_merge | Config.Loop_lifted ->
+      let ctx =
+        Merge_join_ll.context_of_annotations annots
+          ~iters:(Array.map (fun _ -> 0) context)
+          ~pres:context
+      in
+      (* A per-sequence invocation recomputes the candidate sequence by
+         scanning the region index, as the paper's engine does; only
+         the loop-lifted entry point amortises this across iterations
+         (§4.6). *)
+      let cand_index = Annots.candidate_index_scan annots ~candidates in
+      let _, pres =
+        merge_join_lifted op annots ~active_set ~deadline ~loop:[| 0 |] ctx
+          cand_index
+      in
+      pres
+
+let run_lifted op strategy annots ?(active_set = Active_set.Sorted_list)
+    ?(deadline = Timing.no_deadline) ~loop ~context_iters ~context_pres
+    ~candidates () =
+  match strategy with
+  | Config.Loop_lifted ->
+      let ctx =
+        Merge_join_ll.context_of_annotations annots ~iters:context_iters
+          ~pres:context_pres
+      in
+      let cand_index = Annots.candidate_index annots ~candidates in
+      merge_join_lifted op annots ~active_set ~deadline ~loop ctx cand_index
+  | Config.Udf_no_candidates | Config.Udf_candidates | Config.Basic_merge ->
+      (* The paper's pre-loop-lifting behaviour: the single-sequence
+         algorithm runs once per iteration, re-scanning the candidate
+         index (or, for the UDFs, re-running the nested loop) each
+         time. *)
+      let iters = Vec.create () and pres = Vec.create () in
+      let n = Array.length context_iters in
+      let row = ref 0 in
+      Array.iter
+        (fun iter ->
+          Timing.checkpoint deadline;
+          while !row < n && context_iters.(!row) < iter do
+            incr row
+          done;
+          let lo = !row in
+          while !row < n && context_iters.(!row) = iter do
+            incr row
+          done;
+          let context = Array.sub context_pres lo (!row - lo) in
+          let result =
+            run_sequence op strategy annots ~deadline ~context ~candidates ()
+          in
+          Array.iter
+            (fun pre ->
+              Vec.push iters iter;
+              Vec.push pres pre)
+            result)
+        loop;
+      (Vec.to_array iters, Vec.to_array pres)

@@ -1,0 +1,52 @@
+(** The StandOff join dispatcher: strategy selection, per-iteration
+    vs. loop-lifted invocation, anti-join complements, and the paper's
+    post-processing to unique node ids in document order (§4.4–4.5).
+
+    The two entry points mirror how an XQuery engine calls axis steps:
+
+    - {!run_sequence} evaluates one operator for a single context
+      node sequence, like the non-lifted Staircase Join;
+    - {!run_lifted} evaluates it for a whole [iter|item] table at
+      once.  Under the {!Config.Loop_lifted} strategy this is a single
+      merge-join sweep; under every other strategy the engine behaviour
+      of the paper is reproduced faithfully: the single-sequence
+      algorithm is re-invoked {e per iteration}, re-scanning the
+      candidate index each time — which is exactly why Basic StandOff
+      MergeJoin DNFs on XMark Q2 (Figure 6). *)
+
+(** [run_sequence op strategy annots ?deadline ~context ~candidates]
+    evaluates one operator between a context pre array and candidate
+    pres ([None] = no restriction, i.e. all area-annotations).
+    Returns sorted duplicate-free pres.
+    @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
+val run_sequence :
+  Op.t ->
+  Config.strategy ->
+  Annots.t ->
+  ?active_set:Active_set.kind ->
+  ?deadline:Standoff_util.Timing.deadline ->
+  context:int array ->
+  candidates:int array option ->
+  unit ->
+  int array
+
+(** [run_lifted op strategy annots ?deadline ~loop ~context_iters
+    ~context_pres ~candidates ()] evaluates one operator for every
+    iteration of [loop].  [context_iters]/[context_pres] are parallel
+    arrays sorted by [(iter, pre)]; [loop] lists every live iteration
+    (iterations without context rows matter to the reject operators,
+    which return {e all} candidates for them).  The result is parallel
+    [(iters, pres)] arrays, per-iteration duplicate-free and in
+    document order. *)
+val run_lifted :
+  Op.t ->
+  Config.strategy ->
+  Annots.t ->
+  ?active_set:Active_set.kind ->
+  ?deadline:Standoff_util.Timing.deadline ->
+  loop:int array ->
+  context_iters:int array ->
+  context_pres:int array ->
+  candidates:int array option ->
+  unit ->
+  int array * int array

@@ -1,0 +1,39 @@
+type t =
+  | Select_narrow
+  | Select_wide
+  | Reject_narrow
+  | Reject_wide
+
+let all = [ Select_narrow; Select_wide; Reject_narrow; Reject_wide ]
+
+let of_string_opt = function
+  | "select-narrow" -> Some Select_narrow
+  | "select-wide" -> Some Select_wide
+  | "reject-narrow" -> Some Reject_narrow
+  | "reject-wide" -> Some Reject_wide
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some op -> op
+  | None -> invalid_arg (Printf.sprintf "Op.of_string: %S" s)
+
+let to_string = function
+  | Select_narrow -> "select-narrow"
+  | Select_wide -> "select-wide"
+  | Reject_narrow -> "reject-narrow"
+  | Reject_wide -> "reject-wide"
+
+let is_select = function
+  | Select_narrow | Select_wide -> true
+  | Reject_narrow | Reject_wide -> false
+
+let is_narrow = function
+  | Select_narrow | Reject_narrow -> true
+  | Select_wide | Reject_wide -> false
+
+let select_of = function
+  | Select_narrow | Reject_narrow -> Select_narrow
+  | Select_wide | Reject_wide -> Select_wide
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)

@@ -1,0 +1,34 @@
+(** The four StandOff joins (paper §3.1), proposed as XPath axis
+    steps. *)
+
+type t =
+  | Select_narrow  (** containment semi-join *)
+  | Select_wide    (** overlap semi-join *)
+  | Reject_narrow  (** containment anti-join *)
+  | Reject_wide    (** overlap anti-join *)
+
+(** [all] lists the four operators. *)
+val all : t list
+
+(** [of_string s] parses the axis name, e.g. ["select-narrow"].
+    @raise Invalid_argument on unknown names. *)
+val of_string : string -> t
+
+(** [of_string_opt s] is the non-raising variant. *)
+val of_string_opt : string -> t option
+
+(** [to_string op] is the axis name. *)
+val to_string : t -> string
+
+(** [is_select op] holds for the two semi-joins. *)
+val is_select : t -> bool
+
+(** [is_narrow op] holds for the two containment joins. *)
+val is_narrow : t -> bool
+
+(** [select_of op] is the semi-join with the same containment/overlap
+    semantics as [op] — the anti-joins are per-iteration complements of
+    their select counterparts. *)
+val select_of : t -> t
+
+val pp : Format.formatter -> t -> unit

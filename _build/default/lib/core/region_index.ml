@@ -1,0 +1,95 @@
+module Vec = Standoff_util.Vec
+module Search = Standoff_util.Search
+module Region = Standoff_interval.Region
+module Area = Standoff_interval.Area
+
+type t = {
+  starts : int64 array;
+  ends : int64 array;
+  ids : int array;
+  region_ranks : int array;
+}
+
+type row = {
+  row_start : int64;
+  row_end : int64;
+  row_id : int;
+  row_rank : int;
+}
+
+let compare_row a b =
+  let c = Int64.compare a.row_start b.row_start in
+  if c <> 0 then c
+  else
+    let c = Int64.compare b.row_end a.row_end in
+    if c <> 0 then c else compare a.row_id b.row_id
+
+let build annots =
+  let rows = Vec.create () in
+  List.iter
+    (fun (id, area) ->
+      List.iteri
+        (fun rank r ->
+          Vec.push rows
+            {
+              row_start = Region.start_pos r;
+              row_end = Region.end_pos r;
+              row_id = id;
+              row_rank = rank;
+            })
+        (Area.regions area))
+    annots;
+  Vec.sort compare_row rows;
+  let n = Vec.length rows in
+  let starts = Array.make n 0L
+  and ends = Array.make n 0L
+  and ids = Array.make n 0
+  and region_ranks = Array.make n 0 in
+  Vec.iteri
+    (fun i r ->
+      starts.(i) <- r.row_start;
+      ends.(i) <- r.row_end;
+      ids.(i) <- r.row_id;
+      region_ranks.(i) <- r.row_rank)
+    rows;
+  { starts; ends; ids; region_ranks }
+
+let row_count idx = Array.length idx.starts
+
+let annotation_ids idx =
+  let ids = Array.copy idx.ids in
+  Array.sort compare ids;
+  let out = Vec.create () in
+  Array.iteri
+    (fun i id -> if i = 0 || ids.(i - 1) <> id then Vec.push out id)
+    ids;
+  Vec.to_array out
+
+let restrict idx ~ids =
+  let keep = Vec.create () in
+  Array.iteri
+    (fun row id -> if Search.mem_sorted_int ids id then Vec.push keep row)
+    idx.ids;
+  let n = Vec.length keep in
+  let starts = Array.make n 0L
+  and ends = Array.make n 0L
+  and out_ids = Array.make n 0
+  and region_ranks = Array.make n 0 in
+  Vec.iteri
+    (fun i row ->
+      starts.(i) <- idx.starts.(row);
+      ends.(i) <- idx.ends.(row);
+      out_ids.(i) <- idx.ids.(row);
+      region_ranks.(i) <- idx.region_ranks.(row))
+    keep;
+  { starts; ends; ids = out_ids; region_ranks }
+
+let region idx row = Region.make idx.starts.(row) idx.ends.(row)
+
+let pp fmt idx =
+  Format.fprintf fmt "@[<v>start|end|id|rank@,";
+  for i = 0 to row_count idx - 1 do
+    Format.fprintf fmt "%Ld|%Ld|%d|%d@," idx.starts.(i) idx.ends.(i)
+      idx.ids.(i) idx.region_ranks.(i)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,36 @@
+(** The region index (paper §4.3): [start|end|id] rows kept clustered
+    on [start], the access path of the StandOff merge joins.
+
+    Non-contiguous areas repeat their node id across several rows, one
+    per region; [region_rank] says which of the area's regions a row
+    carries so that the multi-region containment post-processing can
+    count coverage. *)
+
+type t = private {
+  starts : int64 array;
+  ends : int64 array;
+  ids : int array;          (** annotation node ids (pre ranks) *)
+  region_ranks : int array; (** index of the region within its area *)
+}
+(** Invariant: rows sorted on [(start asc, end desc, id asc)]. *)
+
+(** [build annots] indexes [(id, area)] pairs. *)
+val build : (int * Standoff_interval.Area.t) list -> t
+
+(** [row_count idx] is the number of region rows. *)
+val row_count : t -> int
+
+(** [annotation_ids idx] is the sorted, duplicate-free array of node
+    ids appearing in the index. *)
+val annotation_ids : t -> int array
+
+(** [restrict idx ~ids] performs the index intersection of §4.3:
+    keeps only rows whose id occurs in the sorted array [ids],
+    preserving the [start] clustering. *)
+val restrict : t -> ids:int array -> t
+
+(** [region idx row] is the region of row [row]. *)
+val region : t -> int -> Standoff_interval.Region.t
+
+(** [pp fmt idx] dumps the rows, for debugging. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+module Vec = Standoff_util.Vec
+module Area = Standoff_interval.Area
+
+let area_matches op ~context ~candidate =
+  let holds pred = List.exists (fun a1 -> pred a1 candidate) context in
+  match op with
+  | Op.Select_narrow -> holds Area.contains
+  | Op.Select_wide -> holds Area.overlaps
+  | Op.Reject_narrow -> not (holds Area.contains)
+  | Op.Reject_wide -> not (holds Area.overlaps)
+
+let annotation_areas annots pres =
+  Array.to_list pres
+  |> List.filter_map (fun pre ->
+         Option.map (fun a -> (pre, a)) (Annots.area_of annots pre))
+
+let join op annots ~context ~candidates =
+  let context_areas = List.map snd (annotation_areas annots context) in
+  let out = Vec.create () in
+  List.iter
+    (fun (pre, candidate) ->
+      if area_matches op ~context:context_areas ~candidate then
+        Vec.push out pre)
+    (annotation_areas annots candidates);
+  let arr = Vec.to_array out in
+  Array.sort compare arr;
+  let dedup = Vec.create () in
+  Array.iteri
+    (fun i pre -> if i = 0 || arr.(i - 1) <> pre then Vec.push dedup pre)
+    arr;
+  Vec.to_array dedup

@@ -1,0 +1,30 @@
+(** Executable formal semantics of the StandOff joins (paper §3.1) —
+    the O(|S1|·|S2|) oracle against which every optimised
+    implementation is tested.
+
+    [select-narrow(S1,S2)] = annotations of [S2] contained by some
+    annotation of [S1]; [select-wide] replaces containment with
+    overlap; the [reject-*] operators are the complements within
+    [S2]. *)
+
+(** [area_matches op ~context ~candidate] decides whether [candidate]
+    belongs to the result of [op] given the full context area list
+    (for the reject operators this consults {e all} context areas). *)
+val area_matches :
+  Op.t ->
+  context:Standoff_interval.Area.t list ->
+  candidate:Standoff_interval.Area.t ->
+  bool
+
+(** [join op annots ~context ~candidates] evaluates [op] between node
+    sequences of one document.  [context] and [candidates] are pre
+    arrays (any order, duplicates allowed); nodes that are not
+    area-annotations are ignored on both sides, as the joins are
+    defined between area-annotations only.  The result is sorted and
+    duplicate-free (document order). *)
+val join :
+  Op.t ->
+  Annots.t ->
+  context:int array ->
+  candidates:int array ->
+  int array

@@ -1,0 +1,31 @@
+(** The user-defined-function baselines (paper Figures 2 and 3).
+
+    These mirror the nested-loop plans an XQuery engine produces for
+    the library-module implementation of the StandOff operators:
+
+    - {e without} a candidate sequence (Figure 2), every context
+      annotation is compared against {e every} area-annotation of the
+      document ([for $p in root($q)//*]);
+    - {e with} a candidate sequence (Figure 3), the inner loop runs
+      over the candidates only (selection pushed down by hand).
+
+    Either way the cost is quadratic, which is exactly the behaviour
+    the paper's evaluation attributes to them.  Both honour the
+    area-level (multi-region) semantics so that every strategy agrees
+    on results.
+
+    All functions take a {!Standoff_util.Timing.deadline} and poll it,
+    so the benchmark harness can declare DNF. *)
+
+(** [join op annots ~deadline ~context ~candidates] evaluates one
+    operator for one context sequence.  [candidates = None] is the
+    Figure 2 shape (all area-annotations of the document).  Returns
+    sorted, duplicate-free pres.
+    @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
+val join :
+  Op.t ->
+  Annots.t ->
+  deadline:Standoff_util.Timing.deadline ->
+  context:int array ->
+  candidates:int array option ->
+  int array

@@ -1,0 +1,55 @@
+module Doc = Standoff_store.Doc
+module Region = Standoff_interval.Region
+
+(* Locate the attribute rows of [pre] holding the configured start/end
+   names; the attribute table is mutable (plain arrays), so rewriting
+   the values is an in-place update. *)
+let region_attr_rows config doc ~pre =
+  if Config.representation config <> Config.Attributes then
+    invalid_arg "Update: only the attribute representation is updatable";
+  if Doc.kind_of doc pre <> Doc.Element then
+    invalid_arg (Printf.sprintf "Update: node %d is not an element" pre);
+  let lo = doc.Doc.attr_first.(pre) and hi = doc.Doc.attr_first.(pre + 1) in
+  let find name =
+    let rec scan i =
+      if i >= hi then None
+      else
+        let attr = doc.Doc.attr_name.(i) in
+        if String.equal (Standoff_store.Name_pool.name doc.Doc.names attr) name
+        then Some i
+        else scan (i + 1)
+    in
+    scan lo
+  in
+  match (find config.Config.start_name, find config.Config.end_name) with
+  | Some s, Some e -> (s, e)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Update: node %d is not an area-annotation" pre)
+
+let set_region cat config doc ~pre region =
+  let s_row, e_row = region_attr_rows config doc ~pre in
+  doc.Doc.attr_value.(s_row) <- Int64.to_string (Region.start_pos region);
+  doc.Doc.attr_value.(e_row) <- Int64.to_string (Region.end_pos region);
+  Catalog.invalidate cat doc
+
+let shift_annotations cat config doc ~from ~by =
+  let annots = Annots.extract config doc in
+  let moved = ref 0 in
+  Array.iteri
+    (fun slot pre ->
+      let area = annots.Annots.areas.(slot) in
+      let extent = Standoff_interval.Area.extent area in
+      if Int64.compare (Region.start_pos extent) from >= 0 then begin
+        let start_ = Int64.add (Region.start_pos extent) by in
+        let end_ = Int64.add (Region.end_pos extent) by in
+        if Int64.compare start_ 0L < 0 then
+          invalid_arg "Update.shift_annotations: region would become negative";
+        let s_row, e_row = region_attr_rows config doc ~pre in
+        doc.Doc.attr_value.(s_row) <- Int64.to_string start_;
+        doc.Doc.attr_value.(e_row) <- Int64.to_string end_;
+        incr moved
+      end)
+    annots.Annots.ids;
+  Catalog.invalidate cat doc;
+  !moved

@@ -1,0 +1,41 @@
+(** Region updates on stored annotation documents.
+
+    The paper's §3.3 argues for per-document region indexes partly on
+    update grounds (a collection-global index "may cause needless
+    transaction conflicts among documents in case of updates").  This
+    module provides the update primitive that discussion presupposes:
+    changing an annotation's region in place and invalidating exactly
+    the owning document's derived indexes, which are rebuilt lazily on
+    the next StandOff step.
+
+    Only the attribute representation is updatable in place (regions
+    are attribute values); element-representation regions are document
+    structure and require re-loading the document. *)
+
+(** [set_region cat config doc ~pre region] rewrites the [start]/[end]
+    attributes of annotation [pre] under [config]'s names and drops the
+    document's cached annotation tables.
+    @raise Invalid_argument if [config] uses the element
+    representation, or if [pre] is not an element carrying both region
+    attributes. *)
+val set_region :
+  Catalog.t ->
+  Config.t ->
+  Standoff_store.Doc.t ->
+  pre:int ->
+  Standoff_interval.Region.t ->
+  unit
+
+(** [shift_annotations cat config doc ~from ~by] moves every annotation
+    whose region starts at or after position [from] by [by] positions —
+    the standard maintenance operation after inserting or deleting BLOB
+    content.  Returns the number of annotations moved.
+    @raise Invalid_argument as {!set_region}, or when a shifted region
+    would become negative. *)
+val shift_annotations :
+  Catalog.t ->
+  Config.t ->
+  Standoff_store.Doc.t ->
+  from:int64 ->
+  by:int64 ->
+  int

@@ -1,0 +1,1 @@
+lib/interval/allen.ml: Format Int64 Region

@@ -1,0 +1,1 @@
+lib/interval/area.ml: Format Int64 List Region

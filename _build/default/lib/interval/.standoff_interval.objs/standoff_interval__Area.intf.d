@@ -1,0 +1,1 @@
+lib/interval/area.mli: Format Region

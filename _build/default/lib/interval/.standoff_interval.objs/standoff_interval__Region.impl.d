@@ -1,0 +1,1 @@
+lib/interval/region.ml: Format Int64 Printf

@@ -1,0 +1,86 @@
+type relation =
+  | Precedes
+  | Meets
+  | Overlaps
+  | Finished_by
+  | Contains
+  | Starts
+  | Equals
+  | Started_by
+  | During
+  | Finishes
+  | Overlapped_by
+  | Met_by
+  | Preceded_by
+
+let all =
+  [
+    Precedes; Meets; Overlaps; Finished_by; Contains; Starts; Equals;
+    Started_by; During; Finishes; Overlapped_by; Met_by; Preceded_by;
+  ]
+
+let classify r1 r2 =
+  let s1 = Region.start_pos r1 and e1 = Region.end_pos r1 in
+  let s2 = Region.start_pos r2 and e2 = Region.end_pos r2 in
+  let c = Int64.compare in
+  if c e1 s2 < 0 then
+    (* Disjoint, r1 first: adjacency (no gap) is Meets.  [Int64.add]
+       cannot wrap here: e1 < s2 implies e1 < max_int. *)
+    if c (Int64.add e1 1L) s2 = 0 then Meets else Precedes
+  else if c e2 s1 < 0 then
+    if c (Int64.add e2 1L) s1 = 0 then Met_by else Preceded_by
+  else
+    match (c s1 s2, c e1 e2) with
+    | 0, 0 -> Equals
+    | 0, x when x < 0 -> Starts
+    | 0, _ -> Started_by
+    | x, 0 when x < 0 -> Finished_by
+    | _, 0 -> Finishes
+    | x, y when x < 0 && y > 0 -> Contains
+    | x, y when x > 0 && y < 0 -> During
+    | x, _ when x < 0 -> Overlaps
+    | _ -> Overlapped_by
+
+let inverse = function
+  | Precedes -> Preceded_by
+  | Meets -> Met_by
+  | Overlaps -> Overlapped_by
+  | Finished_by -> Finishes
+  | Contains -> During
+  | Starts -> Started_by
+  | Equals -> Equals
+  | Started_by -> Starts
+  | During -> Contains
+  | Finishes -> Finished_by
+  | Overlapped_by -> Overlaps
+  | Met_by -> Meets
+  | Preceded_by -> Precedes
+
+let implies_overlap = function
+  | Precedes | Meets | Met_by | Preceded_by -> false
+  | Overlaps | Finished_by | Contains | Starts | Equals | Started_by
+  | During | Finishes | Overlapped_by ->
+      true
+
+let implies_containment = function
+  | Contains | Equals | Started_by | Finished_by -> true
+  | Precedes | Meets | Overlaps | Starts | During | Finishes
+  | Overlapped_by | Met_by | Preceded_by ->
+      false
+
+let to_string = function
+  | Precedes -> "precedes"
+  | Meets -> "meets"
+  | Overlaps -> "overlaps"
+  | Finished_by -> "finished-by"
+  | Contains -> "contains"
+  | Starts -> "starts"
+  | Equals -> "equals"
+  | Started_by -> "started-by"
+  | During -> "during"
+  | Finishes -> "finishes"
+  | Overlapped_by -> "overlapped-by"
+  | Met_by -> "met-by"
+  | Preceded_by -> "preceded-by"
+
+let pp fmt rel = Format.pp_print_string fmt (to_string rel)

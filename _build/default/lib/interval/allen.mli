@@ -1,0 +1,61 @@
+(** Allen's thirteen interval relations (Allen, CACM 1983), adapted to
+    the closed integer position domain of stand-off regions.
+
+    The paper (§3) observes that two regions can stand in 13 distinct
+    relationships and that, for stand-off querying, these collapse onto
+    the two notions of {e containment} and {e overlap}.  This module
+    makes that collapse explicit and testable: {!classify} computes the
+    exact Allen relation, and {!implies_overlap} / {!implies_containment}
+    state which relations each StandOff join semantics responds to.
+
+    On closed integer intervals, "r1 meets r2" is defined as adjacency
+    with no shared position ([r1.end + 1 = r2.start]); intervals that
+    share their boundary position ([r1.end = r2.start]) genuinely
+    overlap under the paper's closed-interval semantics and classify as
+    [Overlaps] (or a containment relation).  With these definitions the
+    13 relations are mutually exclusive and jointly exhaustive. *)
+
+type relation =
+  | Precedes       (** r1 ends at least two positions before r2 starts *)
+  | Meets          (** r1.end + 1 = r2.start: adjacent, nothing shared *)
+  | Overlaps       (** proper partial overlap, r1 first *)
+  | Finished_by    (** r1 starts first, both end together *)
+  | Contains       (** r1 strictly contains r2 on both sides *)
+  | Starts         (** both start together, r1 ends first *)
+  | Equals         (** identical *)
+  | Started_by     (** both start together, r2 ends first *)
+  | During         (** r1 strictly inside r2 on both sides *)
+  | Finishes       (** both end together, r2 starts first *)
+  | Overlapped_by  (** proper partial overlap, r2 first *)
+  | Met_by         (** inverse of [Meets] *)
+  | Preceded_by    (** inverse of [Precedes] *)
+
+(** [all] lists the 13 relations in the canonical order above. *)
+val all : relation list
+
+(** [classify r1 r2] is the unique Allen relation holding between [r1]
+    and [r2]. *)
+val classify : Region.t -> Region.t -> relation
+
+(** [inverse rel] swaps the roles of the two intervals:
+    [classify r2 r1 = inverse (classify r1 r2)]. *)
+val inverse : relation -> relation
+
+(** [implies_overlap rel] holds for the nine relations in which the
+    closed intervals share at least one position (everything except
+    [Precedes], [Meets], [Met_by], [Preceded_by]).  Coincides with the
+    paper's [overlaps] predicate: for all regions,
+    [implies_overlap (classify r1 r2) = Region.overlaps r1 r2]. *)
+val implies_overlap : relation -> bool
+
+(** [implies_containment rel] holds when the first interval contains
+    the second under the paper's (non-strict) containment:
+    [Contains], [Equals], [Started_by], [Finished_by].  Coincides with
+    [Region.contains r1 r2]. *)
+val implies_containment : relation -> bool
+
+(** [to_string rel] is a stable lowercase name, e.g. ["finished-by"]. *)
+val to_string : relation -> string
+
+(** [pp fmt rel] prints {!to_string}. *)
+val pp : Format.formatter -> relation -> unit

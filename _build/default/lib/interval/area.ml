@@ -1,0 +1,57 @@
+type t = Region.t list
+(* Canonical: sorted on start, pairwise disjoint with a gap of >= 1
+   position between consecutive regions, non-empty. *)
+
+let touches_or_overlaps r1 r2 =
+  (* After sorting, r1.start <= r2.start; they merge when r2 starts at or
+     before the position just after r1 ends. *)
+  Int64.compare (Region.start_pos r2) (Int64.add (Region.end_pos r1) 1L) <= 0
+
+let make regions =
+  match List.sort Region.compare regions with
+  | [] -> invalid_arg "Area.make: an area needs at least one region"
+  | first :: rest ->
+      let merged, last =
+        List.fold_left
+          (fun (done_, cur) r ->
+            if touches_or_overlaps cur r then (done_, Region.hull cur r)
+            else (cur :: done_, r))
+          ([], first) rest
+      in
+      List.rev (last :: merged)
+
+let of_region r = [ r ]
+let regions a = a
+let region_count a = List.length a
+let is_contiguous a = match a with [ _ ] -> true | _ -> false
+
+let extent a =
+  match a with
+  | [] -> assert false
+  | first :: _ ->
+      let rec last = function [ r ] -> r | _ :: tl -> last tl | [] -> assert false in
+      Region.make (Region.start_pos first) (Region.end_pos (last a))
+
+let total_width a =
+  List.fold_left (fun acc r -> Int64.add acc (Region.width r)) 0L a
+
+let contains a1 a2 =
+  List.for_all (fun r2 -> List.exists (fun r1 -> Region.contains r1 r2) a1) a2
+
+let overlaps a1 a2 =
+  List.exists (fun r1 -> List.exists (fun r2 -> Region.overlaps r1 r2) a2) a1
+
+let contains_strictly_one_sided a1 a2 = contains a1 a2 && not (contains a2 a1)
+
+let equal a1 a2 = List.equal Region.equal a1 a2
+
+let compare a1 a2 = List.compare Region.compare a1 a2
+
+let pp fmt a =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ';')
+       Region.pp)
+    a
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,62 @@
+(** Area-annotations: sets of one or more regions (paper §3.1).
+
+    An area represents a possibly non-contiguous portion of the BLOB,
+    e.g. a file reconstructed from scattered disk blocks, or a
+    discontinuous grammatical construct.  The paper requires the
+    regions of an area to neither overlap nor touch; {!make}
+    normalises arbitrary input to that canonical form by merging. *)
+
+type t
+(** Invariant: regions sorted on [start], pairwise disjoint and
+    non-adjacent (gap of at least one position between consecutive
+    regions), and at least one region present. *)
+
+(** [make regions] normalises [regions] into an area: sorts them and
+    merges any pair that overlaps or touches (end + 1 = next start).
+    @raise Invalid_argument on an empty list. *)
+val make : Region.t list -> t
+
+(** [of_region r] is the contiguous area consisting of [r] alone. *)
+val of_region : Region.t -> t
+
+(** [regions a] is the canonical region list, sorted on [start]. *)
+val regions : t -> Region.t list
+
+(** [region_count a] is the number of (canonical) regions. *)
+val region_count : t -> int
+
+(** [is_contiguous a] holds when the area is a single region. *)
+val is_contiguous : t -> bool
+
+(** [extent a] is the covering region [\[min start, max end\]]. *)
+val extent : t -> Region.t
+
+(** [total_width a] is the summed width of the regions. *)
+val total_width : t -> int64
+
+(** [contains a1 a2] — the paper's containment between areas:
+    every region of [a2] lies inside {e some} region of [a1].
+    Formally:  ∀ r2 ∈ a2, ∃ r1 ∈ a1:
+    [r1.start <= r2.start <= r2.end <= r1.end]. *)
+val contains : t -> t -> bool
+
+(** [overlaps a1 a2] — the paper's overlap between areas: some region
+    of [a1] shares a position with some region of [a2]. *)
+val overlaps : t -> t -> bool
+
+(** [contains_strictly_one_sided a1 a2] is [contains a1 a2 && not
+    (contains a2 a1)] — convenience for tests. *)
+val contains_strictly_one_sided : t -> t -> bool
+
+(** [equal a1 a2] is equality of canonical forms. *)
+val equal : t -> t -> bool
+
+(** [compare a1 a2] orders by the canonical region lists
+    lexicographically (with {!Region.compare}). *)
+val compare : t -> t -> int
+
+(** [pp fmt a] prints ["{[s,e];[s,e];...}"]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string a] is [pp] rendered to a string. *)
+val to_string : t -> string

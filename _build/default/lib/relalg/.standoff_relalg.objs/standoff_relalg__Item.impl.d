@@ -1,0 +1,1 @@
+lib/relalg/item.ml: Format Int64 Standoff_store String

@@ -1,0 +1,1 @@
+lib/relalg/item.mli: Format Standoff_store

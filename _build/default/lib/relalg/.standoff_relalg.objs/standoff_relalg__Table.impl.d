@@ -1,0 +1,1 @@
+lib/relalg/table.ml: Array Format Int64 Item List Standoff_util

@@ -1,0 +1,1 @@
+lib/relalg/table.mli: Format Item

@@ -1,0 +1,58 @@
+module Collection = Standoff_store.Collection
+
+type t =
+  | Node of Collection.node
+  | Attribute of Collection.node * string * string
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+
+let is_node = function
+  | Node _ | Attribute _ -> true
+  | Bool _ | Int _ | Float _ | Str _ -> false
+
+let node_exn = function
+  | Node n -> n
+  | Attribute (owner, _, _) -> owner
+  | Bool _ | Int _ | Float _ | Str _ ->
+      invalid_arg "Item.node_exn: not a node"
+
+let compare_doc_order a b =
+  match (a, b) with
+  | Node n1, Node n2 -> Collection.compare_node n1 n2
+  | Node n1, Attribute (n2, _, _) ->
+      let c = Collection.compare_node n1 n2 in
+      if c = 0 then -1 else c
+  | Attribute (n1, _, _), Node n2 ->
+      let c = Collection.compare_node n1 n2 in
+      if c = 0 then 1 else c
+  | Attribute (n1, a1, _), Attribute (n2, a2, _) ->
+      let c = Collection.compare_node n1 n2 in
+      if c <> 0 then c else String.compare a1 a2
+  | (Bool _ | Int _ | Float _ | Str _), _ | _, (Bool _ | Int _ | Float _ | Str _)
+    ->
+      invalid_arg "Item.compare_doc_order: not a node"
+
+let equal a b =
+  match (a, b) with
+  | Node n1, Node n2 -> n1 = n2
+  | Attribute (n1, a1, v1), Attribute (n2, a2, v2) ->
+      n1 = n2 && String.equal a1 a2 && String.equal v1 v2
+  | Bool b1, Bool b2 -> b1 = b2
+  | Int i1, Int i2 -> Int64.equal i1 i2
+  | Float f1, Float f2 -> f1 = f2
+  | Str s1, Str s2 -> String.equal s1 s2
+  | (Node _ | Bool _ | Int _ | Float _ | Str _ | Attribute _), _ -> false
+
+let pp fmt = function
+  | Node n -> Format.fprintf fmt "node(%d:%d)" n.Collection.doc_id n.Collection.pre
+  | Attribute (n, name, v) ->
+      Format.fprintf fmt "attribute(%d:%d/@%s=%S)" n.Collection.doc_id
+        n.Collection.pre name v
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Int i -> Format.fprintf fmt "%Ld" i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+
+let to_string item = Format.asprintf "%a" pp item

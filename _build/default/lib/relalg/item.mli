@@ -1,0 +1,37 @@
+(** XQuery items: the atomic values and node references that populate
+    the [pos|item] and [iter|pos|item] tables of the execution model
+    (paper §4.1). *)
+
+type t =
+  | Node of Standoff_store.Collection.node
+  | Attribute of Standoff_store.Collection.node * string * string
+      (** owner element, attribute name, value — attributes are not
+          first-class pres in the store, so the handle carries the
+          owner *)
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+
+(** [is_node item] holds for [Node] and [Attribute] items. *)
+val is_node : t -> bool
+
+(** [node_exn item] extracts the node handle of a [Node].
+    @raise Invalid_argument otherwise. *)
+val node_exn : t -> Standoff_store.Collection.node
+
+(** [compare_doc_order a b] orders two [Node]/[Attribute] items in
+    document order (attributes order directly after their owner,
+    by name).
+    @raise Invalid_argument on non-node items. *)
+val compare_doc_order : t -> t -> int
+
+(** [equal a b] is structural equality (used for dedup of nodes and in
+    tests; numeric items of different types are unequal here). *)
+val equal : t -> t -> bool
+
+(** [pp fmt item] prints a debugging rendering. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string item] is [pp] rendered to a string. *)
+val to_string : t -> string

@@ -1,0 +1,200 @@
+module Vec = Standoff_util.Vec
+module Search = Standoff_util.Search
+
+type t = {
+  iters : int array;
+  items : Item.t array;
+}
+
+let empty = { iters = [||]; items = [||] }
+
+let check_grouped iters =
+  let n = Array.length iters in
+  let rec loop i =
+    if i >= n then true
+    else if iters.(i - 1) > iters.(i) then false
+    else loop (i + 1)
+  in
+  n = 0 || loop 1
+
+let make iters items =
+  if Array.length iters <> Array.length items then
+    invalid_arg "Table.make: column length mismatch";
+  if not (check_grouped iters) then
+    invalid_arg "Table.make: iters not non-decreasing";
+  { iters; items }
+
+let of_rows rows =
+  let arr = Array.of_list rows in
+  let tagged = Array.mapi (fun i (it, x) -> (it, i, x)) arr in
+  Array.sort
+    (fun (i1, p1, _) (i2, p2, _) ->
+      let c = compare i1 i2 in
+      if c <> 0 then c else compare p1 p2)
+    tagged;
+  {
+    iters = Array.map (fun (it, _, _) -> it) tagged;
+    items = Array.map (fun (_, _, x) -> x) tagged;
+  }
+
+let const ~loop items =
+  let items = Array.of_list items in
+  let k = Array.length items in
+  let n = Array.length loop in
+  let iters = Array.make (n * k) 0 in
+  let out = Array.make (n * k) (Item.Bool false) in
+  for i = 0 to n - 1 do
+    for j = 0 to k - 1 do
+      iters.((i * k) + j) <- loop.(i);
+      out.((i * k) + j) <- items.(j)
+    done
+  done;
+  { iters; items = out }
+
+let row_count t = Array.length t.iters
+let iter_at t i = t.iters.(i)
+let item_at t i = t.items.(i)
+
+let group_bounds t iter =
+  let lo = Search.lower_bound_int t.iters iter in
+  let hi = Search.lower_bound_int t.iters (iter + 1) in
+  (lo, hi)
+
+let sequence_of_iter t iter =
+  let lo, hi = group_bounds t iter in
+  Array.to_list (Array.sub t.items lo (hi - lo))
+
+let to_sequence t =
+  let n = row_count t in
+  if n > 0 && t.iters.(0) <> t.iters.(n - 1) then
+    invalid_arg "Table.to_sequence: more than one iteration present";
+  Array.to_list t.items
+
+let iters_present t =
+  let v = Vec.create () in
+  Array.iteri
+    (fun i it -> if i = 0 || t.iters.(i - 1) <> it then Vec.push v it)
+    t.iters;
+  Vec.to_array v
+
+let map_items f t = { t with items = Array.map f t.items }
+
+let filter p t =
+  let iters = Vec.create () and items = Vec.create () in
+  for i = 0 to row_count t - 1 do
+    if p t.items.(i) then begin
+      Vec.push iters t.iters.(i);
+      Vec.push items t.items.(i)
+    end
+  done;
+  { iters = Vec.to_array iters; items = Vec.to_array items }
+
+(* Per-iteration concatenation is a one-pass merge on iter with t1's
+   group emitted before t2's for equal iters. *)
+let append2 t1 t2 =
+  let n1 = row_count t1 and n2 = row_count t2 in
+  let iters = Array.make (n1 + n2) 0 in
+  let items = Array.make (n1 + n2) (Item.Bool false) in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  let take_from t idx =
+    iters.(!k) <- t.iters.(!idx);
+    items.(!k) <- t.items.(!idx);
+    incr idx;
+    incr k
+  in
+  while !i < n1 || !j < n2 do
+    if !j >= n2 then take_from t1 i
+    else if !i >= n1 then take_from t2 j
+    else if t1.iters.(!i) <= t2.iters.(!j) then take_from t1 i
+    else take_from t2 j
+  done;
+  { iters; items }
+
+let concat ts = List.fold_left append2 empty ts
+
+let distinct_doc_order t =
+  let iters = Vec.create () and items = Vec.create () in
+  let n = row_count t in
+  let i = ref 0 in
+  while !i < n do
+    let iter = t.iters.(!i) in
+    let j = ref !i in
+    while !j < n && t.iters.(!j) = iter do
+      incr j
+    done;
+    let group = Array.sub t.items !i (!j - !i) in
+    Array.sort Item.compare_doc_order group;
+    Array.iteri
+      (fun k item ->
+        if k = 0 || not (Item.equal group.(k - 1) item) then begin
+          Vec.push iters iter;
+          Vec.push items item
+        end)
+      group;
+    i := !j
+  done;
+  { iters = Vec.to_array iters; items = Vec.to_array items }
+
+let per_iter_aggregate ~loop t ~f =
+  let n = Array.length loop in
+  let iters = Array.copy loop in
+  let items = Array.make n (Item.Bool false) in
+  Array.iteri
+    (fun i iter ->
+      let lo, hi = group_bounds t iter in
+      items.(i) <- f (hi - lo))
+    loop;
+  { iters; items }
+
+let count ~loop t =
+  per_iter_aggregate ~loop t ~f:(fun n -> Item.Int (Int64.of_int n))
+
+let exists ~loop t = per_iter_aggregate ~loop t ~f:(fun n -> Item.Bool (n > 0))
+
+type expansion = {
+  inner_loop : int array;
+  outer_of_inner : int array;
+  var_table : t;
+  pos_table : t;
+}
+
+let expand t =
+  let n = row_count t in
+  let inner_loop = Array.init n (fun i -> i) in
+  let pos_items = Array.make n (Item.Bool false) in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    if i > 0 && t.iters.(i - 1) = t.iters.(i) then incr pos else pos := 1;
+    pos_items.(i) <- Item.Int (Int64.of_int !pos)
+  done;
+  {
+    inner_loop;
+    outer_of_inner = Array.copy t.iters;
+    var_table = { iters = Array.copy inner_loop; items = Array.copy t.items };
+    pos_table = { iters = Array.copy inner_loop; items = pos_items };
+  }
+
+let lift t ~outer_of_inner =
+  let iters = Vec.create () and items = Vec.create () in
+  Array.iteri
+    (fun inner outer ->
+      let lo, hi = group_bounds t outer in
+      for r = lo to hi - 1 do
+        Vec.push iters inner;
+        Vec.push items t.items.(r)
+      done)
+    outer_of_inner;
+  { iters = Vec.to_array iters; items = Vec.to_array items }
+
+let backmap t ~outer_of_inner =
+  (* Inner iters are sorted and outer_of_inner is non-decreasing, so the
+     renamed column stays grouped and the inner order realises the
+     per-outer-iteration concatenation. *)
+  { t with iters = Array.map (fun inner -> outer_of_inner.(inner)) t.iters }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>iter|item@,";
+  for i = 0 to row_count t - 1 do
+    Format.fprintf fmt "%4d|%a@," t.iters.(i) Item.pp t.items.(i)
+  done;
+  Format.fprintf fmt "@]"

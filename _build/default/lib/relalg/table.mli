@@ -1,0 +1,121 @@
+(** Loop-lifted sequence tables: the [iter|pos|item] representation
+    (paper §4.1).
+
+    A table holds one item sequence per iteration of the enclosing
+    for-loop nest.  Rows are grouped by [iter] (non-decreasing) and the
+    position within a group is the sequence position ([pos] is implicit
+    in row order).  The surrounding {e loop relation} — the sorted
+    array of live iteration numbers — travels separately, because an
+    iteration whose sequence is empty has no rows yet still exists
+    (this matters for anti-joins and for [count]). *)
+
+type t = private {
+  iters : int array;
+  items : Item.t array;
+}
+(** Invariant: [Array.length iters = Array.length items] and [iters]
+    is non-decreasing. *)
+
+(** {1 Construction} *)
+
+(** [empty] has no rows. *)
+val empty : t
+
+(** [make iters items] checks the grouping invariant and builds a
+    table.
+    @raise Invalid_argument when lengths differ or [iters] decreases. *)
+val make : int array -> Item.t array -> t
+
+(** [of_rows rows] builds a table from [(iter, item)] pairs, sorting
+    stably by [iter] (relative order within an iter is preserved). *)
+val of_rows : (int * Item.t) list -> t
+
+(** [const ~loop items] gives every iteration in [loop] the same
+    sequence [items] — the translation of a literal under loop
+    lifting. *)
+val const : loop:int array -> Item.t list -> t
+
+(** {1 Observation} *)
+
+(** [row_count t] is the number of rows. *)
+val row_count : t -> int
+
+(** [iter_at t i] and [item_at t i] access row [i]. *)
+val iter_at : t -> int -> int
+
+val item_at : t -> int -> Item.t
+
+(** [sequence_of_iter t iter] is the item sequence of iteration [iter]
+    (binary search + slice; empty if the iteration has no rows). *)
+val sequence_of_iter : t -> int -> Item.t list
+
+(** [group_bounds t iter] is the row span [(lo, hi)] (half-open) of
+    [iter]'s sequence. *)
+val group_bounds : t -> int -> int * int
+
+(** [to_sequence t] is the single sequence of a table known to live in
+    a one-iteration loop; checks that only one distinct iter occurs.
+    @raise Invalid_argument otherwise. *)
+val to_sequence : t -> Item.t list
+
+(** [iters_present t] is the sorted array of distinct iters that have
+    at least one row. *)
+val iters_present : t -> int array
+
+(** {1 Loop-lifted operators} *)
+
+(** [map_items f t] applies [f] row-wise. *)
+val map_items : (Item.t -> Item.t) -> t -> t
+
+(** [filter p t] keeps rows whose item satisfies [p]. *)
+val filter : (Item.t -> bool) -> t -> t
+
+(** [append2 t1 t2] is per-iteration sequence concatenation
+    [(e1, e2)]: for each iter, the items of [t1] before those of
+    [t2]. *)
+val append2 : t -> t -> t
+
+(** [concat ts] folds {!append2} over a list. *)
+val concat : t list -> t
+
+(** [distinct_doc_order t] sorts each iteration's sequence in document
+    order and removes duplicates — the postprocessing every XPath (and
+    StandOff) step requires.  All items must be nodes. *)
+val distinct_doc_order : t -> t
+
+(** [count ~loop t] is, per iteration of [loop], the number of rows —
+    one [Int] row per iteration, including zero counts. *)
+val count : loop:int array -> t -> t
+
+(** [exists ~loop t] is, per iteration, [Bool (sequence is non-empty)]. *)
+val exists : loop:int array -> t -> t
+
+(** {1 The map relation of for-loops}
+
+    Translating [for $x in e1 return e2] expands each row of
+    [e1]'s table into a fresh inner iteration. *)
+
+type expansion = {
+  inner_loop : int array;     (** [0 .. n-1] for [n] rows of the source *)
+  outer_of_inner : int array; (** maps inner iter -> outer iter *)
+  var_table : t;              (** the loop variable: one item per inner iter *)
+  pos_table : t;              (** positional variable [at $p]: 1-based *)
+}
+
+(** [expand t] builds the for-loop expansion of binding sequence [t]. *)
+val expand : t -> expansion
+
+(** [lift t ~outer_of_inner] re-distributes a table over the inner
+    loop: inner iteration [i] receives the sequence that [t] assigns
+    to [outer_of_inner.(i)].  Linear merge; requires [outer_of_inner]
+    non-decreasing (which {!expand} guarantees). *)
+val lift : t -> outer_of_inner:int array -> t
+
+(** [backmap t ~outer_of_inner] renames inner iters back to outer
+    iters, concatenating the inner sequences in inner-iter order —
+    the return clause of the FLWOR translation. *)
+val backmap : t -> outer_of_inner:int array -> t
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/store/blob.ml: Buffer Fun Int64 List Printf Standoff_interval String

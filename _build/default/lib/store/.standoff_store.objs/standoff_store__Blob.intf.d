@@ -1,0 +1,1 @@
+lib/store/blob.mli: Standoff_interval

@@ -1,0 +1,1 @@
+lib/store/collection.ml: Blob Doc Hashtbl Printf Standoff_util

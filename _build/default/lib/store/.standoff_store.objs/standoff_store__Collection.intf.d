@@ -1,0 +1,1 @@
+lib/store/collection.mli: Blob Doc

@@ -1,0 +1,1 @@
+lib/store/doc.ml: Array Buffer Format Hashtbl List Name_pool Printf Standoff_util Standoff_xml

@@ -1,0 +1,1 @@
+lib/store/doc.mli: Format Hashtbl Name_pool Standoff_xml

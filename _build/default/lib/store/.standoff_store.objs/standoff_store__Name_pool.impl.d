@@ -1,0 +1,1 @@
+lib/store/name_pool.ml: Hashtbl Printf Standoff_util

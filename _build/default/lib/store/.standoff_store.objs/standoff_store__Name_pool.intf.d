@@ -1,0 +1,1 @@
+lib/store/name_pool.mli:

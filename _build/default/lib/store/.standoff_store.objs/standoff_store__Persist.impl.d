@@ -1,0 +1,1 @@
+lib/store/persist.ml: Array Blob Collection Doc Fun List Name_pool Printf Standoff_util String

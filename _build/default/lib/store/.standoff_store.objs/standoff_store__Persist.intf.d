@@ -1,0 +1,1 @@
+lib/store/persist.mli: Collection Doc

@@ -1,0 +1,51 @@
+module Region = Standoff_interval.Region
+module Area = Standoff_interval.Area
+
+type t = {
+  blob_name : string;
+  buf : Buffer.t;
+}
+
+let create ~name () = { blob_name = name; buf = Buffer.create 4096 }
+
+let of_string ~name s =
+  let b = create ~name () in
+  Buffer.add_string b.buf s;
+  b
+
+let name b = b.blob_name
+let length b = Int64.of_int (Buffer.length b.buf)
+
+let append b s =
+  if String.length s = 0 then invalid_arg "Blob.append: empty content";
+  let start = Buffer.length b.buf in
+  Buffer.add_string b.buf s;
+  Region.make (Int64.of_int start) (Int64.of_int (start + String.length s - 1))
+
+let read b region =
+  let start = Int64.to_int (Region.start_pos region) in
+  let stop = Int64.to_int (Region.end_pos region) in
+  if start < 0 || stop >= Buffer.length b.buf then
+    invalid_arg
+      (Printf.sprintf "Blob.read: region %s outside blob %s (length %d)"
+         (Region.to_string region) b.blob_name (Buffer.length b.buf));
+  Buffer.sub b.buf start (stop - start + 1)
+
+let read_area b area =
+  String.concat "" (List.map (read b) (Area.regions area))
+
+let contents b = Buffer.contents b.buf
+
+let to_file b path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc b.buf)
+
+let of_file ~name path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string ~name (really_input_string ic len))

@@ -1,0 +1,45 @@
+(** BLOB storage: the annotated objects themselves (paper §2).
+
+    A blob is an append-only byte buffer addressed by 64-bit positions;
+    stand-off regions in annotation documents point into it.  All join
+    algorithms treat blob content as opaque — the blob only matters
+    when a query (or an example program) wants to {e show} the matched
+    portion of the underlying object. *)
+
+type t
+
+(** [create ~name ()] is an empty blob. *)
+val create : name:string -> unit -> t
+
+(** [of_string ~name s] wraps existing content. *)
+val of_string : name:string -> string -> t
+
+(** [name b] is the blob's name. *)
+val name : t -> string
+
+(** [length b] is the current size in bytes. *)
+val length : t -> int64
+
+(** [append b s] appends [s] and returns the region the new bytes
+    occupy ([\[old_length, old_length + |s| - 1\]]).
+    @raise Invalid_argument when [s] is empty (a region cannot be
+    empty under the closed-interval model). *)
+val append : t -> string -> Standoff_interval.Region.t
+
+(** [read b region] is the bytes covered by [region].
+    @raise Invalid_argument if the region reaches past the end. *)
+val read : t -> Standoff_interval.Region.t -> string
+
+(** [read_area b area] concatenates the bytes of each region of the
+    area in order — e.g. re-assembling a file from scattered disk
+    blocks. *)
+val read_area : t -> Standoff_interval.Area.t -> string
+
+(** [contents b] is the whole blob as a string. *)
+val contents : t -> string
+
+(** [to_file b path] writes the blob to disk. *)
+val to_file : t -> string -> unit
+
+(** [of_file ~name path] loads a blob from disk. *)
+val of_file : name:string -> string -> t

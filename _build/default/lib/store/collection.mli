@@ -1,0 +1,66 @@
+(** Document collections and global node handles.
+
+    StandOff steps, like all XPath steps, match only nodes from the
+    same XML fragment (paper §3.3); the collection supplies the
+    [doc_id] that the join algorithms partition on.  Global document
+    order is [(doc_id, pre)] lexicographic. *)
+
+type t
+
+type node = {
+  doc_id : int;
+  pre : int;
+}
+(** A node handle valid within one collection. *)
+
+(** [compare_node a b] is document order across the collection. *)
+val compare_node : node -> node -> int
+
+(** [create ()] is an empty collection. *)
+val create : unit -> t
+
+(** [add coll doc] registers [doc] and returns its id.
+    @raise Invalid_argument if a document with the same name exists. *)
+val add : t -> Doc.t -> int
+
+(** [add_blob coll blob] registers a BLOB under its name.
+    @raise Invalid_argument on duplicate names. *)
+val add_blob : t -> Blob.t -> unit
+
+(** [doc coll id] is the document with id [id].
+    @raise Invalid_argument on an unknown id. *)
+val doc : t -> int -> Doc.t
+
+(** [doc_id_of_name coll name] looks a document up by name. *)
+val doc_id_of_name : t -> string -> int option
+
+(** [blob coll name] looks a BLOB up by name. *)
+val blob : t -> string -> Blob.t option
+
+(** [doc_count coll] is the number of registered documents. *)
+val doc_count : t -> int
+
+(** [root_node coll id] is the handle of document [id]'s document
+    node. *)
+val root_node : t -> int -> node
+
+(** [load_string coll ~name s] parses, shreds and registers a document
+    in one step, returning its id. *)
+val load_string : t -> name:string -> string -> int
+
+(** [fold_docs f acc coll] folds over [(id, doc)] pairs in id order. *)
+val fold_docs : ('acc -> int -> Doc.t -> 'acc) -> 'acc -> t -> 'acc
+
+(** [fold_blobs f acc coll] folds over registered BLOBs (unspecified
+    order). *)
+val fold_blobs : ('acc -> Blob.t -> 'acc) -> 'acc -> t -> 'acc
+
+(** [checkpoint coll] marks the current document count so documents
+    registered later (e.g. nodes constructed during one query run) can
+    be dropped again with {!rollback}. *)
+val checkpoint : t -> int
+
+(** [rollback coll mark] unregisters every document added after
+    [checkpoint] returned [mark].  Node handles into those documents
+    become invalid. *)
+val rollback : t -> int -> unit

@@ -1,0 +1,24 @@
+(** Interned qualified names.
+
+    The shredded store keeps element/attribute names as small integers;
+    this pool maps between the two representations.  Ids are dense and
+    allocation-ordered, so they can index arrays directly. *)
+
+type t
+
+(** [create ()] is an empty pool. *)
+val create : unit -> t
+
+(** [intern pool s] returns the id of [s], allocating one on first
+    sight. *)
+val intern : t -> string -> int
+
+(** [find pool s] is the id of [s] if already interned. *)
+val find : t -> string -> int option
+
+(** [name pool id] is the string for [id].
+    @raise Invalid_argument on an unknown id. *)
+val name : t -> int -> string
+
+(** [count pool] is the number of distinct interned names. *)
+val count : t -> int

@@ -1,0 +1,174 @@
+module Codec = Standoff_util.Codec
+
+exception Corrupt of string
+
+let magic = "SODB"
+let version = 1
+
+let kind_to_byte = function
+  | Doc.Document -> 0
+  | Doc.Element -> 1
+  | Doc.Text -> 2
+  | Doc.Comment -> 3
+  | Doc.Pi -> 4
+
+let kind_of_byte = function
+  | 0 -> Doc.Document
+  | 1 -> Doc.Element
+  | 2 -> Doc.Text
+  | 3 -> Doc.Comment
+  | 4 -> Doc.Pi
+  | b -> raise (Corrupt (Printf.sprintf "unknown node kind %d" b))
+
+let write_doc w (d : Doc.t) =
+  let open Codec.Writer in
+  string w d.Doc.doc_name;
+  let pool_size =
+    (* Name ids are dense and allocation-ordered; the largest id in use
+       bounds the pool slice we must persist. *)
+    let biggest = ref (-1) in
+    Array.iter (fun id -> if id > !biggest then biggest := id) d.Doc.name;
+    Array.iter (fun id -> if id > !biggest then biggest := id) d.Doc.attr_name;
+    !biggest + 1
+  in
+  string_array w
+    (Array.init pool_size (fun id -> Name_pool.name d.Doc.names id));
+  varint w (Array.length d.Doc.kind);
+  Array.iter (fun k -> byte w (kind_to_byte k)) d.Doc.kind;
+  int_array w d.Doc.size;
+  int_array w d.Doc.level;
+  int_array w d.Doc.parent;
+  int_array w d.Doc.name;
+  string_array w d.Doc.value;
+  int_array w d.Doc.attr_owner;
+  int_array w d.Doc.attr_name;
+  string_array w d.Doc.attr_value
+
+let read_doc r =
+  let open Codec.Reader in
+  let doc_name = string r in
+  let names = string_array r in
+  let n = varint r in
+  if n < 0 then raise (Corrupt "negative node count");
+  let kind = Array.init n (fun _ -> kind_of_byte (byte r)) in
+  let size = int_array r in
+  let level = int_array r in
+  let parent = int_array r in
+  let name = int_array r in
+  let value = string_array r in
+  let attr_owner = int_array r in
+  let attr_name = int_array r in
+  let attr_value = string_array r in
+  try
+    Doc.of_columns ~doc_name ~names ~kind ~size ~level ~parent ~name ~value
+      ~attr_owner ~attr_name ~attr_value
+  with Failure msg -> raise (Corrupt msg)
+
+(* Header: magic, version, section tag; trailer: checksum of the
+   payload between them. *)
+let seal ~tag payload =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w magic;
+  Codec.Writer.varint w version;
+  Codec.Writer.string w tag;
+  Codec.Writer.string w payload;
+  Codec.Writer.varint w (Codec.fletcher32 payload);
+  Codec.Writer.contents w
+
+let unseal ~tag s =
+  let module R = Codec.Reader in
+  try
+    let r = R.create s in
+    if R.string r <> magic then raise (Corrupt "bad magic");
+    let v = R.varint r in
+    if v <> version then
+      raise (Corrupt (Printf.sprintf "unsupported version %d" v));
+    let t = R.string r in
+    if t <> tag then
+      raise (Corrupt (Printf.sprintf "expected a %s file, found %s" tag t));
+    let payload = R.string r in
+    let sum = R.varint r in
+    if not (R.at_end r) then raise (Corrupt "trailing bytes");
+    if sum <> Codec.fletcher32 payload then
+      raise (Corrupt "checksum mismatch");
+    payload
+  with Codec.Reader.Corrupt msg -> raise (Corrupt msg)
+
+let doc_to_string d =
+  let w = Codec.Writer.create () in
+  write_doc w d;
+  seal ~tag:"document" (Codec.Writer.contents w)
+
+let doc_of_string s =
+  let payload = unseal ~tag:"document" s in
+  let r = Codec.Reader.create payload in
+  try
+    let d = read_doc r in
+    if not (Codec.Reader.at_end r) then raise (Corrupt "trailing document bytes");
+    d
+  with Codec.Reader.Corrupt msg -> raise (Corrupt msg)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_doc d path = write_file path (doc_to_string d)
+let load_doc path = doc_of_string (read_file path)
+
+let save_collection coll path =
+  let w = Codec.Writer.create () in
+  let docs =
+    Collection.fold_docs (fun acc _ d -> d :: acc) [] coll |> List.rev
+  in
+  Codec.Writer.varint w (List.length docs);
+  List.iter
+    (fun d ->
+      let dw = Codec.Writer.create () in
+      write_doc dw d;
+      Codec.Writer.string w (Codec.Writer.contents dw))
+    docs;
+  let blobs = Collection.fold_blobs (fun acc b -> b :: acc) [] coll in
+  let blobs =
+    List.sort (fun a b -> String.compare (Blob.name a) (Blob.name b)) blobs
+  in
+  Codec.Writer.varint w (List.length blobs);
+  List.iter
+    (fun b ->
+      Codec.Writer.string w (Blob.name b);
+      Codec.Writer.string w (Blob.contents b))
+    blobs;
+  write_file path (seal ~tag:"collection" (Codec.Writer.contents w))
+
+let load_collection path =
+  let payload = unseal ~tag:"collection" (read_file path) in
+  let r = Codec.Reader.create payload in
+  try
+    let coll = Collection.create () in
+    let ndocs = Codec.Reader.varint r in
+    if ndocs < 0 then raise (Corrupt "negative document count");
+    for _ = 1 to ndocs do
+      let doc_payload = Codec.Reader.string r in
+      let dr = Codec.Reader.create doc_payload in
+      let d = read_doc dr in
+      if not (Codec.Reader.at_end dr) then
+        raise (Corrupt "trailing document bytes");
+      ignore (Collection.add coll d)
+    done;
+    let nblobs = Codec.Reader.varint r in
+    if nblobs < 0 then raise (Corrupt "negative blob count");
+    for _ = 1 to nblobs do
+      let name = Codec.Reader.string r in
+      let contents = Codec.Reader.string r in
+      Collection.add_blob coll (Blob.of_string ~name contents)
+    done;
+    if not (Codec.Reader.at_end r) then raise (Corrupt "trailing bytes");
+    coll
+  with Codec.Reader.Corrupt msg -> raise (Corrupt msg)

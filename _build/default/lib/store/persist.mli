@@ -1,0 +1,35 @@
+(** Binary persistence of shredded documents, BLOBs and whole
+    collections.
+
+    A stored document keeps the columnar shredded form (paper §4.1), so
+    loading skips parsing and re-shredding entirely — the database
+    workflow of MonetDB/XQuery, where documents are shredded once at
+    import.  Region indexes are rebuilt lazily on first StandOff query,
+    as they are derived data under a per-query configuration.
+
+    Format: magic + version, an LEB128/zig-zag encoded payload (see
+    {!Standoff_util.Codec}), and a Fletcher-32 checksum.  Loading
+    validates both the checksum and the structural invariants of the
+    pre/size/level encoding. *)
+
+exception Corrupt of string
+(** Raised when loading malformed, truncated or checksum-failing
+    input. *)
+
+(** [doc_to_string d] / [doc_of_string s] encode one document. *)
+val doc_to_string : Doc.t -> string
+
+val doc_of_string : string -> Doc.t
+
+(** [save_doc d path] / [load_doc path] — file variants. *)
+val save_doc : Doc.t -> string -> unit
+
+val load_doc : string -> Doc.t
+
+(** [save_collection coll path] writes every document and BLOB of the
+    collection into one database file. *)
+val save_collection : Collection.t -> string -> unit
+
+(** [load_collection path] reassembles the collection (document ids are
+    re-assigned densely in the saved order). *)
+val load_collection : string -> Collection.t

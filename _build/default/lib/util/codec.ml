@@ -1,0 +1,102 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let byte w b = Buffer.add_char w (Char.chr (b land 0xFF))
+
+  let rec uvarint64 w (v : int64) =
+    let low = Int64.to_int (Int64.logand v 0x7FL) in
+    let rest = Int64.shift_right_logical v 7 in
+    if Int64.equal rest 0L then byte w low
+    else begin
+      byte w (low lor 0x80);
+      uvarint64 w rest
+    end
+
+  (* Zig-zag: small magnitudes of either sign stay short. *)
+  let varint64 w v =
+    uvarint64 w (Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63))
+
+  let varint w i = varint64 w (Int64.of_int i)
+
+  let string w s =
+    varint w (String.length s);
+    Buffer.add_string w s
+
+  let int_array w a =
+    varint w (Array.length a);
+    Array.iter (varint w) a
+
+  let string_array w a =
+    varint w (Array.length a);
+    Array.iter (string w) a
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = {
+    src : string;
+    mutable off : int;
+  }
+
+  exception Corrupt of string
+
+  let create src = { src; off = 0 }
+
+  let byte r =
+    if r.off >= String.length r.src then raise (Corrupt "unexpected end of input");
+    let b = Char.code r.src.[r.off] in
+    r.off <- r.off + 1;
+    b
+
+  let uvarint64 r =
+    let rec loop shift acc =
+      if shift > 63 then raise (Corrupt "varint too long");
+      let b = byte r in
+      let acc =
+        Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift)
+      in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+    in
+    loop 0 0L
+
+  let varint64 r =
+    let u = uvarint64 r in
+    Int64.logxor (Int64.shift_right_logical u 1) (Int64.neg (Int64.logand u 1L))
+
+  let varint r = Int64.to_int (varint64 r)
+
+  let string r =
+    let n = varint r in
+    if n < 0 || r.off + n > String.length r.src then
+      raise (Corrupt "bad string length");
+    let s = String.sub r.src r.off n in
+    r.off <- r.off + n;
+    s
+
+  let checked_length r =
+    let n = varint r in
+    if n < 0 || n > String.length r.src - r.off then
+      raise (Corrupt "bad array length");
+    n
+
+  let int_array r =
+    let n = checked_length r in
+    Array.init n (fun _ -> varint r)
+
+  let string_array r =
+    let n = checked_length r in
+    Array.init n (fun _ -> string r)
+
+  let at_end r = r.off = String.length r.src
+end
+
+let fletcher32 s =
+  let a = ref 0 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65535;
+      b := (!b + !a) mod 65535)
+    s;
+  (!b lsl 16) lor !a

@@ -1,0 +1,55 @@
+(** Binary encoding primitives for the persistence layer.
+
+    Little-endian, with LEB128 variable-length integers (zig-zag for
+    signed values) so the columnar document tables stay compact: pre
+    ranks, sizes and levels are small, and region positions cluster. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  (** [byte w b] writes one byte (0-255). *)
+  val byte : t -> int -> unit
+
+  (** [varint w i] writes a signed OCaml int (zig-zag LEB128). *)
+  val varint : t -> int -> unit
+
+  (** [varint64 w i] writes a signed 64-bit value. *)
+  val varint64 : t -> int64 -> unit
+
+  (** [string w s] writes a length-prefixed string. *)
+  val string : t -> string -> unit
+
+  (** [int_array w a] writes a length-prefixed array of varints. *)
+  val int_array : t -> int array -> unit
+
+  (** [string_array w a] writes a length-prefixed array of strings. *)
+  val string_array : t -> string array -> unit
+
+  (** [contents w] is everything written so far. *)
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Corrupt of string
+  (** Raised on truncated input or malformed encodings. *)
+
+  (** [create s] reads from [s], starting at offset 0. *)
+  val create : string -> t
+
+  val byte : t -> int
+  val varint : t -> int
+  val varint64 : t -> int64
+  val string : t -> string
+  val int_array : t -> int array
+  val string_array : t -> string array
+
+  (** [at_end r] is true when every byte has been consumed. *)
+  val at_end : t -> bool
+end
+
+(** [fletcher32 s] is a simple integrity checksum of [s]. *)
+val fletcher32 : string -> int

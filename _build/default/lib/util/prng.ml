@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea, Flood 2014): fast, full-period, and trivially
+   seedable, which is all the synthetic generators need. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let x = Int64.to_int (next_int64 t) land max_int in
+  x mod bound
+
+let int_in_range t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let x = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Prng.choice: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = create (next_int64 t)

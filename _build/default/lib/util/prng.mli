@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All data generators in this repository (XMark documents, synthetic
+    annotation sets, property-test corpora) derive their randomness from
+    this module so that every experiment is reproducible from a seed. *)
+
+type t
+
+(** [create seed] is a fresh generator.  Equal seeds yield equal
+    streams. *)
+val create : int64 -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [next_int64 t] is the next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in_range t lo hi] is a uniform integer in [\[lo, hi\]]
+    (inclusive).
+    @raise Invalid_argument if [lo > hi]. *)
+val int_in_range : t -> int -> int -> int
+
+(** [float t] is a uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [choice t a] is a uniformly chosen element of [a].
+    @raise Invalid_argument on an empty array. *)
+val choice : t -> 'a array -> 'a
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent child generator; the parent
+    advances.  Used to give document sections independent streams so
+    that generation order does not matter. *)
+val split : t -> t

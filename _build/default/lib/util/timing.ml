@@ -1,0 +1,29 @@
+let now () = Unix.gettimeofday ()
+
+type 'a outcome =
+  | Finished of 'a * float
+  | Timed_out of float
+
+exception Deadline_exceeded
+
+type deadline = { expires_at : float }
+(* [infinity] encodes "no deadline"; comparison against it is free. *)
+
+let no_deadline = { expires_at = infinity }
+let deadline_after seconds = { expires_at = now () +. seconds }
+
+let checkpoint d =
+  if d.expires_at <> infinity && now () > d.expires_at then
+    raise Deadline_exceeded
+
+let run_with_timeout ~seconds f =
+  let d = deadline_after seconds in
+  let t0 = now () in
+  match f d with
+  | v -> Finished (v, now () -. t0)
+  | exception Deadline_exceeded -> Timed_out (now () -. t0)
+
+let time f =
+  let t0 = now () in
+  let v = f () in
+  (v, now () -. t0)

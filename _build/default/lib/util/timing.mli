@@ -1,0 +1,35 @@
+(** Wall-clock measurement with a cooperative timeout, used by the
+    benchmark harness to reproduce the paper's DNF ("did not finish
+    within an hour") protocol at laptop scale. *)
+
+(** [now ()] is the current wall-clock time in seconds. *)
+val now : unit -> float
+
+(** Result of running a measured computation under a deadline. *)
+type 'a outcome =
+  | Finished of 'a * float  (** value and elapsed seconds *)
+  | Timed_out of float      (** gave up after this many seconds *)
+
+(** Raised by {!checkpoint} when the deadline has passed. *)
+exception Deadline_exceeded
+
+(** A deadline token to thread through long-running algorithms. *)
+type deadline
+
+(** [no_deadline] never fires. *)
+val no_deadline : deadline
+
+(** [deadline_after seconds] fires [seconds] from now. *)
+val deadline_after : float -> deadline
+
+(** [checkpoint d] raises {!Deadline_exceeded} if [d] has passed.
+    Cheap enough to call every few thousand loop iterations. *)
+val checkpoint : deadline -> unit
+
+(** [run_with_timeout ~seconds f] runs [f ()], which must itself call
+    {!checkpoint} on the deadline it receives, and reports either its
+    value or a timeout. *)
+val run_with_timeout : seconds:float -> (deadline -> 'a) -> 'a outcome
+
+(** [time f] is [(f (), elapsed_seconds)]. *)
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,133 @@
+(* The backing store is an [Obj.t array]: its representation is fixed
+   by its static type, so the vector is safe for every element type —
+   including [float], which a naive ['a array] with a dummy value would
+   corrupt through the flat float-array optimisation.  Elements are
+   boxed exactly as the surrounding code created them; ints stay
+   immediate. *)
+type 'a t = {
+  mutable data : Obj.t array;
+  mutable len : int;
+}
+
+let nil = Obj.repr 0
+
+let create () = { data = [||]; len = 0 }
+
+let with_capacity n =
+  if n <= 0 then create () else { data = Array.make n nil; len = 0 }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (len %d)" i v.len)
+
+let get (type a) (v : a t) i : a =
+  check v i;
+  Obj.obj (Array.unsafe_get v.data i)
+
+let set (type a) (v : a t) i (x : a) =
+  check v i;
+  Array.unsafe_set v.data i (Obj.repr x)
+
+let grow v needed =
+  let cap = Array.length v.data in
+  if needed > cap then begin
+    let new_cap = max needed (max 8 (2 * cap)) in
+    let data = Array.make new_cap nil in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push (type a) (v : a t) (x : a) =
+  grow v (v.len + 1);
+  Array.unsafe_set v.data v.len (Obj.repr x);
+  v.len <- v.len + 1
+
+let pop (type a) (v : a t) : a =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = Array.unsafe_get v.data v.len in
+  (* Avoid keeping the popped element alive through the backing array. *)
+  Array.unsafe_set v.data v.len nil;
+  Obj.obj x
+
+let last (type a) (v : a t) : a =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  Obj.obj (Array.unsafe_get v.data (v.len - 1))
+
+let clear v = v.len <- 0
+
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate";
+  v.len <- n
+
+let remove v i =
+  check v i;
+  Array.blit v.data (i + 1) v.data i (v.len - i - 1);
+  v.len <- v.len - 1
+
+let insert (type a) (v : a t) i (x : a) =
+  if i < 0 || i > v.len then invalid_arg "Vec.insert";
+  grow v (v.len + 1);
+  Array.blit v.data i v.data (i + 1) (v.len - i);
+  Array.unsafe_set v.data i (Obj.repr x);
+  v.len <- v.len + 1
+
+let to_array (type a) (v : a t) : a array =
+  Array.init v.len (fun i -> Obj.obj (Array.unsafe_get v.data i))
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (get v i :: acc) in
+  loop (v.len - 1) []
+
+let of_array (type a) (a : a array) : a t =
+  {
+    data = Array.init (Array.length a) (fun i -> Obj.repr a.(i));
+    len = Array.length a;
+  }
+
+let of_list l = of_array (Array.of_list l)
+
+let iter (type a) (f : a -> unit) (v : a t) =
+  for i = 0 to v.len - 1 do
+    f (Obj.obj (Array.unsafe_get v.data i))
+  done
+
+let iteri (type a) (f : int -> a -> unit) (v : a t) =
+  for i = 0 to v.len - 1 do
+    f i (Obj.obj (Array.unsafe_get v.data i))
+  done
+
+let fold_left (type a) f acc (v : a t) =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Obj.obj (Array.unsafe_get v.data i) : a)
+  done;
+  !acc
+
+let map f v =
+  let out = with_capacity v.len in
+  iter (fun x -> push out (f x)) v;
+  out
+
+let exists p v =
+  let rec loop i = i < v.len && (p (get v i) || loop (i + 1)) in
+  loop 0
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  for i = 0 to v.len - 1 do
+    Array.unsafe_set v.data i (Obj.repr a.(i))
+  done
+
+let stable_sort cmp v =
+  let a = to_array v in
+  Array.stable_sort cmp a;
+  for i = 0 to v.len - 1 do
+    Array.unsafe_set v.data i (Obj.repr a.(i))
+  done
+
+let append dst src = iter (fun x -> push dst x) src

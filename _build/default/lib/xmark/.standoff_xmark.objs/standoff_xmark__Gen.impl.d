@@ -1,0 +1,1 @@
+lib/xmark/gen.ml: Array Buffer Float List Printf Standoff_util Standoff_xml Vocab

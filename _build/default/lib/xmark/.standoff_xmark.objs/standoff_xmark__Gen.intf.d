@@ -1,0 +1,1 @@
+lib/xmark/gen.mli: Standoff_xml

@@ -1,0 +1,1 @@
+lib/xmark/setup.ml: Gen Printf Standoff_store Standoff_xml Standoff_xquery Standoffify String

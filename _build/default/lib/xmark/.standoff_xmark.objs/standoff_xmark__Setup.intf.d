@@ -1,0 +1,1 @@
+lib/xmark/setup.mli: Standoff_store Standoff_xquery

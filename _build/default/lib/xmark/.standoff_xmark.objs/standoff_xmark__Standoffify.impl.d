@@ -1,0 +1,1 @@
+lib/xmark/standoffify.ml: Array Buffer List Standoff_util Standoff_xml

@@ -1,0 +1,1 @@
+lib/xmark/standoffify.mli: Standoff_xml

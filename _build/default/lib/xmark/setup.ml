@@ -1,0 +1,44 @@
+module Doc = Standoff_store.Doc
+module Collection = Standoff_store.Collection
+module Blob = Standoff_store.Blob
+module Engine = Standoff_xquery.Engine
+
+type t = {
+  engine : Engine.t;
+  coll : Collection.t;
+  standard_doc : string;
+  standoff_doc : string;
+  blob_name : string;
+  scale : float;
+  serialized_size : int;
+}
+
+let build ?(seed = 20060630L) ?permute ?(with_standard = true) ~scale () =
+  let dom = Gen.generate { Gen.scale; seed } in
+  let serialized_size =
+    String.length (Standoff_xml.Serializer.to_string dom)
+  in
+  let transformed = Standoffify.transform ?permute dom in
+  let coll = Collection.create () in
+  let standard_doc = Printf.sprintf "xmark-%g.xml" scale in
+  let standoff_doc = Printf.sprintf "xmark-standoff-%g.xml" scale in
+  let blob_name = Printf.sprintf "xmark-%g.blob" scale in
+  if with_standard then
+    ignore (Collection.add coll (Doc.of_dom ~name:standard_doc dom));
+  ignore
+    (Collection.add coll (Doc.of_dom ~name:standoff_doc transformed.Standoffify.doc));
+  Collection.add_blob coll (Blob.of_string ~name:blob_name transformed.Standoffify.blob);
+  {
+    engine = Engine.create coll;
+    coll;
+    standard_doc;
+    standoff_doc;
+    blob_name;
+    scale;
+    serialized_size;
+  }
+
+let size_label bytes =
+  if bytes >= 1_000_000 then Printf.sprintf "%dMB" (bytes / 1_000_000)
+  else if bytes >= 1_000 then Printf.sprintf "%dKB" (bytes / 1_000)
+  else Printf.sprintf "%dB" bytes

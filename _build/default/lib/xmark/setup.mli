@@ -1,0 +1,25 @@
+(** One-call construction of the paper's experimental setup: generate
+    an XMark document at a scale factor, run the StandOff
+    transformation, shred both versions, and register them (plus the
+    BLOB) in a collection behind a query engine. *)
+
+type t = {
+  engine : Standoff_xquery.Engine.t;
+  coll : Standoff_store.Collection.t;
+  standard_doc : string;  (** name of the untransformed document *)
+  standoff_doc : string;  (** name of the stand-off document *)
+  blob_name : string;
+  scale : float;
+  serialized_size : int;  (** bytes of the standard serialized form *)
+}
+
+(** [build ?seed ?permute ?with_standard ~scale ()] generates and loads
+    everything.  [with_standard] (default [true]) also shreds the
+    untransformed document (needed for the Staircase-Join comparison
+    benchmark, not for Figure 6). *)
+val build :
+  ?seed:int64 -> ?permute:bool -> ?with_standard:bool -> scale:float -> unit -> t
+
+(** [size_label bytes] renders a Figure 6 style size label, e.g.
+    ["11MB"]. *)
+val size_label : int -> string

@@ -1,0 +1,79 @@
+module Dom = Standoff_xml.Dom
+module Prng = Standoff_util.Prng
+
+type result = {
+  doc : Dom.document;
+  blob : string;
+}
+
+(* Pass 1: move text into the blob and annotate extents.  Each element
+   is guaranteed a non-empty region: if its subtree contributed no
+   bytes, one separator byte is emitted on its behalf. *)
+let rec annotate buf node =
+  match node with
+  | Dom.Text s ->
+      Buffer.add_string buf s;
+      None
+  | Dom.Comment _ | Dom.Pi _ -> Some node
+  | Dom.Element e ->
+      let start = Buffer.length buf in
+      let children = List.filter_map (annotate buf) e.Dom.children in
+      if Buffer.length buf = start then Buffer.add_char buf '\n';
+      let stop = Buffer.length buf - 1 in
+      let e =
+        Dom.with_attr
+          (Dom.with_attr { e with Dom.children } "start" (string_of_int start))
+          "end" (string_of_int stop)
+      in
+      Some (Dom.Element e)
+
+(* Pass 2: coarse permutation.  The grandchildren of the root (the
+   entity subtrees) are collected, shuffled, and dealt back across the
+   root's children, so most entities end up under a different section
+   element than in the original tree. *)
+let permute_coarse ~seed root =
+  let rng = Prng.create seed in
+  let sections = root.Dom.children in
+  let entities =
+    List.concat_map
+      (function
+        | Dom.Element s -> s.Dom.children
+        | (Dom.Text _ | Dom.Comment _ | Dom.Pi _) as other -> [ other ])
+      sections
+  in
+  let shuffled = Array.of_list entities in
+  Prng.shuffle rng shuffled;
+  let n_sections =
+    List.length
+      (List.filter (function Dom.Element _ -> true | _ -> false) sections)
+  in
+  if n_sections = 0 then root
+  else begin
+    let buckets = Array.make n_sections [] in
+    Array.iteri
+      (fun i entity -> buckets.(i mod n_sections) <- entity :: buckets.(i mod n_sections))
+      shuffled;
+    let idx = ref 0 in
+    let children =
+      List.map
+        (fun section ->
+          match section with
+          | Dom.Element s ->
+              let mine = List.rev buckets.(!idx) in
+              incr idx;
+              Dom.Element { s with Dom.children = mine }
+          | other -> other)
+        sections
+    in
+    { root with Dom.children }
+  end
+
+let transform ?(seed = 42L) ?(permute = true) (dom : Dom.document) =
+  let buf = Buffer.create 65536 in
+  let annotated =
+    match annotate buf (Dom.Element dom.Dom.root) with
+    | Some (Dom.Element root) -> root
+    | Some _ | None -> assert false
+  in
+  let root = if permute then permute_coarse ~seed annotated else annotated in
+  { doc = { dom with Dom.root }; blob = Buffer.contents buf }

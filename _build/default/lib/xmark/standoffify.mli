@@ -1,0 +1,28 @@
+(** The StandOff transformation of §4.6.
+
+    Turns an ordinary XML document into a stand-off annotation document
+    plus a BLOB:
+
+    - the textual content moves to the BLOB, in document order;
+    - every element receives [start]/[end] attributes covering the
+      byte extent its text occupied (elements without own text consume
+      one separator byte, so every region is non-degenerate);
+    - text nodes are dropped from the annotation document;
+    - the element nodes are {e permuted on a coarse level}: the
+      subtrees two levels below the root (items, persons, auctions,
+      categories) are shuffled and redistributed across the top-level
+      sections, destroying parent-child relationships — after the
+      transformation only the regions relate the annotations, so
+      [child]/[descendant] steps give wrong answers and the queries
+      must use [select-narrow] (the paper's point). *)
+
+type result = {
+  doc : Standoff_xml.Dom.document;  (** the annotation document *)
+  blob : string;                    (** the extracted content *)
+}
+
+(** [transform ?seed ?permute dom] runs the transformation.  [permute]
+    (default [true]) controls the coarse permutation; [seed] (default
+    [42L]) drives it deterministically. *)
+val transform :
+  ?seed:int64 -> ?permute:bool -> Standoff_xml.Dom.document -> result

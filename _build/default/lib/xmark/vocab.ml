@@ -1,0 +1,62 @@
+(** Word material for the XMark generator.
+
+    The original xmlgen fills text with Shakespeare vocabulary; any
+    fixed word pool with a similar size distribution preserves what the
+    benchmark queries observe (element counts and text volume), which
+    is all Figure 6 depends on. *)
+
+let words =
+  [|
+    "gold"; "silver"; "ancient"; "painting"; "vintage"; "rare"; "antique";
+    "ivory"; "marble"; "bronze"; "portrait"; "landscape"; "signed"; "first";
+    "edition"; "manuscript"; "ceramic"; "porcelain"; "jade"; "amber";
+    "carved"; "engraved"; "restored"; "original"; "authentic"; "certified";
+    "museum"; "quality"; "estate"; "collection"; "private"; "auction";
+    "reserve"; "bidding"; "shipping"; "worldwide"; "insured"; "tracked";
+    "condition"; "excellent"; "mint"; "fine"; "good"; "fair"; "damaged";
+    "repaired"; "century"; "dynasty"; "period"; "style"; "school"; "master";
+    "workshop"; "attributed"; "circle"; "follower"; "after"; "unknown";
+    "artist"; "maker"; "silk"; "linen"; "canvas"; "panel"; "paper"; "velvet";
+    "oak"; "walnut"; "mahogany"; "ebony"; "gilt"; "lacquer"; "enamel";
+    "crystal"; "glass"; "pearl"; "diamond"; "ruby"; "emerald"; "sapphire";
+    "watch"; "clock"; "jewel"; "ring"; "brooch"; "necklace"; "pendant";
+    "coin"; "medal"; "stamp"; "map"; "globe"; "telescope"; "compass";
+    "sextant"; "model"; "ship"; "train"; "carriage"; "armour"; "sword";
+  |]
+
+let first_names =
+  [|
+    "Ada"; "Alan"; "Barbara"; "Claude"; "Donald"; "Edsger"; "Frances";
+    "Grace"; "Hedy"; "John"; "Katherine"; "Kurt"; "Leslie"; "Margaret";
+    "Niklaus"; "Peter"; "Radia"; "Robin"; "Tim"; "Wouter"; "Arjen";
+    "Raoul"; "Maurice"; "Rosalind"; "Sophie"; "Vera";
+  |]
+
+let last_names =
+  [|
+    "Lovelace"; "Turing"; "Liskov"; "Shannon"; "Knuth"; "Dijkstra";
+    "Allen"; "Hopper"; "Lamarr"; "Backus"; "Johnson"; "Goedel"; "Lamport";
+    "Hamilton"; "Wirth"; "Naur"; "Perlman"; "Milner"; "Berners-Lee";
+    "Alink"; "Vries"; "Boncz"; "Wilkes"; "Franklin"; "Germain"; "Rubin";
+  |]
+
+let cities =
+  [|
+    "Amsterdam"; "The Hague"; "Chicago"; "Toronto"; "Twente"; "Paris";
+    "Berlin"; "Kyoto"; "Nairobi"; "Lima"; "Sydney"; "Mumbai"; "Cairo";
+    "Oslo"; "Porto"; "Quebec";
+  |]
+
+let countries =
+  [|
+    "Netherlands"; "United States"; "Canada"; "France"; "Germany"; "Japan";
+    "Kenya"; "Peru"; "Australia"; "India"; "Egypt"; "Norway"; "Portugal";
+  |]
+
+let regions =
+  [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let education_levels =
+  [| "High School"; "College"; "Graduate School"; "Other" |]
+
+let auction_types = [| "Regular"; "Featured" |]

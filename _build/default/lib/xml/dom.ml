@@ -1,0 +1,135 @@
+type attribute = {
+  attr_name : string;
+  attr_value : string;
+}
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = {
+  prolog : node list;
+  root : element;
+  epilog : node list;
+}
+
+let element ?(attrs = []) tag children =
+  let attrs =
+    List.map (fun (attr_name, attr_value) -> { attr_name; attr_value }) attrs
+  in
+  Element { tag; attrs; children }
+
+let text s = Text s
+
+let document root =
+  match root with
+  | Element e -> { prolog = []; root = e; epilog = [] }
+  | Text _ | Comment _ | Pi _ ->
+      invalid_arg "Dom.document: root must be an element"
+
+let attr el name =
+  List.find_map
+    (fun a -> if String.equal a.attr_name name then Some a.attr_value else None)
+    el.attrs
+
+let with_attr el name value =
+  let replaced = ref false in
+  let attrs =
+    List.map
+      (fun a ->
+        if String.equal a.attr_name name then begin
+          replaced := true;
+          { a with attr_value = value }
+        end
+        else a)
+      el.attrs
+  in
+  let attrs =
+    if !replaced then attrs
+    else attrs @ [ { attr_name = name; attr_value = value } ]
+  in
+  { el with attrs }
+
+let children_elements el =
+  List.filter_map
+    (function Element e -> Some e | Text _ | Comment _ | Pi _ -> None)
+    el.children
+
+let text_content n =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element e -> List.iter go e.children
+    | Comment _ | Pi _ -> ()
+  in
+  go n;
+  Buffer.contents buf
+
+let rec count_nodes = function
+  | Text _ | Comment _ | Pi _ -> 1
+  | Element e -> List.fold_left (fun acc c -> acc + count_nodes c) 1 e.children
+
+let rec equal_node a b =
+  match (a, b) with
+  | Text x, Text y | Comment x, Comment y -> String.equal x y
+  | Pi (t1, d1), Pi (t2, d2) -> String.equal t1 t2 && String.equal d1 d2
+  | Element e1, Element e2 ->
+      String.equal e1.tag e2.tag
+      && List.equal
+           (fun a1 a2 ->
+             String.equal a1.attr_name a2.attr_name
+             && String.equal a1.attr_value a2.attr_value)
+           e1.attrs e2.attrs
+      && List.equal equal_node e1.children e2.children
+  | (Text _ | Comment _ | Pi _ | Element _), _ -> false
+
+let equal d1 d2 =
+  List.equal equal_node d1.prolog d2.prolog
+  && equal_node (Element d1.root) (Element d2.root)
+  && List.equal equal_node d1.epilog d2.epilog
+
+let is_ws_only s =
+  let ok = ref true in
+  String.iter
+    (fun c -> match c with ' ' | '\t' | '\r' | '\n' -> () | _ -> ok := false)
+    s;
+  !ok
+
+let strip_whitespace doc =
+  let rec strip_node = function
+    | Element e ->
+        let children =
+          List.filter_map
+            (fun c ->
+              match c with
+              | Text s when is_ws_only s -> None
+              | c -> Some (strip_node c))
+            e.children
+        in
+        Element { e with children }
+    | (Text _ | Comment _ | Pi _) as n -> n
+  in
+  match strip_node (Element doc.root) with
+  | Element root -> { doc with root }
+  | Text _ | Comment _ | Pi _ -> assert false
+
+let valid_name s =
+  let is_name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let is_name_char c =
+    is_name_start c || (c >= '0' && c <= '9') || c = '.' || c = '-'
+  in
+  String.length s > 0
+  && is_name_start s.[0]
+  && (let ok = ref true in
+      String.iteri (fun i c -> if i > 0 && not (is_name_char c) then ok := false) s;
+      !ok)

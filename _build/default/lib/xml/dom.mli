@@ -1,0 +1,76 @@
+(** In-memory XML trees.
+
+    This DOM is the exchange format between the parser, the generators
+    and the shredded store; query evaluation never runs on it (it runs
+    on the columnar store in [Standoff_store]). *)
+
+type attribute = {
+  attr_name : string;
+  attr_value : string;
+}
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** target, data *)
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = {
+  prolog : node list;  (** comments / processing instructions before the root *)
+  root : element;
+  epilog : node list;  (** comments / processing instructions after the root *)
+}
+
+(** [element ?attrs tag children] builds an element node. *)
+val element : ?attrs:(string * string) list -> string -> node list -> node
+
+(** [text s] builds a text node. *)
+val text : string -> node
+
+(** [document root] wraps a root element (given as [Element e]) into a
+    document with empty prolog/epilog.
+    @raise Invalid_argument if [root] is not an element. *)
+val document : node -> document
+
+(** [attr el name] is the value of attribute [name] on [el], if any. *)
+val attr : element -> string -> string option
+
+(** [with_attr el name value] replaces or adds an attribute. *)
+val with_attr : element -> string -> string -> element
+
+(** [children_elements el] is the element children of [el], in order. *)
+val children_elements : element -> element list
+
+(** [text_content n] concatenates all descendant text of [n], in
+    document order. *)
+val text_content : node -> string
+
+(** [count_nodes n] is the number of nodes in the subtree rooted at
+    [n], counting [n] itself but not attributes. *)
+val count_nodes : node -> int
+
+(** [equal_node a b] is structural equality of subtrees. *)
+val equal_node : node -> node -> bool
+
+(** [equal a b] is structural equality of documents. *)
+val equal : document -> document -> bool
+
+(** [is_ws_only s] tests whether [s] consists of XML whitespace
+    (space, tab, CR, LF) only. *)
+val is_ws_only : string -> bool
+
+(** [strip_whitespace doc] removes whitespace-only text nodes
+    everywhere, the usual preparation step before shredding
+    data-centric documents. *)
+val strip_whitespace : document -> document
+
+(** [valid_name s] checks [s] against the (simplified, ASCII) XML Name
+    production used throughout this repository: a letter, ['_'] or
+    [':'] followed by letters, digits, ['.'], ['-'], ['_'], [':']. *)
+val valid_name : string -> bool

@@ -1,0 +1,411 @@
+exception Parse_error of { line : int; col : int; msg : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+}
+
+let make src = { src; pos = 0; line = 1; bol = 0 }
+
+let fail st msg =
+  raise (Parse_error { line = st.line; col = st.pos - st.bol + 1; msg })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else String.unsafe_get st.src st.pos
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000'
+  else String.unsafe_get st.src (st.pos + 1)
+
+let advance st =
+  if not (eof st) then begin
+    if String.unsafe_get st.src st.pos = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st = c then advance st
+  else fail st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_string st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do
+      advance st
+    done
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let skip_ws st =
+  while (not (eof st)) && is_ws (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '.' || c = '-'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then
+    fail st (Printf.sprintf "expected a name, found %C" (peek st));
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Entity and character references.  The buffer receives the decoded
+   text; character references above 127 are re-encoded as UTF-8. *)
+let add_utf8 buf code st =
+  if code < 0 || code > 0x10FFFF || (code >= 0xD800 && code <= 0xDFFF) then
+    fail st (Printf.sprintf "invalid character reference %d" code);
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_reference st buf =
+  expect st '&';
+  if peek st = '#' then begin
+    advance st;
+    let code =
+      if peek st = 'x' || peek st = 'X' then begin
+        advance st;
+        let start = st.pos in
+        while
+          (not (eof st))
+          &&
+          match peek st with
+          | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+          | _ -> false
+        do
+          advance st
+        done;
+        if st.pos = start then fail st "empty hexadecimal character reference";
+        int_of_string ("0x" ^ String.sub st.src start (st.pos - start))
+      end
+      else begin
+        let start = st.pos in
+        while (not (eof st)) && peek st >= '0' && peek st <= '9' do
+          advance st
+        done;
+        if st.pos = start then fail st "empty character reference";
+        int_of_string (String.sub st.src start (st.pos - start))
+      end
+    in
+    expect st ';';
+    add_utf8 buf code st
+  end
+  else begin
+    let name = parse_name st in
+    expect st ';';
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | other -> fail st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      match peek st with
+      | c when c = quote -> advance st
+      | '&' ->
+          parse_reference st buf;
+          loop ()
+      | '<' -> fail st "'<' not allowed in attribute value"
+      | c ->
+          Buffer.add_char buf c;
+          advance st;
+          loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec loop acc =
+    skip_ws st;
+    if is_name_start (peek st) then begin
+      let attr_name = parse_name st in
+      skip_ws st;
+      expect st '=';
+      skip_ws st;
+      let attr_value = parse_attr_value st in
+      if List.exists (fun a -> String.equal a.Dom.attr_name attr_name) acc then
+        fail st (Printf.sprintf "duplicate attribute %S" attr_name);
+      loop ({ Dom.attr_name; attr_value } :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+let parse_comment st =
+  skip_string st "<!--";
+  let start = st.pos in
+  let rec loop () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "--" then begin
+      let text = String.sub st.src start (st.pos - start) in
+      skip_string st "--";
+      expect st '>';
+      text
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_pi st =
+  skip_string st "<?";
+  let target = parse_name st in
+  skip_ws st;
+  let start = st.pos in
+  let rec loop () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then begin
+      let data = String.sub st.src start (st.pos - start) in
+      skip_string st "?>";
+      data
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  let data = loop () in
+  if String.lowercase_ascii target = "xml" then
+    fail st "reserved PI target 'xml' inside content";
+  Dom.Pi (target, data)
+
+let parse_cdata st buf =
+  skip_string st "<![CDATA[";
+  let rec loop () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then skip_string st "]]>"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Character data up to the next markup; handles references and CDATA
+   coalescing into one text node. *)
+let parse_text st =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if eof st then ()
+    else
+      match peek st with
+      | '<' when looking_at st "<![CDATA[" ->
+          parse_cdata st buf;
+          loop ()
+      | '<' -> ()
+      | '&' ->
+          parse_reference st buf;
+          loop ()
+      | c ->
+          if c = ']' && looking_at st "]]>" then
+            fail st "']]>' not allowed in character data";
+          Buffer.add_char buf c;
+          advance st;
+          loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let rec parse_element st =
+  expect st '<';
+  let tag = parse_name st in
+  let attrs = parse_attributes st in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    skip_string st "/>";
+    { Dom.tag; attrs; children = [] }
+  end
+  else begin
+    expect st '>';
+    let children = parse_content st in
+    skip_string st "</";
+    let close = parse_name st in
+    if not (String.equal close tag) then
+      fail st (Printf.sprintf "mismatched close tag: <%s> closed by </%s>" tag close);
+    skip_ws st;
+    expect st '>';
+    { Dom.tag; attrs; children }
+  end
+
+and parse_content st =
+  let items = ref [] in
+  let push n = items := n :: !items in
+  let rec loop () =
+    if eof st then fail st "unexpected end of input inside element"
+    else if looking_at st "</" then ()
+    else if looking_at st "<!--" then begin
+      push (Dom.Comment (parse_comment st));
+      loop ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      let text = parse_text st in
+      if String.length text > 0 then push (Dom.Text text);
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      push (parse_pi st);
+      loop ()
+    end
+    else if peek st = '<' && peek2 st = '!' then fail st "unexpected '<!'"
+    else if peek st = '<' then begin
+      push (Dom.Element (parse_element st));
+      loop ()
+    end
+    else begin
+      let text = parse_text st in
+      if String.length text > 0 then push (Dom.Text text);
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !items
+
+(* The DOCTYPE declaration is recognised and skipped; a bracketed
+   internal subset is consumed without interpretation. *)
+let skip_doctype st =
+  skip_string st "<!DOCTYPE";
+  let depth = ref 0 in
+  let rec loop () =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' ->
+          incr depth;
+          advance st;
+          loop ()
+      | ']' ->
+          decr depth;
+          advance st;
+          loop ()
+      | '>' when !depth = 0 -> advance st
+      | _ ->
+          advance st;
+          loop ()
+  in
+  loop ()
+
+let parse_misc st acc =
+  (* Comments, PIs and whitespace around the root element. *)
+  let rec loop acc =
+    skip_ws st;
+    if looking_at st "<!--" then loop (Dom.Comment (parse_comment st) :: acc)
+    else if looking_at st "<?" then loop (parse_pi st :: acc)
+    else acc
+  in
+  loop acc
+
+let parse_document st =
+  if looking_at st "<?xml" then begin
+    (* XML declaration: treated as a PI-shaped header and discarded. *)
+    skip_string st "<?xml";
+    let rec loop () =
+      if eof st then fail st "unterminated XML declaration"
+      else if looking_at st "?>" then skip_string st "?>"
+      else begin
+        advance st;
+        loop ()
+      end
+    in
+    loop ()
+  end;
+  let prolog = List.rev (parse_misc st []) in
+  let prolog =
+    if looking_at st "<!DOCTYPE" then begin
+      skip_doctype st;
+      List.rev (parse_misc st (List.rev prolog))
+    end
+    else prolog
+  in
+  if eof st || peek st <> '<' then fail st "expected root element";
+  let root = parse_element st in
+  let epilog = List.rev (parse_misc st []) in
+  skip_ws st;
+  if not (eof st) then fail st "trailing content after document end";
+  { Dom.prolog; root; epilog }
+
+let parse_string s = parse_document (make s)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      parse_string s)
+
+let parse_fragment s =
+  let st = make s in
+  let items = ref [] in
+  let push n = items := n :: !items in
+  let rec loop () =
+    if eof st then ()
+    else if looking_at st "<!--" then begin
+      push (Dom.Comment (parse_comment st));
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      push (parse_pi st);
+      loop ()
+    end
+    else if looking_at st "</" then fail st "unexpected close tag"
+    else if peek st = '<' && peek2 st <> '!' then begin
+      push (Dom.Element (parse_element st));
+      loop ()
+    end
+    else begin
+      let text = parse_text st in
+      if String.length text > 0 then push (Dom.Text text);
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !items
+
+let error_to_string = function
+  | Parse_error { line; col; msg } ->
+      Some (Printf.sprintf "line %d, col %d: %s" line col msg)
+  | _ -> None

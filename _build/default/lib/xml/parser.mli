@@ -1,0 +1,32 @@
+(** A hand-written XML 1.0 parser.
+
+    Supported: elements, attributes (single or double quoted), character
+    data, the five predefined entities plus decimal/hexadecimal
+    character references, CDATA sections, comments, processing
+    instructions, an optional XML declaration, and a DOCTYPE declaration
+    (skipped, including a bracketed internal subset).  Not supported:
+    external entities, namespaces as a separate layer (qualified names
+    are kept verbatim), and non-UTF-8 encodings.
+
+    This is sufficient for every document this repository produces or
+    consumes (stand-off annotation documents, XMark data), and keeping
+    the parser small keeps it auditable. *)
+
+exception Parse_error of { line : int; col : int; msg : string }
+(** Raised on malformed input, with a 1-based source position. *)
+
+(** [parse_string s] parses a complete XML document. *)
+val parse_string : string -> Dom.document
+
+(** [parse_file path] parses the file at [path].
+    @raise Sys_error on I/O failure. *)
+val parse_file : string -> Dom.document
+
+(** [parse_fragment s] parses a sequence of content items (elements,
+    text, comments, PIs) that need not be wrapped in a single root —
+    convenient in tests. *)
+val parse_fragment : string -> Dom.node list
+
+(** [error_to_string e] renders a {!Parse_error} payload as
+    ["line L, col C: msg"]. *)
+val error_to_string : exn -> string option

@@ -1,0 +1,113 @@
+let escape_into buf s ~attr =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | '\t' when attr -> Buffer.add_string buf "&#9;"
+      | '\n' when attr -> Buffer.add_string buf "&#10;"
+      | '\r' -> Buffer.add_string buf "&#13;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf s ~attr:false;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf s ~attr:true;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun { Dom.attr_name; attr_value } ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf attr_name;
+      Buffer.add_string buf "=\"";
+      escape_into buf attr_value ~attr:true;
+      Buffer.add_char buf '"')
+    attrs
+
+let has_text_child el =
+  List.exists (function Dom.Text _ -> true | _ -> false) el.Dom.children
+
+let rec add_node ?indent ~level buf n =
+  let pad () =
+    match indent with
+    | Some w ->
+        if level > 0 || Buffer.length buf > 0 then Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (w * level) ' ')
+    | None -> ()
+  in
+  match n with
+  | Dom.Text s -> escape_into buf s ~attr:false
+  | Dom.Comment s ->
+      pad ();
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "-->"
+  | Dom.Pi (target, data) ->
+      pad ();
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf target;
+      if String.length data > 0 then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf data
+      end;
+      Buffer.add_string buf "?>"
+  | Dom.Element el ->
+      pad ();
+      Buffer.add_char buf '<';
+      Buffer.add_string buf el.tag;
+      add_attrs buf el.attrs;
+      if el.children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        (* Mixed content is serialized without added whitespace so the
+           text round-trips byte-for-byte. *)
+        let child_indent = if has_text_child el then None else indent in
+        List.iter
+          (fun c -> add_node ?indent:child_indent ~level:(level + 1) buf c)
+          el.children;
+        (match (indent, child_indent) with
+        | Some w, Some _ ->
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (w * level) ' ')
+        | _ -> ());
+        Buffer.add_string buf "</";
+        Buffer.add_string buf el.tag;
+        Buffer.add_char buf '>'
+      end
+
+let node_to_buffer ?indent buf n = add_node ?indent ~level:0 buf n
+
+let node_to_string ?indent n =
+  let buf = Buffer.create 256 in
+  node_to_buffer ?indent buf n;
+  Buffer.contents buf
+
+let to_string ?indent ?(declaration = false) (doc : Dom.document) =
+  let buf = Buffer.create 1024 in
+  if declaration then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  List.iter
+    (fun n ->
+      node_to_buffer ?indent buf n;
+      Buffer.add_char buf '\n')
+    doc.prolog;
+  node_to_buffer ?indent buf (Dom.Element doc.root);
+  List.iter
+    (fun n ->
+      Buffer.add_char buf '\n';
+      node_to_buffer ?indent buf n)
+    doc.epilog;
+  Buffer.contents buf
+
+let to_file ?indent ?declaration path doc =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?indent ?declaration doc))

@@ -1,0 +1,26 @@
+(** XML serialization: the inverse of {!Parser} up to entity and CDATA
+    normalisation (parse ∘ serialize = id on DOM values). *)
+
+(** [escape_text s] escapes ['&'], ['<'] and ['>'] for character data. *)
+val escape_text : string -> string
+
+(** [escape_attr s] escapes ['&'], ['<'], ['"'] and control characters
+    for a double-quoted attribute value. *)
+val escape_attr : string -> string
+
+(** [node_to_buffer ?indent buf n] appends the serialization of [n].
+    With [indent] (spaces per level), element-only content is broken
+    over lines; mixed content is kept verbatim so that text round-trips
+    exactly. *)
+val node_to_buffer : ?indent:int -> Buffer.t -> Dom.node -> unit
+
+(** [node_to_string ?indent n] serializes one node. *)
+val node_to_string : ?indent:int -> Dom.node -> string
+
+(** [to_string ?indent ?declaration doc] serializes a document;
+    [declaration] (default [false]) prepends [<?xml version="1.0"?>]. *)
+val to_string : ?indent:int -> ?declaration:bool -> Dom.document -> string
+
+(** [to_file ?indent ?declaration path doc] writes the serialization to
+    [path]. *)
+val to_file : ?indent:int -> ?declaration:bool -> string -> Dom.document -> unit

@@ -1,0 +1,1 @@
+lib/xpath/axes.ml: Array Hashtbl Node_test Printf Standoff_store Standoff_util

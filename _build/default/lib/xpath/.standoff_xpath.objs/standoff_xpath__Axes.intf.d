@@ -1,0 +1,1 @@
+lib/xpath/axes.mli: Node_test Standoff_store

@@ -1,0 +1,1 @@
+lib/xpath/node_test.ml: Format Standoff_store String

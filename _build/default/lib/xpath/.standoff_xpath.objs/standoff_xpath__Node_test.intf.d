@@ -1,0 +1,1 @@
+lib/xpath/node_test.mli: Format Standoff_store

@@ -1,0 +1,1 @@
+lib/xpath/step.ml: Array Axes Hashtbl List Node_test Standoff_relalg Standoff_store Standoff_util

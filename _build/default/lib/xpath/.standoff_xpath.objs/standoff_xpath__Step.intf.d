@@ -1,0 +1,1 @@
+lib/xpath/step.mli: Axes Node_test Standoff_relalg Standoff_store

@@ -1,0 +1,191 @@
+module Vec = Standoff_util.Vec
+module Doc = Standoff_store.Doc
+
+type axis =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+
+let axis_of_string = function
+  | "self" -> Self
+  | "child" -> Child
+  | "descendant" -> Descendant
+  | "descendant-or-self" -> Descendant_or_self
+  | "parent" -> Parent
+  | "ancestor" -> Ancestor
+  | "ancestor-or-self" -> Ancestor_or_self
+  | "following" -> Following
+  | "preceding" -> Preceding
+  | "following-sibling" -> Following_sibling
+  | "preceding-sibling" -> Preceding_sibling
+  | s -> invalid_arg (Printf.sprintf "Axes.axis_of_string: unknown axis %S" s)
+
+let axis_to_string = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+
+let prune_descendant doc context =
+  let out = Vec.create () in
+  let window_end = ref (-1) in
+  Array.iter
+    (fun c ->
+      if c > !window_end then begin
+        Vec.push out c;
+        window_end := c + Doc.subtree_size doc c
+      end)
+    context;
+  Vec.to_array out
+
+(* Emit [pre] into [out] when it passes the node test. *)
+let emit doc test out pre = if Node_test.matches doc test pre then Vec.push out pre
+
+let sorted_dedup v =
+  Vec.sort compare v;
+  let out = Vec.create () in
+  Vec.iteri
+    (fun i x -> if i = 0 || Vec.get v (i - 1) <> x then Vec.push out x)
+    v;
+  out
+
+let eval_into doc axis ~context ~test out =
+  match axis with
+  | Self -> Array.iter (fun c -> emit doc test out c) context
+  | Descendant ->
+      (* Pruned contexts have pairwise disjoint, increasing windows, so
+         the concatenated scans emit sorted distinct results. *)
+      Array.iter
+        (fun c ->
+          for p = c + 1 to c + Doc.subtree_size doc c do
+            emit doc test out p
+          done)
+        (prune_descendant doc context)
+  | Descendant_or_self ->
+      Array.iter
+        (fun c ->
+          for p = c to c + Doc.subtree_size doc c do
+            emit doc test out p
+          done)
+        (prune_descendant doc context)
+  | Following ->
+      (* following(c) = { p | p > c + size(c) }; the union over the
+         context is a single scan from the smallest such boundary. *)
+      if Array.length context > 0 then begin
+        let boundary =
+          Array.fold_left
+            (fun acc c -> min acc (c + Doc.subtree_size doc c + 1))
+            max_int context
+        in
+        for p = boundary to Doc.node_count doc - 1 do
+          emit doc test out p
+        done
+      end
+  | Preceding ->
+      (* p precedes some context node iff p's subtree ends before the
+         largest context pre; one scan with a constant-time check. *)
+      if Array.length context > 0 then begin
+        let max_c = context.(Array.length context - 1) in
+        for p = 0 to max_c - 1 do
+          if p + Doc.subtree_size doc p < max_c then emit doc test out p
+        done
+      end
+  | Child ->
+      let tmp = Vec.create () in
+      Array.iter (fun c -> Doc.iter_children doc c (fun k -> emit doc test tmp k)) context;
+      (* Child sets of distinct parents are disjoint but may interleave
+         when one context is an ancestor of another. *)
+      Vec.append out (sorted_dedup tmp)
+  | Parent ->
+      let tmp = Vec.create () in
+      Array.iter
+        (fun c ->
+          match Doc.parent_of doc c with
+          | Some p -> emit doc test tmp p
+          | None -> ())
+        context;
+      Vec.append out (sorted_dedup tmp)
+  | Ancestor | Ancestor_or_self ->
+      let seen = Hashtbl.create 32 in
+      let tmp = Vec.create () in
+      let rec walk pre =
+        if not (Hashtbl.mem seen pre) then begin
+          Hashtbl.add seen pre ();
+          emit doc test tmp pre;
+          match Doc.parent_of doc pre with Some p -> walk p | None -> ()
+        end
+      in
+      Array.iter
+        (fun c ->
+          match axis with
+          | Ancestor_or_self -> walk c
+          | _ -> ( match Doc.parent_of doc c with Some p -> walk p | None -> ()))
+        context;
+      Vec.append out (sorted_dedup tmp)
+  | Following_sibling ->
+      let tmp = Vec.create () in
+      Array.iter
+        (fun c ->
+          match Doc.parent_of doc c with
+          | None -> ()
+          | Some parent ->
+              let stop = parent + Doc.subtree_size doc parent in
+              let s = ref (c + Doc.subtree_size doc c + 1) in
+              while !s <= stop do
+                emit doc test tmp !s;
+                s := !s + Doc.subtree_size doc !s + 1
+              done)
+        context;
+      Vec.append out (sorted_dedup tmp)
+  | Preceding_sibling ->
+      let tmp = Vec.create () in
+      Array.iter
+        (fun c ->
+          match Doc.parent_of doc c with
+          | None -> ()
+          | Some parent -> Doc.iter_children doc parent (fun s -> if s < c then emit doc test tmp s))
+        context;
+      Vec.append out (sorted_dedup tmp)
+
+let eval doc axis ~context ~test =
+  let out = Vec.create () in
+  eval_into doc axis ~context ~test out;
+  Vec.to_array out
+
+let eval_lifted doc axis ~context_iters ~context_pres ~test =
+  let n = Array.length context_iters in
+  assert (n = Array.length context_pres);
+  let out_iters = Vec.create () and out_pres = Vec.create () in
+  let i = ref 0 in
+  while !i < n do
+    let iter = context_iters.(!i) in
+    let j = ref !i in
+    while !j < n && context_iters.(!j) = iter do
+      incr j
+    done;
+    let context = Array.sub context_pres !i (!j - !i) in
+    let group = Vec.create () in
+    eval_into doc axis ~context ~test group;
+    Vec.iter
+      (fun pre ->
+        Vec.push out_iters iter;
+        Vec.push out_pres pre)
+      group;
+    i := !j
+  done;
+  (Vec.to_array out_iters, Vec.to_array out_pres)

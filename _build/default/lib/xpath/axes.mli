@@ -1,0 +1,59 @@
+(** XPath axes over the pre/size/level encoding, in the style of
+    Staircase Join (Grust et al., VLDB 2003): context pruning plus
+    sequential scans of pre ranges.
+
+    All functions take the context as a {e sorted, duplicate-free}
+    array of pre ranks from a single document and return the result
+    pres sorted and duplicate-free — the XPath step contract the paper
+    extends to StandOff steps (§3.2 alt. 4). *)
+
+type axis =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+
+(** [axis_of_string s] parses the XPath axis name, e.g. ["descendant"].
+    @raise Invalid_argument on unknown names. *)
+val axis_of_string : string -> axis
+
+(** [axis_to_string a] is the XPath surface name. *)
+val axis_to_string : axis -> string
+
+(** [eval doc axis ~context ~test] evaluates one axis step.  Name/kind
+    filtering with [test] happens during the scan (selection pushdown),
+    never as a post-pass over an unfiltered intermediate. *)
+val eval :
+  Standoff_store.Doc.t ->
+  axis ->
+  context:int array ->
+  test:Node_test.t ->
+  int array
+
+(** [prune_descendant context] removes context nodes already covered by
+    an earlier context node's subtree — the staircase pruning that
+    makes [Descendant] a single scan over disjoint windows.  Exposed
+    for tests and for the benchmark that compares Staircase Join with
+    the StandOff merge join (paper §4.6). *)
+val prune_descendant : Standoff_store.Doc.t -> int array -> int array
+
+(** [eval_lifted doc axis ~context_iters ~context_pres ~test] is the
+    loop-lifted variant: context rows [(iter, pre)] sorted by
+    [(iter, pre)], producing result rows in the same representation.
+    Each iteration's context is processed with the pruned single-scan
+    strategy; iterations sharing the table make this one logical pass
+    per step rather than one scan per iteration (paper §4.1). *)
+val eval_lifted :
+  Standoff_store.Doc.t ->
+  axis ->
+  context_iters:int array ->
+  context_pres:int array ->
+  test:Node_test.t ->
+  int array * int array

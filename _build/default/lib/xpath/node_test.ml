@@ -1,0 +1,57 @@
+module Doc = Standoff_store.Doc
+
+type t =
+  | Any
+  | Name of string
+  | Kind_node
+  | Kind_text
+  | Kind_comment
+  | Kind_pi of string option
+  | Kind_element of string option
+  | Kind_document
+
+let matches doc test pre =
+  match test with
+  | Kind_node -> true
+  | Any -> Doc.kind_of doc pre = Doc.Element
+  | Name n -> (
+      Doc.kind_of doc pre = Doc.Element
+      && match Doc.name_of doc pre with Some m -> String.equal m n | None -> false)
+  | Kind_text -> Doc.kind_of doc pre = Doc.Text
+  | Kind_comment -> Doc.kind_of doc pre = Doc.Comment
+  | Kind_pi None -> Doc.kind_of doc pre = Doc.Pi
+  | Kind_pi (Some target) -> (
+      Doc.kind_of doc pre = Doc.Pi
+      && match Doc.name_of doc pre with
+         | Some m -> String.equal m target
+         | None -> false)
+  | Kind_element None -> Doc.kind_of doc pre = Doc.Element
+  | Kind_element (Some n) -> (
+      Doc.kind_of doc pre = Doc.Element
+      && match Doc.name_of doc pre with Some m -> String.equal m n | None -> false)
+  | Kind_document -> Doc.kind_of doc pre = Doc.Document
+
+let matches_attribute test name =
+  match test with
+  | Any | Kind_node -> true
+  | Name n -> String.equal n name
+  | Kind_text | Kind_comment | Kind_pi _ | Kind_element _ | Kind_document ->
+      false
+
+let name_filter = function
+  | Name n | Kind_element (Some n) -> Some n
+  | Any | Kind_node | Kind_text | Kind_comment | Kind_pi _ | Kind_element None
+  | Kind_document ->
+      None
+
+let pp fmt = function
+  | Any -> Format.pp_print_string fmt "*"
+  | Name n -> Format.pp_print_string fmt n
+  | Kind_node -> Format.pp_print_string fmt "node()"
+  | Kind_text -> Format.pp_print_string fmt "text()"
+  | Kind_comment -> Format.pp_print_string fmt "comment()"
+  | Kind_pi None -> Format.pp_print_string fmt "processing-instruction()"
+  | Kind_pi (Some t) -> Format.fprintf fmt "processing-instruction(%s)" t
+  | Kind_element None -> Format.pp_print_string fmt "element()"
+  | Kind_element (Some n) -> Format.fprintf fmt "element(%s)" n
+  | Kind_document -> Format.pp_print_string fmt "document-node()"

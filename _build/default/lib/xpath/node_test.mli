@@ -1,0 +1,28 @@
+(** XPath node tests, applied after an axis selects candidate nodes. *)
+
+type t =
+  | Any                        (** [*] — any node of the axis' principal kind *)
+  | Name of string             (** name test, e.g. [shot] *)
+  | Kind_node                  (** [node()] *)
+  | Kind_text                  (** [text()] *)
+  | Kind_comment               (** [comment()] *)
+  | Kind_pi of string option   (** [processing-instruction(target?)] *)
+  | Kind_element of string option  (** [element(name?)] *)
+  | Kind_document              (** [document-node()] *)
+
+(** [matches doc test pre] decides whether node [pre] of [doc] passes
+    [test], with elements as the principal node kind (the rule for all
+    axes except [attribute]). *)
+val matches : Standoff_store.Doc.t -> t -> int -> bool
+
+(** [matches_attribute test name] decides whether an attribute called
+    [name] passes [test] under the attribute axis' principal kind. *)
+val matches_attribute : t -> string -> bool
+
+(** [name_filter test] is [Some n] when the test is a plain name test —
+    the hook the engine uses to push the test down into the element
+    index / region index (paper §3.3 (iii), §4.3). *)
+val name_filter : t -> string option
+
+(** [pp fmt test] prints XPath surface syntax. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+module Vec = Standoff_util.Vec
+module Doc = Standoff_store.Doc
+module Collection = Standoff_store.Collection
+module Item = Standoff_relalg.Item
+module Table = Standoff_relalg.Table
+
+exception Not_a_node of Item.t
+
+(* Split the context table into per-document row streams, preserving
+   (iter, pre) order within each document.  Attribute items map to
+   their owner for the Parent axis and vanish otherwise; the document
+   node participates like any other node. *)
+let partition_by_doc (context : Table.t) ~keep_attribute_owner =
+  let by_doc : (int, (int Vec.t * int Vec.t)) Hashtbl.t = Hashtbl.create 4 in
+  let doc_ids = Vec.create () in
+  let push doc_id iter pre =
+    let iters, pres =
+      match Hashtbl.find_opt by_doc doc_id with
+      | Some cols -> cols
+      | None ->
+          let cols = (Vec.create (), Vec.create ()) in
+          Hashtbl.add by_doc doc_id cols;
+          Vec.push doc_ids doc_id;
+          cols
+    in
+    Vec.push iters iter;
+    Vec.push pres pre
+  in
+  for r = 0 to Table.row_count context - 1 do
+    let iter = Table.iter_at context r in
+    match Table.item_at context r with
+    | Item.Node n -> push n.Collection.doc_id iter n.Collection.pre
+    | Item.Attribute (owner, _, _) ->
+        if keep_attribute_owner then
+          push owner.Collection.doc_id iter owner.Collection.pre
+    | (Item.Bool _ | Item.Int _ | Item.Float _ | Item.Str _) as item ->
+        raise (Not_a_node item)
+  done;
+  let ids = Vec.to_array doc_ids in
+  Array.sort compare ids;
+  Array.to_list ids
+  |> List.map (fun doc_id ->
+         let iters, pres = Hashtbl.find by_doc doc_id in
+         (doc_id, Vec.to_array iters, Vec.to_array pres))
+
+let axis_step coll axis ~test (context : Table.t) =
+  let keep_attribute_owner = axis = Axes.Parent in
+  let parts = partition_by_doc context ~keep_attribute_owner in
+  let tables =
+    List.map
+      (fun (doc_id, context_iters, context_pres) ->
+        let doc = Collection.doc coll doc_id in
+        let out_iters, out_pres =
+          Axes.eval_lifted doc axis ~context_iters ~context_pres ~test
+        in
+        let items =
+          Array.map (fun pre -> Item.Node { Collection.doc_id; pre }) out_pres
+        in
+        Table.make out_iters items)
+      parts
+  in
+  (* Folding in ascending doc id keeps each iteration's sequence in
+     global document order; per-document results are already sorted and
+     duplicate-free. *)
+  Table.concat tables
+
+let attribute_step coll ~test (context : Table.t) =
+  let rows = ref [] in
+  for r = Table.row_count context - 1 downto 0 do
+    let iter = Table.iter_at context r in
+    match Table.item_at context r with
+    | Item.Node n ->
+        let doc = Collection.doc coll n.Collection.doc_id in
+        if Doc.kind_of doc n.Collection.pre = Doc.Element then
+          List.iter
+            (fun (name, value) ->
+              if Node_test.matches_attribute test name then
+                rows := (iter, Item.Attribute (n, name, value)) :: !rows)
+            (Doc.attributes doc n.Collection.pre)
+    | Item.Attribute _ | Item.Bool _ | Item.Int _ | Item.Float _ | Item.Str _
+      ->
+        ()
+  done;
+  Table.distinct_doc_order (Table.of_rows !rows)

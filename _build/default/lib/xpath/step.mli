@@ -1,0 +1,29 @@
+(** Loop-lifted XPath steps over sequence tables.
+
+    A step takes the [iter|pos|item] table of context nodes (as left by
+    the previous step or FLWOR binding) and produces the result table,
+    duplicate-free and in document order per iteration.  Contexts that
+    span several documents are partitioned per document first — steps
+    never match across fragments. *)
+
+(** Raised when a context item is not a node. *)
+exception Not_a_node of Standoff_relalg.Item.t
+
+(** [axis_step coll axis ~test context] evaluates a standard axis step.
+    Attribute items in the context contribute only to the [Parent]
+    axis (their owner element); they have no descendants or
+    siblings. *)
+val axis_step :
+  Standoff_store.Collection.t ->
+  Axes.axis ->
+  test:Node_test.t ->
+  Standoff_relalg.Table.t ->
+  Standoff_relalg.Table.t
+
+(** [attribute_step coll ~test context] evaluates [attribute::test],
+    producing [Attribute] items in attribute-name order per owner. *)
+val attribute_step :
+  Standoff_store.Collection.t ->
+  test:Node_test.t ->
+  Standoff_relalg.Table.t ->
+  Standoff_relalg.Table.t

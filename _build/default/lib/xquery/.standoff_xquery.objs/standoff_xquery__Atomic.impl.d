@@ -1,0 +1,1 @@
+lib/xquery/atomic.ml: Bool Err Float Int64 List Option Printf Standoff_relalg Standoff_store String

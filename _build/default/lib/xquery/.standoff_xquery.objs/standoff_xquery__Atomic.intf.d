@@ -1,0 +1,1 @@
+lib/xquery/atomic.mli: Standoff_relalg Standoff_store

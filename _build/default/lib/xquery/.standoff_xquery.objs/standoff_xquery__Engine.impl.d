@@ -1,0 +1,1 @@
+lib/xquery/engine.ml: Ast Err Eval Fun Hashtbl List Option Parse Pp_ast Serialize Standoff Standoff_relalg Standoff_store Standoff_util String

@@ -1,0 +1,1 @@
+lib/xquery/engine.mli: Standoff Standoff_relalg Standoff_store Standoff_util

@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Array Ast Atomic Buffer Err Float Fun Hashtbl Int64 List Option Printf Standoff Standoff_interval Standoff_relalg Standoff_store Standoff_util Standoff_xml Standoff_xpath String

@@ -1,0 +1,1 @@
+lib/xquery/eval.mli: Ast Hashtbl Standoff Standoff_relalg Standoff_store Standoff_util

@@ -1,0 +1,1 @@
+lib/xquery/lexer.ml: Buffer Int64 Printf String

@@ -1,0 +1,1 @@
+lib/xquery/parse.ml: Ast Buffer Char Lexer List Printf Standoff Standoff_xpath String

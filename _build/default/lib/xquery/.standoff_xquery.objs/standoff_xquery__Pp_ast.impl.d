@@ -1,0 +1,1 @@
+lib/xquery/pp_ast.ml: Ast Buffer Format Int64 List Printf Standoff Standoff_xpath String

@@ -1,0 +1,1 @@
+lib/xquery/pp_ast.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/xquery/serialize.ml: Atomic Buffer List Printf Standoff_relalg Standoff_store Standoff_xml

@@ -1,0 +1,1 @@
+lib/xquery/serialize.mli: Standoff_relalg Standoff_store

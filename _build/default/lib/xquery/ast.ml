@@ -1,0 +1,155 @@
+(** Abstract syntax of the supported XQuery subset.
+
+    The subset covers what the paper's queries need — FLWOR
+    expressions, full axis steps including the four StandOff axes,
+    predicates, general comparisons, arithmetic, direct element
+    constructors, user-defined functions (Figures 2/3) and the
+    [declare option] prolog — plus enough general machinery
+    (if/then/else, quantified expressions, ranges) to write realistic
+    applications against the engine. *)
+
+type axis =
+  | Std of Standoff_xpath.Axes.axis
+  | Attribute
+  | Standoff of Standoff.Op.t  (** the paper's four new axis steps *)
+
+type literal =
+  | Lit_int of int64
+  | Lit_float of float
+  | Lit_string of string
+
+type binop =
+  | Op_or
+  | Op_and
+  | Op_eq          (** general comparison [=] *)
+  | Op_ne
+  | Op_lt
+  | Op_le
+  | Op_gt
+  | Op_ge
+  | Op_add
+  | Op_sub
+  | Op_mul
+  | Op_div
+  | Op_idiv
+  | Op_mod
+  | Op_to          (** integer range [1 to 5] *)
+  | Op_union       (** node sequence union [|] / [union] *)
+  | Op_intersect   (** node sequence intersection *)
+  | Op_except      (** node sequence difference *)
+
+type expr =
+  | Literal of literal
+  | Var of string
+  | Context_item                       (** [.] *)
+  | Sequence of expr list              (** [(e1, e2, ...)]; [()] is empty *)
+  | For of {
+      var : string;
+      pos_var : string option;         (** [at $p] *)
+      source : expr;
+      order_by : order_spec list;
+          (** sort keys of the FLWOR's [order by] clause, attached to
+              its innermost [for]; empty when absent *)
+      body : expr;
+    }
+  | Let of { var : string; value : expr; body : expr }
+  | Where of { cond : expr; body : expr }
+  | Quantified of {
+      universal : bool;                (** [every] vs [some] *)
+      var : string;
+      source : expr;
+      satisfies : expr;
+    }
+  | If of { cond : expr; then_ : expr; else_ : expr }
+  | Binop of binop * expr * expr
+  | Unary_minus of expr
+  | Step of {
+      input : expr;                    (** the context expression *)
+      axis : axis;
+      test : Standoff_xpath.Node_test.t;
+    }
+  | Filter of { input : expr; predicate : expr }  (** [e[p]] *)
+  | Path_map of { input : expr; body : expr }
+      (** [e/body] where [body] is not an axis step: [body] is
+          evaluated once per item of [e] with that item as the context
+          item; node results are deduplicated in document order.
+          Figure 2's trailing [/.] relies on this. *)
+  | Call of { name : string; args : expr list }
+  | Elem_ctor of {
+      tag : string;
+      attrs : (string * attr_content list) list;
+      content : attr_content list;
+    }
+
+and attr_content =
+  | Fixed of string
+  | Enclosed of expr
+
+and order_spec = {
+  key : expr;
+  descending : bool;
+}
+
+type function_def = {
+  fn_name : string;
+  fn_params : string list;
+  fn_body : expr;
+}
+
+type prolog_decl =
+  | Decl_option of { name : string; value : string }
+  | Decl_namespace of { prefix : string; uri : string }
+  | Decl_function of function_def
+  | Decl_variable of { var : string; value : expr }
+
+type query = {
+  prolog : prolog_decl list;
+  body : expr;
+}
+
+(** [free_vars e] is the set of variable names [e] references but does
+    not bind — used by the evaluator to avoid lifting dead variables
+    through for-loops. *)
+let free_vars expr =
+  let module S = Set.Make (String) in
+  let rec go bound acc = function
+    | Literal _ | Context_item -> acc
+    | Var v -> if S.mem v bound then acc else S.add v acc
+    | Sequence es -> List.fold_left (go bound) acc es
+    | For { var; pos_var; source; order_by; body } ->
+        let acc = go bound acc source in
+        let bound = S.add var bound in
+        let bound =
+          match pos_var with Some p -> S.add p bound | None -> bound
+        in
+        let acc =
+          List.fold_left (fun acc spec -> go bound acc spec.key) acc order_by
+        in
+        go bound acc body
+    | Let { var; value; body } ->
+        let acc = go bound acc value in
+        go (S.add var bound) acc body
+    | Where { cond; body } -> go bound (go bound acc cond) body
+    | Quantified { var; source; satisfies; _ } ->
+        let acc = go bound acc source in
+        go (S.add var bound) acc satisfies
+    | If { cond; then_; else_ } ->
+        go bound (go bound (go bound acc cond) then_) else_
+    | Binop (_, a, b) -> go bound (go bound acc a) b
+    | Unary_minus e | Step { input = e; _ } -> go bound acc e
+    | Filter { input; predicate } -> go bound (go bound acc input) predicate
+    | Path_map { input; body } -> go bound (go bound acc input) body
+    | Call { args; _ } -> List.fold_left (go bound) acc args
+    | Elem_ctor { attrs; content; _ } ->
+        let go_content acc = function
+          | Fixed _ -> acc
+          | Enclosed e -> go bound acc e
+        in
+        let acc =
+          List.fold_left
+            (fun acc (_, parts) -> List.fold_left go_content acc parts)
+            acc attrs
+        in
+        List.fold_left go_content acc content
+  in
+  go S.empty S.empty expr |> S.elements

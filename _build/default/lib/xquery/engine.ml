@@ -1,0 +1,114 @@
+module Timing = Standoff_util.Timing
+module Collection = Standoff_store.Collection
+module Item = Standoff_relalg.Item
+module Table = Standoff_relalg.Table
+module Config = Standoff.Config
+module Catalog = Standoff.Catalog
+
+type t = {
+  coll : Collection.t;
+  cat : Catalog.t;
+  mutable strategy : Config.strategy;
+}
+
+let create ?(strategy = Config.Loop_lifted) coll =
+  { coll; cat = Catalog.create (); strategy }
+
+let collection t = t.coll
+let catalog t = t.cat
+let set_strategy t s = t.strategy <- s
+
+type result = {
+  items : Item.t list;
+  serialized : string;
+  config : Config.t;
+}
+
+(* Prolog processing: fold the standoff-* options into a configuration,
+   register user functions, and evaluate global variables. *)
+let process_prolog (q : Ast.query) =
+  let functions = Hashtbl.create 8 in
+  let config = ref Config.default in
+  let strategy_override = ref None in
+  let globals = ref [] in
+  List.iter
+    (function
+      | Ast.Decl_option { name; value } -> (
+          (* Accept both "standoff-start" and prefixed "so:standoff-start". *)
+          let name =
+            match String.index_opt name ':' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          match name with
+          | "standoff-type" ->
+              config := Config.set_option !config ~name:"type" ~value
+          | "standoff-start" ->
+              config := Config.set_option !config ~name:"start" ~value
+          | "standoff-end" ->
+              config := Config.set_option !config ~name:"end" ~value
+          | "standoff-region" ->
+              config := Config.set_option !config ~name:"region" ~value
+          | "standoff-strategy" ->
+              strategy_override := Some (Config.strategy_of_string value)
+          | _ -> () (* foreign options are ignored, as the spec requires *))
+      | Ast.Decl_namespace _ -> ()
+      | Ast.Decl_function fn ->
+          if Hashtbl.mem functions fn.Ast.fn_name then
+            Err.raisef "function %s declared twice" fn.Ast.fn_name;
+          Hashtbl.add functions fn.Ast.fn_name fn
+      | Ast.Decl_variable { var; value } -> globals := (var, value) :: !globals)
+    q.Ast.prolog;
+  (functions, !config, !strategy_override, List.rev !globals)
+
+let run t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
+    ?(rollback_constructed = false) query_text =
+  let q = Parse.parse_query query_text in
+  let functions, config, strategy_override, globals = process_prolog q in
+  let strategy =
+    match (strategy, strategy_override) with
+    | _, Some s -> s
+    | Some s, None -> s
+    | None, None -> t.strategy
+  in
+  let context =
+    Option.map
+      (fun name ->
+        match Collection.doc_id_of_name t.coll name with
+        | Some doc_id -> Item.Node { Collection.doc_id; pre = 0 }
+        | None -> Err.raisef "context document %S not found" name)
+      context_doc
+  in
+  let mark = Collection.checkpoint t.coll in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Constructed-node scratch documents are dropped when the caller
+         does not need the node handles (benchmark loops), and always
+         on error. *)
+      if rollback_constructed then Collection.rollback t.coll mark)
+    (fun () ->
+      let env =
+        Eval.initial_env ~coll:t.coll ~catalog:t.cat ~config ~strategy
+          ~deadline ~functions ~context
+      in
+      let env =
+        List.fold_left
+          (fun env (var, value) ->
+            { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
+          env globals
+      in
+      let table = Eval.eval env q.Ast.body in
+      let items = Table.to_sequence table in
+      (* Serialize before constructed documents are rolled back. *)
+      let serialized = Serialize.sequence t.coll items in
+      { items; serialized; config })
+
+let explain query_text = Pp_ast.query_to_string (Parse.parse_query query_text)
+
+let run_with_timeout t ?strategy ?context_doc ~seconds query_text =
+  let mark = Collection.checkpoint t.coll in
+  Fun.protect
+    ~finally:(fun () -> Collection.rollback t.coll mark)
+    (fun () ->
+      Timing.run_with_timeout ~seconds (fun deadline ->
+          run t ?strategy ~deadline ?context_doc query_text))

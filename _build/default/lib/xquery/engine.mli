@@ -1,0 +1,66 @@
+(** The query engine façade: parse a query, process its prolog
+    ([declare option standoff-*], [declare function], [declare
+    variable]), and evaluate it against a document collection under a
+    chosen StandOff evaluation strategy.
+
+    Nodes constructed by element constructors live in scratch documents
+    registered in the collection.  By default they stay alive so the
+    returned node handles remain valid; callers that run many queries
+    (the benchmark harness) pass [rollback_constructed:true] or use
+    {!run_with_timeout}, which always rolls back, and consume results
+    through [serialized]. *)
+
+type t
+
+(** [create ?strategy coll] wraps a collection.  Default strategy:
+    {!Standoff.Config.Loop_lifted}. *)
+val create : ?strategy:Standoff.Config.strategy -> Standoff_store.Collection.t -> t
+
+(** [collection t] is the underlying collection. *)
+val collection : t -> Standoff_store.Collection.t
+
+(** [catalog t] is the annotation catalogue (region indexes). *)
+val catalog : t -> Standoff.Catalog.t
+
+(** [set_strategy t s] changes the default strategy. *)
+val set_strategy : t -> Standoff.Config.strategy -> unit
+
+(** Everything a query run produces. *)
+type result = {
+  items : Standoff_relalg.Item.t list;
+  serialized : string;  (** materialized before constructed nodes are
+                            rolled back *)
+  config : Standoff.Config.t;  (** the configuration after the prolog *)
+}
+
+(** [run t ?strategy ?deadline ?context_doc query] parses and evaluates
+    [query].  [context_doc] names the document that leading [/] paths
+    and bare [//x] paths refer to.
+    @raise Err.Error on static/dynamic errors
+    @raise Lexer.Syntax_error on parse errors
+    @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
+val run :
+  t ->
+  ?strategy:Standoff.Config.strategy ->
+  ?deadline:Standoff_util.Timing.deadline ->
+  ?context_doc:string ->
+  ?rollback_constructed:bool ->
+  string ->
+  result
+
+(** [explain query] parses [query] and renders the desugared form the
+    evaluator sees — abbreviations expanded, predicates turned into
+    per-context loops, [//] spelled out.  Raises the same parse errors
+    as {!run}. *)
+val explain : string -> string
+
+(** [run_with_timeout t ?strategy ?context_doc ~seconds query] is
+    {!run} under a wall-clock budget, reporting DNF as
+    [Timed_out] — the protocol of the paper's Figure 6. *)
+val run_with_timeout :
+  t ->
+  ?strategy:Standoff.Config.strategy ->
+  ?context_doc:string ->
+  seconds:float ->
+  string ->
+  result Standoff_util.Timing.outcome

@@ -1,0 +1,3 @@
+exception Error of string
+
+let raisef fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt

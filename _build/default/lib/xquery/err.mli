@@ -1,0 +1,6 @@
+(** Dynamic and static errors of the XQuery engine. *)
+
+exception Error of string
+
+(** [raisef fmt ...] raises {!Error} with a formatted message. *)
+val raisef : ('a, unit, string, 'b) format4 -> 'a

@@ -1,0 +1,51 @@
+(** The loop-lifted evaluator.
+
+    Expressions evaluate to {!Standoff_relalg.Table.t} sequence tables
+    over the current loop relation, exactly as in the Pathfinder
+    translation the paper builds on (§4.1): a [for] clause expands the
+    binding sequence into a fresh inner loop, variables are lifted
+    through the map relation, and the return value is mapped back.
+    Axis steps — including the four StandOff steps — therefore receive
+    the context of {e all} iterations at once, which is what lets the
+    {!Standoff.Config.Loop_lifted} strategy answer them in a single
+    merge-join sweep while the other strategies are re-invoked per
+    iteration. *)
+
+type env = {
+  coll : Standoff_store.Collection.t;
+  catalog : Standoff.Catalog.t;
+  config : Standoff.Config.t;
+  strategy : Standoff.Config.strategy;
+  deadline : Standoff_util.Timing.deadline;
+  loop : int array;
+  vars : (string * Standoff_relalg.Table.t) list;
+  focus : focus option;
+  functions : (string, Ast.function_def) Hashtbl.t;
+  depth : int;  (** user-function inlining depth (recursion guard) *)
+  ctor_counter : int ref;  (** names for constructed-node documents *)
+}
+
+and focus = {
+  f_item : Standoff_relalg.Table.t;
+  f_pos : Standoff_relalg.Table.t;
+  f_last : Standoff_relalg.Table.t;
+}
+
+(** [initial_env ~coll ~catalog ~config ~strategy ~deadline ~functions
+    ~context] is the single-iteration top-level environment; [context],
+    when given, becomes the initial context item (used for queries with
+    leading [/] paths). *)
+val initial_env :
+  coll:Standoff_store.Collection.t ->
+  catalog:Standoff.Catalog.t ->
+  config:Standoff.Config.t ->
+  strategy:Standoff.Config.strategy ->
+  deadline:Standoff_util.Timing.deadline ->
+  functions:(string, Ast.function_def) Hashtbl.t ->
+  context:Standoff_relalg.Item.t option ->
+  env
+
+(** [eval env expr] evaluates [expr] under [env].
+    @raise Err.Error on dynamic errors
+    @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
+val eval : env -> Ast.expr -> Standoff_relalg.Table.t

@@ -1,0 +1,312 @@
+type token =
+  | Int of int64
+  | Float of float
+  | String of string
+  | Name of string
+  | Var of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Assign
+  | Slash
+  | Dslash
+  | Axis_sep
+  | At
+  | Star
+  | Dot
+  | Dotdot
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Bar
+  | Eof
+
+exception Syntax_error of { line : int; col : int; msg : string }
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable last : int;
+}
+
+let create src = { src; off = 0; last = 0 }
+let last_start lx = lx.last
+let seek lx off = lx.off <- off
+let at_eof lx = lx.off >= String.length lx.src
+let peek_char lx = if at_eof lx then '\000' else lx.src.[lx.off]
+
+let peek_char2 lx =
+  if lx.off + 1 >= String.length lx.src then '\000' else lx.src.[lx.off + 1]
+
+let advance_char lx = if not (at_eof lx) then lx.off <- lx.off + 1
+
+let line_col lx off =
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to min (off - 1) (String.length lx.src - 1) do
+    if lx.src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, off - !bol + 1)
+
+let error_at lx off msg =
+  let line, col = line_col lx off in
+  raise (Syntax_error { line; col; msg })
+
+let error lx msg = error_at lx lx.off msg
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+
+(* XQuery comments (: ... :) nest. *)
+let rec skip_ws_comments lx =
+  while (not (at_eof lx)) && is_ws (peek_char lx) do
+    advance_char lx
+  done;
+  if peek_char lx = '(' && peek_char2 lx = ':' then begin
+    let start = lx.off in
+    advance_char lx;
+    advance_char lx;
+    let depth = ref 1 in
+    while !depth > 0 do
+      if at_eof lx then error_at lx start "unterminated comment";
+      if peek_char lx = '(' && peek_char2 lx = ':' then begin
+        incr depth;
+        advance_char lx;
+        advance_char lx
+      end
+      else if peek_char lx = ':' && peek_char2 lx = ')' then begin
+        decr depth;
+        advance_char lx;
+        advance_char lx
+      end
+      else advance_char lx
+    done;
+    skip_ws_comments lx
+  end
+
+let scan_name lx =
+  let start = lx.off in
+  while (not (at_eof lx)) && is_name_char (peek_char lx) do
+    advance_char lx
+  done;
+  (* One optional ':' for a QName prefix, but not '::' (axis separator)
+     and not ':=' (assignment). *)
+  if
+    peek_char lx = ':'
+    && is_name_start (peek_char2 lx)
+    && lx.off + 1 < String.length lx.src
+  then begin
+    advance_char lx;
+    while (not (at_eof lx)) && is_name_char (peek_char lx) do
+      advance_char lx
+    done
+  end;
+  String.sub lx.src start (lx.off - start)
+
+let scan_number lx =
+  let start = lx.off in
+  while is_digit (peek_char lx) do
+    advance_char lx
+  done;
+  let is_float = ref false in
+  if peek_char lx = '.' && is_digit (peek_char2 lx) then begin
+    is_float := true;
+    advance_char lx;
+    while is_digit (peek_char lx) do
+      advance_char lx
+    done
+  end;
+  if peek_char lx = 'e' || peek_char lx = 'E' then begin
+    is_float := true;
+    advance_char lx;
+    if peek_char lx = '+' || peek_char lx = '-' then advance_char lx;
+    while is_digit (peek_char lx) do
+      advance_char lx
+    done
+  end;
+  let text = String.sub lx.src start (lx.off - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match Int64.of_string_opt text with
+    | Some i -> Int i
+    | None -> error_at lx start (Printf.sprintf "integer literal %s overflows" text)
+
+let scan_string lx quote =
+  advance_char lx;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if at_eof lx then error lx "unterminated string literal"
+    else
+      let c = peek_char lx in
+      if c = quote then begin
+        advance_char lx;
+        (* A doubled quote escapes itself. *)
+        if peek_char lx = quote then begin
+          Buffer.add_char buf quote;
+          advance_char lx;
+          loop ()
+        end
+      end
+      else begin
+        Buffer.add_char buf c;
+        advance_char lx;
+        loop ()
+      end
+  in
+  loop ();
+  String (Buffer.contents buf)
+
+let next lx =
+  skip_ws_comments lx;
+  lx.last <- lx.off;
+  if at_eof lx then Eof
+  else
+    let c = peek_char lx in
+    match c with
+    | '(' ->
+        advance_char lx;
+        Lparen
+    | ')' ->
+        advance_char lx;
+        Rparen
+    | '[' ->
+        advance_char lx;
+        Lbracket
+    | ']' ->
+        advance_char lx;
+        Rbracket
+    | '{' ->
+        advance_char lx;
+        Lbrace
+    | '}' ->
+        advance_char lx;
+        Rbrace
+    | ',' ->
+        advance_char lx;
+        Comma
+    | ';' ->
+        advance_char lx;
+        Semicolon
+    | '@' ->
+        advance_char lx;
+        At
+    | '*' ->
+        advance_char lx;
+        Star
+    | '+' ->
+        advance_char lx;
+        Plus
+    | '-' ->
+        advance_char lx;
+        Minus
+    | '|' ->
+        advance_char lx;
+        Bar
+    | '=' ->
+        advance_char lx;
+        Eq
+    | '!' ->
+        advance_char lx;
+        if peek_char lx = '=' then begin
+          advance_char lx;
+          Ne
+        end
+        else error lx "expected '=' after '!'"
+    | '<' ->
+        advance_char lx;
+        if peek_char lx = '=' then begin
+          advance_char lx;
+          Le
+        end
+        else Lt
+    | '>' ->
+        advance_char lx;
+        if peek_char lx = '=' then begin
+          advance_char lx;
+          Ge
+        end
+        else Gt
+    | '/' ->
+        advance_char lx;
+        if peek_char lx = '/' then begin
+          advance_char lx;
+          Dslash
+        end
+        else Slash
+    | ':' ->
+        advance_char lx;
+        if peek_char lx = ':' then begin
+          advance_char lx;
+          Axis_sep
+        end
+        else if peek_char lx = '=' then begin
+          advance_char lx;
+          Assign
+        end
+        else error lx "unexpected ':'"
+    | '.' ->
+        advance_char lx;
+        if peek_char lx = '.' then begin
+          advance_char lx;
+          Dotdot
+        end
+        else Dot
+    | '$' ->
+        advance_char lx;
+        if not (is_name_start (peek_char lx)) then
+          error lx "expected a variable name after '$'";
+        Var (scan_name lx)
+    | '"' | '\'' -> scan_string lx c
+    | c when is_digit c -> scan_number lx
+    | c when is_name_start c -> Name (scan_name lx)
+    | c -> error lx (Printf.sprintf "unexpected character %C" c)
+
+let token_to_string = function
+  | Int i -> Int64.to_string i
+  | Float f -> string_of_float f
+  | String s -> Printf.sprintf "%S" s
+  | Name n -> n
+  | Var v -> "$" ^ v
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Assign -> ":="
+  | Slash -> "/"
+  | Dslash -> "//"
+  | Axis_sep -> "::"
+  | At -> "@"
+  | Star -> "*"
+  | Dot -> "."
+  | Dotdot -> ".."
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Bar -> "|"
+  | Eof -> "<eof>"

@@ -1,0 +1,78 @@
+(** Tokenizer for the XQuery subset.
+
+    Direct element constructors make XQuery impossible to tokenize
+    context-free (['<'] is either a comparison or markup), so the
+    lexer exposes its cursor: the parser rewinds to a token's start
+    offset and switches to character-level scanning when it decides a
+    constructor begins.  XQuery comments [(: ... :)] nest and are
+    skipped as whitespace. *)
+
+type token =
+  | Int of int64
+  | Float of float
+  | String of string      (** quoted literal, escapes decoded *)
+  | Name of string        (** NCName or QName, may contain '-' and '.' *)
+  | Var of string         (** [$name], payload without the '$' *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Assign                (** [:=] *)
+  | Slash
+  | Dslash                (** [//] *)
+  | Axis_sep              (** [::] *)
+  | At
+  | Star
+  | Dot
+  | Dotdot
+  | Eq
+  | Ne                    (** [!=] *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Bar
+  | Eof
+
+exception Syntax_error of { line : int; col : int; msg : string }
+
+type t
+
+(** [create src] tokenizes [src]. *)
+val create : string -> t
+
+(** [next lx] consumes and returns the next token. *)
+val next : t -> token
+
+(** [last_start lx] is the byte offset at which the most recently
+    returned token began — the rewind point for constructor
+    parsing. *)
+val last_start : t -> int
+
+(** [seek lx off] repositions the cursor (invalidates lookahead kept by
+    the caller). *)
+val seek : t -> int -> unit
+
+(** Character-level access for constructor scanning. *)
+
+val peek_char : t -> char
+(** ['\000'] at end of input. *)
+
+val peek_char2 : t -> char
+val advance_char : t -> unit
+val at_eof : t -> bool
+
+(** [error lx msg] raises {!Syntax_error} at the current position. *)
+val error : t -> string -> 'a
+
+(** [error_at lx off msg] raises {!Syntax_error} at offset [off]. *)
+val error_at : t -> int -> string -> 'a
+
+(** [token_to_string tok] for error messages. *)
+val token_to_string : token -> string

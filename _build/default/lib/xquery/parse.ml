@@ -1,0 +1,909 @@
+module L = Lexer
+
+type state = {
+  lx : L.t;
+  mutable tok : L.token;
+  mutable tok_off : int;  (* offset where [tok] starts *)
+  mutable fresh : int;    (* counter for generated variable names *)
+}
+
+let advance st =
+  st.tok <- L.next st.lx;
+  st.tok_off <- L.last_start st.lx
+
+let make src =
+  let lx = L.create src in
+  let st = { lx; tok = L.Eof; tok_off = 0; fresh = 0 } in
+  advance st;
+  st
+
+let fail st msg = L.error_at st.lx st.tok_off msg
+
+let expect st tok =
+  if st.tok = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s, found %s" (L.token_to_string tok)
+         (L.token_to_string st.tok))
+
+let expect_name st =
+  match st.tok with
+  | L.Name n ->
+      advance st;
+      n
+  | t -> fail st (Printf.sprintf "expected a name, found %s" (L.token_to_string t))
+
+let expect_var st =
+  match st.tok with
+  | L.Var v ->
+      advance st;
+      v
+  | t ->
+      fail st
+        (Printf.sprintf "expected a variable, found %s" (L.token_to_string t))
+
+let expect_string st =
+  match st.tok with
+  | L.String s ->
+      advance st;
+      s
+  | t ->
+      fail st
+        (Printf.sprintf "expected a string literal, found %s"
+           (L.token_to_string t))
+
+let is_kw st kw = match st.tok with L.Name n -> String.equal n kw | _ -> false
+
+let eat_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let fresh_var st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "#%s%d" prefix st.fresh
+
+(* ------------------------------------------------------------------ *)
+(* Node tests and axes                                                *)
+
+let kind_test_names =
+  [ "node"; "text"; "comment"; "processing-instruction"; "element";
+    "document-node" ]
+
+let parse_kind_test st name =
+  expect st L.Lparen;
+  let arg =
+    match st.tok with
+    | L.Name n ->
+        advance st;
+        Some n
+    | L.String s ->
+        advance st;
+        Some s
+    | _ -> None
+  in
+  expect st L.Rparen;
+  match (name, arg) with
+  | "node", None -> Standoff_xpath.Node_test.Kind_node
+  | "text", None -> Standoff_xpath.Node_test.Kind_text
+  | "comment", None -> Standoff_xpath.Node_test.Kind_comment
+  | "processing-instruction", arg -> Standoff_xpath.Node_test.Kind_pi arg
+  | "element", arg -> Standoff_xpath.Node_test.Kind_element arg
+  | "document-node", None -> Standoff_xpath.Node_test.Kind_document
+  | name, Some _ -> fail st (Printf.sprintf "%s() takes no argument" name)
+  | _, None -> assert false
+
+(* A node test in step position: '*', a kind test, or a name. *)
+let parse_node_test st =
+  match st.tok with
+  | L.Star ->
+      advance st;
+      Standoff_xpath.Node_test.Any
+  | L.Name n when List.mem n kind_test_names ->
+      advance st;
+      parse_kind_test st n
+  | L.Name n ->
+      advance st;
+      Standoff_xpath.Node_test.Name n
+  | t ->
+      fail st (Printf.sprintf "expected a node test, found %s" (L.token_to_string t))
+
+let axis_of_name name =
+  match Standoff.Op.of_string_opt name with
+  | Some op -> Some (Ast.Standoff op)
+  | None -> (
+      match name with
+      | "attribute" -> Some Ast.Attribute
+      | "self" | "child" | "descendant" | "descendant-or-self" | "parent"
+      | "ancestor" | "ancestor-or-self" | "following" | "preceding"
+      | "following-sibling" | "preceding-sibling" ->
+          Some (Ast.Std (Standoff_xpath.Axes.axis_of_string name))
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+
+let rec parse_expr_seq st =
+  let first = parse_expr_single st in
+  if st.tok = L.Comma then begin
+    let items = ref [ first ] in
+    while st.tok = L.Comma do
+      advance st;
+      items := parse_expr_single st :: !items
+    done;
+    Ast.Sequence (List.rev !items)
+  end
+  else first
+
+and parse_expr_single st =
+  if is_kw st "for" || is_kw st "let" then parse_flwor st
+  else if is_kw st "some" || is_kw st "every" then parse_quantified st
+  else if is_kw st "if" then parse_if st
+  else parse_or st
+
+(* FLWOR: parse the clause list, then fold into nested For/Let/Where
+   around the return expression. *)
+and parse_flwor st =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    if is_kw st "for" then begin
+      advance st;
+      let rec vars () =
+        let var = expect_var st in
+        let pos_var =
+          if eat_kw st "at" then Some (expect_var st) else None
+        in
+        if not (eat_kw st "in") then fail st "expected 'in'";
+        let source = parse_expr_single st in
+        clauses := `For (var, pos_var, source) :: !clauses;
+        if st.tok = L.Comma then begin
+          advance st;
+          vars ()
+        end
+      in
+      vars ();
+      clause_loop ()
+    end
+    else if is_kw st "let" then begin
+      advance st;
+      let rec vars () =
+        let var = expect_var st in
+        expect st L.Assign;
+        let value = parse_expr_single st in
+        clauses := `Let (var, value) :: !clauses;
+        if st.tok = L.Comma then begin
+          advance st;
+          vars ()
+        end
+      in
+      vars ();
+      clause_loop ()
+    end
+  in
+  clause_loop ();
+  let where = if eat_kw st "where" then Some (parse_expr_single st) else None in
+  let order_by =
+    if eat_kw st "order" then begin
+      if not (eat_kw st "by") then fail st "expected 'by' after 'order'";
+      let rec specs acc =
+        let key = parse_expr_single st in
+        let descending =
+          if eat_kw st "descending" then true
+          else begin
+            ignore (eat_kw st "ascending");
+            false
+          end
+        in
+        (* "empty greatest/least" is accepted and ignored (we always
+           sort empty keys first, the XQuery default). *)
+        if eat_kw st "empty" then
+          if not (eat_kw st "greatest" || eat_kw st "least") then
+            fail st "expected 'greatest' or 'least'";
+        let acc = { Ast.key; descending } :: acc in
+        if st.tok = L.Comma then begin
+          advance st;
+          specs acc
+        end
+        else List.rev acc
+      in
+      specs []
+    end
+    else []
+  in
+  if not (eat_kw st "return") then fail st "expected 'return'";
+  let body = parse_expr_single st in
+  let body =
+    match where with
+    | Some cond -> Ast.Where { cond; body }
+    | None -> body
+  in
+  (* The order-by keys attach to the innermost for clause; sorting thus
+     applies per tuple of that clause (exact for the ubiquitous
+     single-for FLWOR; see the engine documentation for the multi-for
+     caveat). *)
+  if order_by <> [] && not (List.exists (function `For _ -> true | `Let _ -> false) !clauses)
+  then fail st "'order by' requires a 'for' clause";
+  let consumed_order = ref false in
+  List.fold_left
+    (fun body clause ->
+      match clause with
+      | `For (var, pos_var, source) ->
+          let order_by =
+            if !consumed_order then []
+            else begin
+              consumed_order := true;
+              order_by
+            end
+          in
+          Ast.For { var; pos_var; source; order_by; body }
+      | `Let (var, value) -> Ast.Let { var; value; body })
+    body !clauses
+
+and parse_quantified st =
+  let universal = is_kw st "every" in
+  advance st;
+  let var = expect_var st in
+  if not (eat_kw st "in") then fail st "expected 'in'";
+  let source = parse_expr_single st in
+  if not (eat_kw st "satisfies") then fail st "expected 'satisfies'";
+  let satisfies = parse_expr_single st in
+  Ast.Quantified { universal; var; source; satisfies }
+
+and parse_if st =
+  advance st;
+  expect st L.Lparen;
+  let cond = parse_expr_seq st in
+  expect st L.Rparen;
+  if not (eat_kw st "then") then fail st "expected 'then'";
+  let then_ = parse_expr_single st in
+  if not (eat_kw st "else") then fail st "expected 'else'";
+  let else_ = parse_expr_single st in
+  Ast.If { cond; then_; else_ }
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while is_kw st "or" do
+    advance st;
+    lhs := Ast.Binop (Ast.Op_or, !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_comparison st) in
+  while is_kw st "and" do
+    advance st;
+    lhs := Ast.Binop (Ast.Op_and, !lhs, parse_comparison st)
+  done;
+  !lhs
+
+and parse_comparison st =
+  let lhs = parse_range st in
+  let op =
+    match st.tok with
+    | L.Eq -> Some Ast.Op_eq
+    | L.Ne -> Some Ast.Op_ne
+    | L.Lt -> Some Ast.Op_lt
+    | L.Le -> Some Ast.Op_le
+    | L.Gt -> Some Ast.Op_gt
+    | L.Ge -> Some Ast.Op_ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, parse_range st)
+
+and parse_range st =
+  let lhs = parse_additive st in
+  if is_kw st "to" then begin
+    advance st;
+    Ast.Binop (Ast.Op_to, lhs, parse_additive st)
+  end
+  else lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec loop () =
+    match st.tok with
+    | L.Plus ->
+        advance st;
+        lhs := Ast.Binop (Ast.Op_add, !lhs, parse_multiplicative st);
+        loop ()
+    | L.Minus ->
+        advance st;
+        lhs := Ast.Binop (Ast.Op_sub, !lhs, parse_multiplicative st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_union st) in
+  let rec loop () =
+    if st.tok = L.Star then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_mul, !lhs, parse_union st);
+      loop ()
+    end
+    else if is_kw st "div" then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_div, !lhs, parse_union st);
+      loop ()
+    end
+    else if is_kw st "idiv" then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_idiv, !lhs, parse_union st);
+      loop ()
+    end
+    else if is_kw st "mod" then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_mod, !lhs, parse_union st);
+      loop ()
+    end
+  in
+  loop ();
+  !lhs
+
+and parse_union st =
+  let lhs = ref (parse_intersect_except st) in
+  let rec loop () =
+    if st.tok = L.Bar then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_union, !lhs, parse_intersect_except st);
+      loop ()
+    end
+    else if is_kw st "union" then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_union, !lhs, parse_intersect_except st);
+      loop ()
+    end
+  in
+  loop ();
+  !lhs
+
+and parse_intersect_except st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    if is_kw st "intersect" then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_intersect, !lhs, parse_unary st);
+      loop ()
+    end
+    else if is_kw st "except" then begin
+      advance st;
+      lhs := Ast.Binop (Ast.Op_except, !lhs, parse_unary st);
+      loop ()
+    end
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  if st.tok = L.Minus then begin
+    advance st;
+    Ast.Unary_minus (parse_unary st)
+  end
+  else parse_path st
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                              *)
+
+and parse_path st =
+  match st.tok with
+  | L.Slash ->
+      advance st;
+      let root = Ast.Call { name = "root"; args = [ Ast.Context_item ] } in
+      if starts_step st then parse_rel_path st root else root
+  | L.Dslash ->
+      advance st;
+      let root = Ast.Call { name = "root"; args = [ Ast.Context_item ] } in
+      let dos =
+        Ast.Step
+          {
+            input = root;
+            axis = Ast.Std Standoff_xpath.Axes.Descendant_or_self;
+            test = Standoff_xpath.Node_test.Kind_node;
+          }
+      in
+      parse_rel_path st dos
+  | _ ->
+      let first = parse_step_expr st None in
+      parse_rel_path_rest st first
+
+and starts_step st =
+  match st.tok with
+  | L.Name _ | L.Star | L.At | L.Dot | L.Dotdot | L.Var _ | L.Lparen
+  | L.String _ | L.Int _ | L.Float _ ->
+      true
+  | _ -> false
+
+and parse_rel_path st input =
+  let first = parse_step_expr st (Some input) in
+  parse_rel_path_rest st first
+
+and parse_rel_path_rest st lhs =
+  match st.tok with
+  | L.Slash ->
+      advance st;
+      let next = parse_step_expr st (Some lhs) in
+      parse_rel_path_rest st next
+  | L.Dslash ->
+      advance st;
+      let dos =
+        Ast.Step
+          {
+            input = lhs;
+            axis = Ast.Std Standoff_xpath.Axes.Descendant_or_self;
+            test = Standoff_xpath.Node_test.Kind_node;
+          }
+      in
+      let next = parse_step_expr st (Some dos) in
+      parse_rel_path_rest st next
+  | _ -> lhs
+
+(* One step of a relative path.  [input = None] means the step opens
+   the path (context is the focus); axis steps then run from the
+   context item. *)
+and parse_step_expr st input =
+  let input_expr () =
+    match input with Some e -> e | None -> Ast.Context_item
+  in
+  match st.tok with
+  | L.At ->
+      advance st;
+      let test = parse_node_test st in
+      finish_axis_step st ~input:(input_expr ()) ~axis:Ast.Attribute ~test
+  | L.Dotdot ->
+      advance st;
+      finish_axis_step st ~input:(input_expr ())
+        ~axis:(Ast.Std Standoff_xpath.Axes.Parent)
+        ~test:Standoff_xpath.Node_test.Kind_node
+  | L.Star ->
+      advance st;
+      finish_axis_step st ~input:(input_expr ())
+        ~axis:(Ast.Std Standoff_xpath.Axes.Child)
+        ~test:Standoff_xpath.Node_test.Any
+  | L.Name name -> (
+      (* Could be: axis::test, kind test, function call, name test, or
+         a keyword-ish primary.  Peek at what follows the name. *)
+      advance st;
+      match st.tok with
+      | L.Axis_sep -> (
+          advance st;
+          match axis_of_name name with
+          | Some axis ->
+              let test = parse_node_test st in
+              finish_axis_step st ~input:(input_expr ()) ~axis ~test
+          | None -> fail st (Printf.sprintf "unknown axis %s" name))
+      | L.Lparen when List.mem name kind_test_names ->
+          let test = parse_kind_test st name in
+          finish_axis_step st ~input:(input_expr ())
+            ~axis:(Ast.Std Standoff_xpath.Axes.Child)
+            ~test
+      | L.Lparen ->
+          let call = parse_call st name in
+          let call = parse_predicates st call in
+          (* In the middle of a path a function call is evaluated per
+             context item ([E/f(...)]); at the head it stands alone. *)
+          (match input with
+          | None -> call
+          | Some input -> Ast.Path_map { input; body = call })
+      | _ ->
+          (* Plain name test on the child axis. *)
+          finish_axis_step st ~input:(input_expr ())
+            ~axis:(Ast.Std Standoff_xpath.Axes.Child)
+            ~test:(Standoff_xpath.Node_test.Name name))
+  | _ ->
+      let prim = parse_primary st in
+      let prim = parse_predicates st prim in
+      (match input with
+      | None -> prim
+      | Some input -> Ast.Path_map { input; body = prim })
+
+(* Attach predicates to an axis step, desugaring to per-context-node
+   filtering when predicates are present. *)
+and finish_axis_step st ~input ~axis ~test =
+  if st.tok <> L.Lbracket then Ast.Step { input; axis; test }
+  else begin
+    let dot = fresh_var st "dot" in
+    let step = Ast.Step { input = Ast.Var dot; axis; test } in
+    let filtered = parse_predicates st step in
+    Ast.Call
+      {
+        name = "#ddo";
+        args =
+          [
+            Ast.For
+              { var = dot; pos_var = None; source = input; order_by = [];
+                body = filtered };
+          ];
+      }
+  end
+
+and parse_predicates st expr =
+  let acc = ref expr in
+  while st.tok = L.Lbracket do
+    advance st;
+    let predicate = parse_expr_seq st in
+    expect st L.Rbracket;
+    acc := Ast.Filter { input = !acc; predicate }
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Primaries                                                          *)
+
+and parse_call st name =
+  (* The '(' is current. *)
+  expect st L.Lparen;
+  let args = ref [] in
+  if st.tok <> L.Rparen then begin
+    args := [ parse_expr_single st ];
+    while st.tok = L.Comma do
+      advance st;
+      args := parse_expr_single st :: !args
+    done
+  end;
+  expect st L.Rparen;
+  Ast.Call { name; args = List.rev !args }
+
+and parse_primary st =
+  match st.tok with
+  | L.Int i ->
+      advance st;
+      Ast.Literal (Ast.Lit_int i)
+  | L.Float f ->
+      advance st;
+      Ast.Literal (Ast.Lit_float f)
+  | L.String s ->
+      advance st;
+      Ast.Literal (Ast.Lit_string s)
+  | L.Var v ->
+      advance st;
+      Ast.Var v
+  | L.Dot ->
+      advance st;
+      Ast.Context_item
+  | L.Lparen ->
+      advance st;
+      if st.tok = L.Rparen then begin
+        advance st;
+        Ast.Sequence []
+      end
+      else begin
+        let e = parse_expr_seq st in
+        expect st L.Rparen;
+        e
+      end
+  | L.Lt -> parse_constructor st
+  | t -> fail st (Printf.sprintf "unexpected %s" (L.token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Direct element constructors                                        *)
+
+(* The lexer cannot tokenize markup; rewind to the '<' and scan
+   characters, recursing into the token-level parser inside enclosed
+   expressions. *)
+and parse_constructor st =
+  L.seek st.lx st.tok_off;
+  (* consume '<' *)
+  L.advance_char st.lx;
+  let ctor = scan_element st in
+  advance st;
+  parse_predicates st ctor
+
+and scan_name_raw st =
+  let buf = Buffer.create 8 in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.' || c = ':'
+  in
+  if not (is_name_char (L.peek_char st.lx)) then
+    L.error st.lx "expected a name in constructor";
+  while is_name_char (L.peek_char st.lx) do
+    Buffer.add_char buf (L.peek_char st.lx);
+    L.advance_char st.lx
+  done;
+  Buffer.contents buf
+
+and skip_raw_ws st =
+  while
+    match L.peek_char st.lx with
+    | ' ' | '\t' | '\r' | '\n' -> true
+    | _ -> false
+  do
+    L.advance_char st.lx
+  done
+
+(* Decode the five predefined entities and character references in
+   constructor text. *)
+and scan_reference st buf =
+  L.advance_char st.lx;
+  let name = Buffer.create 8 in
+  while L.peek_char st.lx <> ';' && not (L.at_eof st.lx) do
+    Buffer.add_char name (L.peek_char st.lx);
+    L.advance_char st.lx
+  done;
+  if L.at_eof st.lx then L.error st.lx "unterminated entity reference";
+  L.advance_char st.lx;
+  match Buffer.contents name with
+  | "lt" -> Buffer.add_char buf '<'
+  | "gt" -> Buffer.add_char buf '>'
+  | "amp" -> Buffer.add_char buf '&'
+  | "apos" -> Buffer.add_char buf '\''
+  | "quot" -> Buffer.add_char buf '"'
+  | s when String.length s > 1 && s.[0] = '#' ->
+      let code =
+        try
+          if s.[1] = 'x' || s.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub s 2 (String.length s - 2))
+          else int_of_string (String.sub s 1 (String.length s - 1))
+        with Failure _ -> L.error st.lx "invalid character reference"
+      in
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else L.error st.lx "character references above 127 unsupported here"
+  | s -> L.error st.lx (Printf.sprintf "unknown entity &%s;" s)
+
+(* Enclosed expression: '{' Expr '}' parsed at token level, then the
+   raw scan resumes right after the closing brace. *)
+and scan_enclosed st =
+  L.advance_char st.lx;
+  advance st;
+  let e = parse_expr_seq st in
+  if st.tok <> L.Rbrace then fail st "expected '}' in constructor";
+  (* Reposition the raw cursor right after the '}'. *)
+  L.seek st.lx (st.tok_off + 1);
+  e
+
+and scan_attr_value st quote =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      parts := Ast.Fixed (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  let rec loop () =
+    let c = L.peek_char st.lx in
+    if L.at_eof st.lx then L.error st.lx "unterminated attribute value"
+    else if c = quote then L.advance_char st.lx
+    else if c = '{' then
+      if L.peek_char2 st.lx = '{' then begin
+        Buffer.add_char buf '{';
+        L.advance_char st.lx;
+        L.advance_char st.lx;
+        loop ()
+      end
+      else begin
+        flush ();
+        parts := Ast.Enclosed (scan_enclosed st) :: !parts;
+        loop ()
+      end
+    else if c = '}' && L.peek_char2 st.lx = '}' then begin
+      Buffer.add_char buf '}';
+      L.advance_char st.lx;
+      L.advance_char st.lx;
+      loop ()
+    end
+    else if c = '&' then begin
+      scan_reference st buf;
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf c;
+      L.advance_char st.lx;
+      loop ()
+    end
+  in
+  loop ();
+  flush ();
+  List.rev !parts
+
+and scan_attributes st =
+  let attrs = ref [] in
+  let rec loop () =
+    skip_raw_ws st;
+    let c = L.peek_char st.lx in
+    if c = '/' || c = '>' then ()
+    else begin
+      let name = scan_name_raw st in
+      skip_raw_ws st;
+      if L.peek_char st.lx <> '=' then L.error st.lx "expected '='";
+      L.advance_char st.lx;
+      skip_raw_ws st;
+      let quote = L.peek_char st.lx in
+      if quote <> '"' && quote <> '\'' then
+        L.error st.lx "expected a quoted attribute value";
+      L.advance_char st.lx;
+      attrs := (name, scan_attr_value st quote) :: !attrs;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !attrs
+
+and scan_element st =
+  let tag = scan_name_raw st in
+  let attrs = scan_attributes st in
+  skip_raw_ws st;
+  if L.peek_char st.lx = '/' then begin
+    L.advance_char st.lx;
+    if L.peek_char st.lx <> '>' then L.error st.lx "expected '>'";
+    L.advance_char st.lx;
+    Ast.Elem_ctor { tag; attrs; content = [] }
+  end
+  else begin
+    if L.peek_char st.lx <> '>' then L.error st.lx "expected '>'";
+    L.advance_char st.lx;
+    let content = ref [] in
+    let buf = Buffer.create 32 in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        content := Ast.Fixed (Buffer.contents buf) :: !content;
+        Buffer.clear buf
+      end
+    in
+    let rec loop () =
+      if L.at_eof st.lx then L.error st.lx "unterminated constructor"
+      else
+        let c = L.peek_char st.lx in
+        if c = '<' && L.peek_char2 st.lx = '/' then begin
+          L.advance_char st.lx;
+          L.advance_char st.lx;
+          let close = scan_name_raw st in
+          skip_raw_ws st;
+          if L.peek_char st.lx <> '>' then L.error st.lx "expected '>'";
+          L.advance_char st.lx;
+          if not (String.equal close tag) then
+            L.error st.lx
+              (Printf.sprintf "constructor <%s> closed by </%s>" tag close)
+        end
+        else if c = '<' then begin
+          flush ();
+          L.advance_char st.lx;
+          content := Ast.Enclosed (scan_element st) :: !content;
+          loop ()
+        end
+        else if c = '{' then
+          if L.peek_char2 st.lx = '{' then begin
+            Buffer.add_char buf '{';
+            L.advance_char st.lx;
+            L.advance_char st.lx;
+            loop ()
+          end
+          else begin
+            flush ();
+            content := Ast.Enclosed (scan_enclosed st) :: !content;
+            loop ()
+          end
+        else if c = '}' && L.peek_char2 st.lx = '}' then begin
+          Buffer.add_char buf '}';
+          L.advance_char st.lx;
+          L.advance_char st.lx;
+          loop ()
+        end
+        else if c = '&' then begin
+          scan_reference st buf;
+          loop ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          L.advance_char st.lx;
+          loop ()
+        end
+    in
+    loop ();
+    flush ();
+    Ast.Elem_ctor { tag; attrs; content = List.rev !content }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Prolog                                                             *)
+
+let rec parse_function_def st =
+  let fn_name = expect_name st in
+  expect st L.Lparen;
+  let params = ref [] in
+  if st.tok <> L.Rparen then begin
+    let rec loop () =
+      params := expect_var st :: !params;
+      (* Optional "as" type annotations are accepted and ignored. *)
+      if eat_kw st "as" then skip_sequence_type st;
+      if st.tok = L.Comma then begin
+        advance st;
+        loop ()
+      end
+    in
+    loop ()
+  end;
+  expect st L.Rparen;
+  if eat_kw st "as" then skip_sequence_type st;
+  expect st L.Lbrace;
+  let fn_body = parse_expr_seq st in
+  expect st L.Rbrace;
+  { Ast.fn_name; fn_params = List.rev !params; fn_body }
+
+(* Sequence types are accepted for compatibility and ignored:
+   a name, optionally with (), and an occurrence indicator. *)
+and skip_sequence_type st =
+  (match st.tok with
+  | L.Name _ ->
+      advance st;
+      if st.tok = L.Lparen then begin
+        advance st;
+        (match st.tok with L.Name _ -> advance st | _ -> ());
+        expect st L.Rparen
+      end
+  | _ -> fail st "expected a type name after 'as'");
+  match st.tok with L.Star | L.Plus -> advance st | _ -> ()
+
+let parse_prolog st =
+  let decls = ref [] in
+  let rec loop () =
+    if is_kw st "declare" then begin
+      advance st;
+      if eat_kw st "option" then begin
+        let name = expect_name st in
+        let value = expect_string st in
+        decls := Ast.Decl_option { name; value } :: !decls
+      end
+      else if eat_kw st "namespace" then begin
+        let prefix = expect_name st in
+        expect st L.Eq;
+        let uri = expect_string st in
+        decls := Ast.Decl_namespace { prefix; uri } :: !decls
+      end
+      else if eat_kw st "function" then
+        decls := Ast.Decl_function (parse_function_def st) :: !decls
+      else if eat_kw st "variable" then begin
+        let var = expect_var st in
+        if eat_kw st "as" then skip_sequence_type st;
+        expect st L.Assign;
+        let value = parse_expr_single st in
+        decls := Ast.Decl_variable { var; value } :: !decls
+      end
+      else if eat_kw st "module" then begin
+        (* declare module x = "uri" — accepted and recorded as a
+           namespace declaration. *)
+        let prefix = expect_name st in
+        expect st L.Eq;
+        let uri = expect_string st in
+        decls := Ast.Decl_namespace { prefix; uri } :: !decls
+      end
+      else fail st "unsupported declaration";
+      expect st L.Semicolon;
+      loop ()
+    end
+    else if is_kw st "import" then begin
+      (* import module ... — skipped up to the ';'. *)
+      while st.tok <> L.Semicolon && st.tok <> L.Eof do
+        advance st
+      done;
+      expect st L.Semicolon;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !decls
+
+let parse_query src =
+  let st = make src in
+  let prolog = parse_prolog st in
+  let body = parse_expr_seq st in
+  if st.tok <> L.Eof then
+    fail st
+      (Printf.sprintf "trailing input: %s" (L.token_to_string st.tok));
+  { Ast.prolog; body }
+
+let parse_expr src =
+  let q = parse_query src in
+  match q.Ast.prolog with
+  | [] -> q.Ast.body
+  | _ -> invalid_arg "Parse.parse_expr: input has a prolog"

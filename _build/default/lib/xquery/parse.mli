@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the XQuery subset.
+
+    Supported grammar (contextual keywords, XQuery 1.0 style):
+
+    {v
+    Query      ::= Prolog Expr
+    Prolog     ::= ((DeclOption | DeclNamespace | DeclFunction
+                    | DeclVariable | DeclModule) ";")*
+    Expr       ::= ExprSingle ("," ExprSingle)*
+    ExprSingle ::= FLWOR | Quantified | If | OrExpr
+    FLWOR      ::= (ForClause | LetClause)+ ("where" ExprSingle)?
+                   "return" ExprSingle
+    Quantified ::= ("some"|"every") "$"N "in" ExprSingle
+                   "satisfies" ExprSingle
+    OrExpr     ::= AndExpr ("or" AndExpr)*            and so on down the
+                   usual precedence chain (comparison, "to", additive,
+                   multiplicative, union, unary minus)
+    PathExpr   ::= ("/" RelPath?) | ("//" RelPath) | RelPath
+    StepExpr   ::= AxisStep Predicate* | PostfixExpr Predicate*
+    AxisStep   ::= (Axis "::")? NodeTest | "@" NodeTest | ".."
+    Axis       ::= child | descendant | ... | select-narrow
+                   | select-wide | reject-narrow | reject-wide
+    v}
+
+    plus direct element constructors with enclosed expressions.
+    Predicated axis steps are desugared into per-context-node for-loops
+    so that positional predicates keep XPath semantics under loop
+    lifting. *)
+
+(** [parse_query src] parses a complete query with prolog.
+    @raise Lexer.Syntax_error on malformed input. *)
+val parse_query : string -> Ast.query
+
+(** [parse_expr src] parses a bare expression (no prolog) — convenient
+    in tests. *)
+val parse_expr : string -> Ast.expr

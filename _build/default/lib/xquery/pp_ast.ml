@@ -1,0 +1,213 @@
+(* The printer emits fully explicit syntax (no abbreviations, liberal
+   parentheses) so that precedence never needs reconstructing.  Two
+   constructs have no surface form and print as their closest
+   equivalent: the internal #ddo call prints as a trailing [/.] step,
+   and generated variables ("#dot1") print with a [__] prefix; both
+   stabilise after one print/parse round, which is the property the
+   tests check. *)
+
+let binop_name = function
+  | Ast.Op_or -> "or"
+  | Ast.Op_and -> "and"
+  | Ast.Op_eq -> "="
+  | Ast.Op_ne -> "!="
+  | Ast.Op_lt -> "<"
+  | Ast.Op_le -> "<="
+  | Ast.Op_gt -> ">"
+  | Ast.Op_ge -> ">="
+  | Ast.Op_add -> "+"
+  | Ast.Op_sub -> "-"
+  | Ast.Op_mul -> "*"
+  | Ast.Op_div -> "div"
+  | Ast.Op_idiv -> "idiv"
+  | Ast.Op_mod -> "mod"
+  | Ast.Op_to -> "to"
+  | Ast.Op_union -> "|"
+  | Ast.Op_intersect -> "intersect"
+  | Ast.Op_except -> "except"
+
+let var_name v =
+  (* Generated variables carry '#', which is not lexable. *)
+  String.map (function '#' -> '_' | c -> c) v
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_ctor_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '{' -> Buffer.add_string buf "{{"
+      | '}' -> Buffer.add_string buf "}}"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let axis_name = function
+  | Ast.Std a -> Standoff_xpath.Axes.axis_to_string a
+  | Ast.Attribute -> "attribute"
+  | Ast.Standoff op -> Standoff.Op.to_string op
+
+(* Recognise the parser's desugaring of a predicated axis step —
+   #ddo(for $dot in INPUT return $dot/axis::test[p]...[p]) — so it can
+   be printed back in step form, keeping print/parse a fixpoint. *)
+let match_predicated_step expr =
+  match expr with
+  | Ast.Call
+      {
+        name = "#ddo";
+        args = [ Ast.For { var; pos_var = None; source; order_by = []; body } ];
+      } ->
+      let rec peel preds = function
+        | Ast.Filter { input; predicate } -> peel (predicate :: preds) input
+        | Ast.Step { input = Ast.Var v; axis; test } when String.equal v var ->
+            Some (source, axis, test, preds)
+        | _ -> None
+      in
+      peel [] body
+  | _ -> None
+
+let rec pp_expr fmt expr =
+  match match_predicated_step expr with
+  | Some (source, axis, test, preds) ->
+      Format.fprintf fmt "%a/%s::%a" pp_parens source (axis_name axis)
+        Standoff_xpath.Node_test.pp test;
+      List.iter (fun p -> Format.fprintf fmt "[%a]" pp_expr p) preds
+  | None -> pp_expr_plain fmt expr
+
+and pp_expr_plain fmt expr =
+  match expr with
+  | Ast.Literal (Ast.Lit_int i) -> Format.fprintf fmt "%Ld" i
+  | Ast.Literal (Ast.Lit_float f) ->
+      (* Keep a lexical form the lexer reads back as the same float. *)
+      let s = Printf.sprintf "%.17g" f in
+      let is_float_literal = String.exists (fun c -> c = '.' || c = 'e') s in
+      Format.pp_print_string fmt (if is_float_literal then s else s ^ ".0")
+  | Ast.Literal (Ast.Lit_string s) -> Format.fprintf fmt "\"%s\"" (escape_string s)
+  | Ast.Var v -> Format.fprintf fmt "$%s" (var_name v)
+  | Ast.Context_item -> Format.pp_print_string fmt "."
+  | Ast.Sequence [] -> Format.pp_print_string fmt "()"
+  | Ast.Sequence es ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           pp_expr)
+        es
+  | Ast.For { var; pos_var; source; order_by; body } ->
+      Format.fprintf fmt "@[<hv 2>for $%s%t in %a%t@ return %a@]"
+        (var_name var)
+        (fun fmt ->
+          match pos_var with
+          | Some p -> Format.fprintf fmt " at $%s" (var_name p)
+          | None -> ())
+        pp_parens source
+        (fun fmt ->
+          match order_by with
+          | [] -> ()
+          | specs ->
+              Format.fprintf fmt "@ order by %a"
+                (Format.pp_print_list
+                   ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+                   (fun fmt spec ->
+                     Format.fprintf fmt "%a%s" pp_parens spec.Ast.key
+                       (if spec.Ast.descending then " descending" else "")))
+                specs)
+        pp_expr body
+  | Ast.Let { var; value; body } ->
+      Format.fprintf fmt "@[<hv 2>let $%s := %a@ return %a@]" (var_name var)
+        pp_parens value pp_expr body
+  | Ast.Where { cond; body } ->
+      (* [where] exists only inside FLWOR; standalone it prints as an
+         equivalent conditional. *)
+      Format.fprintf fmt "@[<hv 2>if (%a)@ then %a@ else ()@]" pp_expr cond
+        pp_expr body
+  | Ast.Quantified { universal; var; source; satisfies } ->
+      Format.fprintf fmt "@[<hv 2>%s $%s in %a@ satisfies %a@]"
+        (if universal then "every" else "some")
+        (var_name var) pp_parens source pp_expr satisfies
+  | Ast.If { cond; then_; else_ } ->
+      Format.fprintf fmt "@[<hv 2>if (%a)@ then %a@ else %a@]" pp_expr cond
+        pp_parens then_ pp_parens else_
+  | Ast.Binop (op, a, b) ->
+      Format.fprintf fmt "%a %s %a" pp_parens a (binop_name op) pp_parens b
+  | Ast.Unary_minus e -> Format.fprintf fmt "-%a" pp_parens e
+  | Ast.Step { input; axis; test } ->
+      Format.fprintf fmt "%a/%s::%a" pp_parens input (axis_name axis)
+        Standoff_xpath.Node_test.pp test
+  | Ast.Filter { input; predicate } ->
+      Format.fprintf fmt "%a[%a]" pp_parens input pp_expr predicate
+  | Ast.Path_map { input; body = Ast.Context_item } ->
+      Format.fprintf fmt "%a/." pp_parens input
+  | Ast.Path_map { input; body } ->
+      Format.fprintf fmt "%a/%a" pp_parens input pp_parens body
+  | Ast.Call { name = "#ddo"; args = [ arg ] } ->
+      Format.fprintf fmt "%a/." pp_parens arg
+  | Ast.Call { name; args } ->
+      Format.fprintf fmt "%s(%a)" name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           pp_expr)
+        args
+  | Ast.Elem_ctor { tag; attrs; content } ->
+      Format.fprintf fmt "<%s" tag;
+      List.iter
+        (fun (name, parts) ->
+          Format.fprintf fmt " %s=\"" name;
+          List.iter (pp_attr_part fmt) parts;
+          Format.fprintf fmt "\"")
+        attrs;
+      if content = [] then Format.fprintf fmt "/>"
+      else begin
+        Format.fprintf fmt ">";
+        List.iter (pp_content_part fmt) content;
+        Format.fprintf fmt "</%s>" tag
+      end
+
+and pp_attr_part fmt = function
+  | Ast.Fixed s -> Format.pp_print_string fmt (escape_ctor_text s)
+  | Ast.Enclosed e -> Format.fprintf fmt "{%a}" pp_expr e
+
+and pp_content_part fmt = function
+  | Ast.Fixed s -> Format.pp_print_string fmt (escape_ctor_text s)
+  | Ast.Enclosed (Ast.Elem_ctor _ as e) -> pp_expr fmt e
+  | Ast.Enclosed e -> Format.fprintf fmt "{%a}" pp_expr e
+
+(* Parenthesize everything that is not atomic; parentheses are free in
+   the grammar and spare us a precedence table. *)
+and pp_parens fmt expr =
+  match expr with
+  | Ast.Literal (Ast.Lit_int i) when Int64.compare i 0L >= 0 -> pp_expr fmt expr
+  | Ast.Literal (Ast.Lit_string _)
+  | Ast.Var _ | Ast.Context_item | Ast.Sequence _
+  | Ast.Call _ | Ast.Step _ | Ast.Filter _ | Ast.Path_map _ | Ast.Elem_ctor _
+    ->
+      pp_expr fmt expr
+  | _ -> Format.fprintf fmt "(%a)" pp_expr expr
+
+let expr_to_string e = Format.asprintf "@[<hv>%a@]" pp_expr e
+
+let decl_to_string = function
+  | Ast.Decl_option { name; value } ->
+      Printf.sprintf "declare option %s \"%s\";" name (escape_string value)
+  | Ast.Decl_namespace { prefix; uri } ->
+      Printf.sprintf "declare namespace %s = \"%s\";" prefix (escape_string uri)
+  | Ast.Decl_variable { var; value } ->
+      Printf.sprintf "declare variable $%s := %s;" (var_name var)
+        (expr_to_string value)
+  | Ast.Decl_function { fn_name; fn_params; fn_body } ->
+      Printf.sprintf "declare function %s(%s) { %s };" fn_name
+        (String.concat ", " (List.map (fun p -> "$" ^ var_name p) fn_params))
+        (expr_to_string fn_body)
+
+let query_to_string (q : Ast.query) =
+  String.concat "\n"
+    (List.map decl_to_string q.Ast.prolog @ [ expr_to_string q.Ast.body ])

@@ -1,0 +1,13 @@
+(** Pretty-printing of the AST back to query surface syntax.
+
+    The output re-parses to the same AST (tested as a fixpoint
+    property), which makes it usable both as an [explain] facility —
+    showing how the parser desugared a query (abbreviated steps,
+    predicate loops, where clauses) — and as a debugging aid. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val expr_to_string : Ast.expr -> string
+
+(** [query_to_string q] includes the prolog declarations. *)
+val query_to_string : Ast.query -> string

@@ -1,0 +1,27 @@
+module Doc = Standoff_store.Doc
+module Collection = Standoff_store.Collection
+module Item = Standoff_relalg.Item
+module Serializer = Standoff_xml.Serializer
+
+let item coll = function
+  | Item.Node n ->
+      let doc = Collection.doc coll n.Collection.doc_id in
+      Serializer.node_to_string (Doc.to_dom doc n.Collection.pre)
+  | Item.Attribute (_, name, value) ->
+      Printf.sprintf "%s=\"%s\"" name (Serializer.escape_attr value)
+  | (Item.Bool _ | Item.Int _ | Item.Float _ | Item.Str _) as atom ->
+      Atomic.atomic_to_string (Atomic.atomize coll atom)
+
+let sequence coll items =
+  let buf = Buffer.create 256 in
+  let prev_atomic = ref false in
+  List.iteri
+    (fun i it ->
+      let atomic = not (Item.is_node it) in
+      if i > 0 then
+        if atomic && !prev_atomic then Buffer.add_char buf ' '
+        else Buffer.add_char buf '\n';
+      Buffer.add_string buf (item coll it);
+      prev_atomic := atomic)
+    items;
+  Buffer.contents buf

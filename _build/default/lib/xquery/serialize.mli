@@ -1,0 +1,10 @@
+(** Serialization of query results. *)
+
+(** [item coll i] serializes one item: nodes as XML markup, attributes
+    as [name="value"], atomics in their canonical lexical form. *)
+val item : Standoff_store.Collection.t -> Standoff_relalg.Item.t -> string
+
+(** [sequence coll items] serializes a result sequence: adjacent atomic
+    values are separated by a single space, nodes by newlines. *)
+val sequence :
+  Standoff_store.Collection.t -> Standoff_relalg.Item.t list -> string

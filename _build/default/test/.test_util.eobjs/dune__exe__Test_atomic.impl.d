@@ -1,0 +1,1 @@
+test/test_atomic.ml: Alcotest Float Int64 QCheck QCheck_alcotest Standoff_relalg Standoff_store Standoff_xquery

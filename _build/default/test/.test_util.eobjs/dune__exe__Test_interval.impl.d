@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Gen Hashtbl Int64 List Option QCheck QCheck_alcotest Standoff_interval

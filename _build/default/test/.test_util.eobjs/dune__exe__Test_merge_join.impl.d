@@ -1,0 +1,1 @@
+test/test_merge_join.ml: Alcotest Array List Printf QCheck QCheck_alcotest Standoff Standoff_store Standoff_util String

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Bytes Char Filename Fun Int64 List Printf QCheck QCheck_alcotest Standoff_store Standoff_util Standoff_xmark Standoff_xml Standoff_xquery String Sys

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Fmt Fun Int64 List QCheck QCheck_alcotest Standoff_relalg Standoff_store

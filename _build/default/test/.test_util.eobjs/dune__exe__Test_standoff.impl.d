@@ -1,0 +1,1 @@
+test/test_standoff.ml: Alcotest Array List Printf QCheck QCheck_alcotest Standoff Standoff_interval Standoff_store String

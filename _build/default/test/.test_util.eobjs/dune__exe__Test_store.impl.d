@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array List QCheck QCheck_alcotest Standoff_interval Standoff_store Standoff_xml

@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Array Buffer Int64 List Option Printf Standoff Standoff_relalg Standoff_store Standoff_xmark Standoff_xml Standoff_xquery String

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Bytes Char List Printf QCheck QCheck_alcotest Standoff_xml String

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Standoff_relalg Standoff_store Standoff_xml Standoff_xpath String

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest List Printf QCheck QCheck_alcotest Standoff Standoff_relalg Standoff_store Standoff_util Standoff_xquery String

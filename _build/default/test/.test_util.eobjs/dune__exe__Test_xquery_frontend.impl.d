@@ -1,0 +1,1 @@
+test/test_xquery_frontend.ml: Alcotest Float List Printf Standoff Standoff_relalg Standoff_store Standoff_xpath Standoff_xquery String

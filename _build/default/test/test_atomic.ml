@@ -1,0 +1,178 @@
+(* Unit tests of the XQuery value semantics: atomization, general
+   comparison conversion rules, arithmetic, the effective boolean
+   value, and the order-by comparator. *)
+
+module Atomic = Standoff_xquery.Atomic
+module Err = Standoff_xquery.Err
+module Item = Standoff_relalg.Item
+module Collection = Standoff_store.Collection
+
+let coll =
+  let c = Collection.create () in
+  ignore (Collection.load_string c ~name:"d" "<a n=\"5\">hello <b>world</b></a>");
+  c
+
+let int i = Atomic.A_int (Int64.of_int i)
+let flt f = Atomic.A_float f
+let str s = Atomic.A_str s
+let untyped s = Atomic.A_untyped s
+
+let cmp c a b = Atomic.compare_atomics c a b
+
+let expect_error f =
+  match f () with
+  | exception Err.Error _ -> ()
+  | _ -> Alcotest.fail "expected a dynamic error"
+
+(* ------------------------------------------------------------ *)
+
+let test_atomize () =
+  Alcotest.(check bool) "node to untyped" true
+    (match Atomic.atomize coll (Item.Node { Collection.doc_id = 0; pre = 1 }) with
+    | Atomic.A_untyped "hello world" -> true
+    | _ -> false);
+  Alcotest.(check bool) "attribute to untyped" true
+    (match
+       Atomic.atomize coll
+         (Item.Attribute ({ Collection.doc_id = 0; pre = 1 }, "n", "5"))
+     with
+    | Atomic.A_untyped "5" -> true
+    | _ -> false);
+  Alcotest.(check bool) "int passthrough" true
+    (Atomic.atomize coll (Item.Int 3L) = Atomic.A_int 3L)
+
+let test_string_value () =
+  Alcotest.(check string) "float integral" "3"
+    (Atomic.string_value coll (Item.Float 3.0));
+  Alcotest.(check string) "float fractional" "3.5"
+    (Atomic.string_value coll (Item.Float 3.5));
+  Alcotest.(check string) "bool" "true" (Atomic.string_value coll (Item.Bool true))
+
+let test_numeric_comparisons () =
+  Alcotest.(check bool) "int lt" true (cmp Atomic.Clt (int 1) (int 2));
+  Alcotest.(check bool) "promotion" true (cmp Atomic.Ceq (int 2) (flt 2.0));
+  Alcotest.(check bool) "float ne" true (cmp Atomic.Cne (flt 1.5) (int 1));
+  Alcotest.(check bool) "ge equal" true (cmp Atomic.Cge (int 2) (int 2))
+
+let test_untyped_conversion () =
+  (* vs numeric: cast the untyped side. *)
+  Alcotest.(check bool) "untyped vs int" true (cmp Atomic.Clt (untyped "8") (int 31));
+  Alcotest.(check bool) "int vs untyped" true (cmp Atomic.Cge (int 31) (untyped "8"));
+  (* vs string: string comparison. *)
+  Alcotest.(check bool) "untyped vs string" true
+    (cmp Atomic.Clt (untyped "abc") (str "abd"));
+  (* two untyped: equality is string equality... *)
+  Alcotest.(check bool) "untyped eq strings" false
+    (cmp Atomic.Ceq (untyped "08") (untyped "8"));
+  (* ...but ordering goes numeric when both parse (XPath 1.0 rule). *)
+  Alcotest.(check bool) "untyped ordering numeric" true
+    (cmp Atomic.Cle (untyped "8") (untyped "31"));
+  Alcotest.(check bool) "untyped ordering string fallback" true
+    (cmp Atomic.Clt (untyped "apple") (untyped "banana"));
+  (* uncastable untyped vs numeric errors. *)
+  expect_error (fun () -> cmp Atomic.Clt (untyped "x") (int 1))
+
+let test_bool_comparisons () =
+  Alcotest.(check bool) "bool eq" true
+    (cmp Atomic.Ceq (Atomic.A_bool true) (Atomic.A_bool true));
+  Alcotest.(check bool) "untyped to bool" true
+    (cmp Atomic.Ceq (untyped "true") (Atomic.A_bool true));
+  expect_error (fun () -> cmp Atomic.Ceq (str "x") (int 1))
+
+let test_arithmetic () =
+  let a op x y = Atomic.arithmetic op x y in
+  Alcotest.(check bool) "int add" true (a Atomic.Add (int 2) (int 3) = int 5);
+  Alcotest.(check bool) "exact div stays int" true
+    (a Atomic.Div (int 6) (int 2) = int 3);
+  Alcotest.(check bool) "inexact div floats" true
+    (a Atomic.Div (int 7) (int 2) = flt 3.5);
+  Alcotest.(check bool) "idiv truncates" true
+    (a Atomic.Idiv (int 7) (int 2) = int 3);
+  Alcotest.(check bool) "mod" true (a Atomic.Mod (int 7) (int 2) = int 1);
+  Alcotest.(check bool) "untyped operand" true
+    (a Atomic.Add (untyped "4") (int 1) = int 5);
+  Alcotest.(check bool) "float contagion" true
+    (a Atomic.Mul (flt 1.5) (int 2) = flt 3.0);
+  expect_error (fun () -> a Atomic.Div (int 1) (int 0));
+  expect_error (fun () -> a Atomic.Idiv (int 1) (int 0));
+  expect_error (fun () -> a Atomic.Mod (int 1) (int 0));
+  expect_error (fun () -> a Atomic.Add (str "x") (int 1))
+
+let test_negate () =
+  Alcotest.(check bool) "int" true (Atomic.negate (int 4) = int (-4));
+  Alcotest.(check bool) "untyped" true (Atomic.negate (untyped "2.5") = flt (-2.5))
+
+let test_ebv () =
+  let ebv = Atomic.effective_boolean_value coll in
+  Alcotest.(check bool) "empty" false (ebv []);
+  Alcotest.(check bool) "node first" true
+    (ebv [ Item.Node { Collection.doc_id = 0; pre = 1 }; Item.Int 0L ]);
+  Alcotest.(check bool) "zero" false (ebv [ Item.Int 0L ]);
+  Alcotest.(check bool) "nan" false (ebv [ Item.Float Float.nan ]);
+  Alcotest.(check bool) "nonempty string" true (ebv [ Item.Str "x" ]);
+  Alcotest.(check bool) "empty string" false (ebv [ Item.Str "" ]);
+  expect_error (fun () -> ebv [ Item.Int 1L; Item.Int 2L ])
+
+let test_to_number () =
+  Alcotest.(check bool) "int64 exact" true
+    (Atomic.to_number (untyped "4611686018427387904") = Atomic.A_int 4611686018427387904L);
+  Alcotest.(check bool) "float" true (Atomic.to_number (untyped "1.5") = flt 1.5);
+  Alcotest.(check bool) "bool" true (Atomic.to_number (Atomic.A_bool true) = int 1);
+  expect_error (fun () -> Atomic.to_number (str "nope"))
+
+let test_order_compare () =
+  let oc = Atomic.order_compare in
+  Alcotest.(check bool) "ints" true (oc (int 1) (int 2) < 0);
+  Alcotest.(check bool) "numeric untyped" true (oc (untyped "9") (untyped "10") < 0);
+  Alcotest.(check bool) "strings lexicographic" true (oc (str "10") (str "9") < 0);
+  Alcotest.(check bool) "mixed falls back to strings" true
+    (oc (str "a") (untyped "b") < 0);
+  Alcotest.(check int) "equal" 0 (oc (flt 2.0) (int 2))
+
+let qcheck_order_compare_total =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun i -> Atomic.A_int (Int64.of_int i)) (int_range (-1000) 1000);
+          map (fun f -> Atomic.A_float f) (float_bound_inclusive 100.0);
+          map
+            (fun i -> Atomic.A_untyped (string_of_int i))
+            (int_range (-50) 50);
+          map (fun s -> Atomic.A_str s) (oneofl [ "a"; "b"; "10"; "9" ]);
+        ])
+  in
+  let arb = QCheck.make ~print:Atomic.atomic_to_string gen in
+  QCheck.Test.make ~name:"order_compare is a total order" ~count:1000
+    QCheck.(triple arb arb arb)
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      sgn (Atomic.order_compare a b) = -sgn (Atomic.order_compare b a)
+      && ((not (Atomic.order_compare a b <= 0 && Atomic.order_compare b c <= 0))
+         || Atomic.order_compare a c <= 0))
+
+let () =
+  Alcotest.run "atomic"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "atomize" `Quick test_atomize;
+          Alcotest.test_case "string value" `Quick test_string_value;
+          Alcotest.test_case "to_number" `Quick test_to_number;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "numeric" `Quick test_numeric_comparisons;
+          Alcotest.test_case "untyped conversion" `Quick test_untyped_conversion;
+          Alcotest.test_case "booleans" `Quick test_bool_comparisons;
+          Alcotest.test_case "order_compare" `Quick test_order_compare;
+          QCheck_alcotest.to_alcotest qcheck_order_compare_total;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "operators" `Quick test_arithmetic;
+          Alcotest.test_case "negate" `Quick test_negate;
+        ] );
+      ( "ebv",
+        [ Alcotest.test_case "effective boolean value" `Quick test_ebv ] );
+    ]

@@ -1,0 +1,245 @@
+(* Tests of the region/area semantics layer (paper §2–3): Allen's 13
+   relations and their collapse onto containment/overlap, and the
+   area-level predicates over non-contiguous annotations. *)
+
+module Region = Standoff_interval.Region
+module Area = Standoff_interval.Area
+module Allen = Standoff_interval.Allen
+
+let r = Region.make_int
+
+let region_gen =
+  QCheck.map
+    (fun (a, b) -> if a <= b then r a b else r b a)
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+
+let area_gen =
+  QCheck.map
+    (fun (first, rest) -> Area.make (first :: rest))
+    QCheck.(pair region_gen (list_of_size Gen.(0 -- 4) region_gen))
+
+(* ------------------------------------------------------------------ *)
+(* Region basics                                                      *)
+
+let test_region_make_invalid () =
+  Alcotest.check_raises "start > end"
+    (Invalid_argument "Region.make: start 5 > end 3") (fun () ->
+      ignore (r 5 3))
+
+let test_region_point () =
+  let p = r 7 7 in
+  Alcotest.(check int64) "width" 0L (Region.width p);
+  Alcotest.(check bool) "contains itself" true (Region.contains p p);
+  Alcotest.(check bool) "overlaps itself" true (Region.overlaps p p)
+
+let test_region_contains () =
+  Alcotest.(check bool) "proper" true (Region.contains (r 0 10) (r 2 8));
+  Alcotest.(check bool) "equal" true (Region.contains (r 0 10) (r 0 10));
+  Alcotest.(check bool) "left aligned" true (Region.contains (r 0 10) (r 0 5));
+  Alcotest.(check bool) "escapes right" false (Region.contains (r 0 10) (r 5 11));
+  Alcotest.(check bool) "inverse" false (Region.contains (r 2 8) (r 0 10))
+
+let test_region_overlaps_touching () =
+  (* Closed intervals: sharing a single position counts as overlap. *)
+  Alcotest.(check bool) "share endpoint" true (Region.overlaps (r 0 5) (r 5 9));
+  Alcotest.(check bool) "adjacent" false (Region.overlaps (r 0 5) (r 6 9));
+  Alcotest.(check bool) "disjoint" false (Region.overlaps (r 0 5) (r 7 9))
+
+let test_region_intersection_hull () =
+  (match Region.intersection (r 0 10) (r 5 15) with
+  | Some x -> Alcotest.(check string) "intersection" "[5,10]" (Region.to_string x)
+  | None -> Alcotest.fail "expected overlap");
+  Alcotest.(check (option string))
+    "disjoint intersection" None
+    (Option.map Region.to_string (Region.intersection (r 0 4) (r 6 9)));
+  Alcotest.(check string) "hull" "[0,15]" (Region.to_string (Region.hull (r 0 10) (r 5 15)))
+
+let test_region_index_order () =
+  (* The index clustering order: start ascending, wider region first. *)
+  Alcotest.(check bool) "start breaks tie" true (Region.compare (r 0 5) (r 1 2) < 0);
+  Alcotest.(check bool) "wider first" true (Region.compare (r 0 9) (r 0 5) < 0);
+  Alcotest.(check int) "equal" 0 (Region.compare (r 3 4) (r 3 4))
+
+(* ------------------------------------------------------------------ *)
+(* Allen relations                                                    *)
+
+let classify a b = Allen.classify a b
+
+let test_allen_examples () =
+  let check name rel a b =
+    Alcotest.(check string) name (Allen.to_string rel)
+      (Allen.to_string (classify a b))
+  in
+  check "precedes" Allen.Precedes (r 0 3) (r 5 9);
+  check "meets (adjacent)" Allen.Meets (r 0 4) (r 5 9);
+  check "overlaps" Allen.Overlaps (r 0 6) (r 5 9);
+  check "boundary share is overlap" Allen.Overlaps (r 0 5) (r 5 9);
+  check "finished-by" Allen.Finished_by (r 0 9) (r 5 9);
+  check "contains" Allen.Contains (r 0 9) (r 2 8);
+  check "starts" Allen.Starts (r 0 5) (r 0 9);
+  check "equals" Allen.Equals (r 2 8) (r 2 8);
+  check "started-by" Allen.Started_by (r 0 9) (r 0 5);
+  check "during" Allen.During (r 2 8) (r 0 9);
+  check "finishes" Allen.Finishes (r 5 9) (r 0 9);
+  check "overlapped-by" Allen.Overlapped_by (r 5 9) (r 0 6);
+  check "met-by" Allen.Met_by (r 5 9) (r 0 4);
+  check "preceded-by" Allen.Preceded_by (r 5 9) (r 0 3)
+
+let test_allen_count () =
+  Alcotest.(check int) "13 relations" 13 (List.length Allen.all)
+
+let qcheck_allen_inverse =
+  QCheck.Test.make ~name:"classify r2 r1 = inverse (classify r1 r2)"
+    ~count:2000
+    QCheck.(pair region_gen region_gen)
+    (fun (a, b) -> classify b a = Allen.inverse (classify a b))
+
+let qcheck_allen_overlap_collapse =
+  QCheck.Test.make
+    ~name:"implies_overlap (classify) = Region.overlaps (paper's collapse)"
+    ~count:2000
+    QCheck.(pair region_gen region_gen)
+    (fun (a, b) -> Allen.implies_overlap (classify a b) = Region.overlaps a b)
+
+let qcheck_allen_containment_collapse =
+  QCheck.Test.make
+    ~name:"implies_containment (classify) = Region.contains" ~count:2000
+    QCheck.(pair region_gen region_gen)
+    (fun (a, b) ->
+      Allen.implies_containment (classify a b) = Region.contains a b)
+
+(* Exhaustiveness over a small dense grid: every pair of regions in
+   [0,6]^2 classifies into exactly one relation, and each relation is
+   witnessed. *)
+let test_allen_exhaustive_grid () =
+  let seen = Hashtbl.create 13 in
+  for s1 = 0 to 6 do
+    for e1 = s1 to 6 do
+      for s2 = 0 to 6 do
+        for e2 = s2 to 6 do
+          let rel = classify (r s1 e1) (r s2 e2) in
+          Hashtbl.replace seen (Allen.to_string rel) ()
+        done
+      done
+    done
+  done;
+  Alcotest.(check int) "all 13 witnessed" 13 (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Areas                                                              *)
+
+let test_area_empty () =
+  Alcotest.check_raises "empty area"
+    (Invalid_argument "Area.make: an area needs at least one region")
+    (fun () -> ignore (Area.make []))
+
+let test_area_normalisation () =
+  (* Overlapping and touching regions merge; gaps survive. *)
+  let a = Area.make [ r 5 10; r 0 6; r 13 20; r 30 40 ] in
+  Alcotest.(check string) "canonical" "{[0,10];[13,20];[30,40]}"
+    (Area.to_string a);
+  (* Touching regions ([11,20] starts at 10+1) merge as well. *)
+  let b = Area.make [ r 0 10; r 11 20 ] in
+  Alcotest.(check string) "adjacent merge" "{[0,20]}" (Area.to_string b);
+  Alcotest.(check int) "count" 3 (Area.region_count a);
+  Alcotest.(check bool) "not contiguous" false (Area.is_contiguous a)
+
+let test_area_extent_width () =
+  let a = Area.make [ r 0 10; r 20 30 ] in
+  Alcotest.(check string) "extent" "[0,30]" (Region.to_string (Area.extent a));
+  Alcotest.(check int64) "total width" 20L (Area.total_width a)
+
+let test_area_contains_multi () =
+  let a1 = Area.make [ r 0 10; r 20 30 ] in
+  (* Each candidate region inside some region of a1. *)
+  Alcotest.(check bool) "split containment" true
+    (Area.contains a1 (Area.make [ r 2 5; r 22 28 ]));
+  (* A region bridging the gap is not contained. *)
+  Alcotest.(check bool) "bridging region" false
+    (Area.contains a1 (Area.make [ r 5 25 ]));
+  (* One region out of two escapes. *)
+  Alcotest.(check bool) "partial escape" false
+    (Area.contains a1 (Area.make [ r 2 5; r 15 18 ]))
+
+let test_area_overlaps_multi () =
+  let a1 = Area.make [ r 0 10; r 20 30 ] in
+  Alcotest.(check bool) "hits second region" true
+    (Area.overlaps a1 (Area.make [ r 15 21 ]));
+  Alcotest.(check bool) "falls in the gap" false
+    (Area.overlaps a1 (Area.make [ r 12 18 ]));
+  Alcotest.(check bool) "extent would claim overlap" true
+    (Region.overlaps (Area.extent a1) (Region.make_int 12 18))
+
+let qcheck_area_canonical_sorted_disjoint =
+  QCheck.Test.make ~name:"canonical areas: sorted, disjoint, gapped"
+    ~count:1000 area_gen (fun a ->
+      let rec ok = function
+        | [] | [ _ ] -> true
+        | x :: (y :: _ as rest) ->
+            Int64.compare
+              (Int64.add (Region.end_pos x) 1L)
+              (Region.start_pos y)
+            < 0
+            && ok rest
+      in
+      ok (Area.regions a))
+
+let qcheck_area_make_idempotent =
+  QCheck.Test.make ~name:"Area.make is idempotent" ~count:1000 area_gen
+    (fun a -> Area.equal a (Area.make (Area.regions a)))
+
+let qcheck_area_contains_implies_overlaps =
+  QCheck.Test.make ~name:"contains implies overlaps" ~count:2000
+    QCheck.(pair area_gen area_gen)
+    (fun (a1, a2) -> (not (Area.contains a1 a2)) || Area.overlaps a1 a2)
+
+let qcheck_area_contains_transitive =
+  QCheck.Test.make ~name:"containment is transitive" ~count:2000
+    QCheck.(triple area_gen area_gen area_gen)
+    (fun (a, b, c) ->
+      (not (Area.contains a b && Area.contains b c)) || Area.contains a c)
+
+let qcheck_area_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:2000
+    QCheck.(pair area_gen area_gen)
+    (fun (a1, a2) -> Area.overlaps a1 a2 = Area.overlaps a2 a1)
+
+let () =
+  Alcotest.run "interval"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "make invalid" `Quick test_region_make_invalid;
+          Alcotest.test_case "point region" `Quick test_region_point;
+          Alcotest.test_case "contains" `Quick test_region_contains;
+          Alcotest.test_case "overlap touching" `Quick
+            test_region_overlaps_touching;
+          Alcotest.test_case "intersection/hull" `Quick
+            test_region_intersection_hull;
+          Alcotest.test_case "index order" `Quick test_region_index_order;
+        ] );
+      ( "allen",
+        [
+          Alcotest.test_case "examples" `Quick test_allen_examples;
+          Alcotest.test_case "count" `Quick test_allen_count;
+          Alcotest.test_case "exhaustive grid" `Quick test_allen_exhaustive_grid;
+          QCheck_alcotest.to_alcotest qcheck_allen_inverse;
+          QCheck_alcotest.to_alcotest qcheck_allen_overlap_collapse;
+          QCheck_alcotest.to_alcotest qcheck_allen_containment_collapse;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "empty" `Quick test_area_empty;
+          Alcotest.test_case "normalisation" `Quick test_area_normalisation;
+          Alcotest.test_case "extent/width" `Quick test_area_extent_width;
+          Alcotest.test_case "multi-region containment" `Quick
+            test_area_contains_multi;
+          Alcotest.test_case "multi-region overlap" `Quick
+            test_area_overlaps_multi;
+          QCheck_alcotest.to_alcotest qcheck_area_canonical_sorted_disjoint;
+          QCheck_alcotest.to_alcotest qcheck_area_make_idempotent;
+          QCheck_alcotest.to_alcotest qcheck_area_contains_implies_overlaps;
+          QCheck_alcotest.to_alcotest qcheck_area_contains_transitive;
+          QCheck_alcotest.to_alcotest qcheck_area_overlap_symmetric;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Persistence layer tests: codec primitives, document and collection
+   roundtrips, corruption detection, and end-to-end query equivalence
+   after reload. *)
+
+module Codec = Standoff_util.Codec
+module Dom = Standoff_xml.Dom
+module Doc = Standoff_store.Doc
+module Blob = Standoff_store.Blob
+module Collection = Standoff_store.Collection
+module Persist = Standoff_store.Persist
+module Engine = Standoff_xquery.Engine
+
+(* ------------------------------------------------------------ *)
+(* Codec                                                         *)
+
+let test_codec_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.byte w 200;
+  Codec.Writer.varint w 0;
+  Codec.Writer.varint w (-1);
+  Codec.Writer.varint w max_int;
+  Codec.Writer.varint w min_int;
+  Codec.Writer.varint64 w Int64.max_int;
+  Codec.Writer.varint64 w Int64.min_int;
+  Codec.Writer.string w "";
+  Codec.Writer.string w "hello \x00 world";
+  Codec.Writer.int_array w [| 1; -2; 3 |];
+  Codec.Writer.string_array w [| "a"; ""; "b" |];
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  Alcotest.(check int) "byte" 200 (Codec.Reader.byte r);
+  Alcotest.(check int) "zero" 0 (Codec.Reader.varint r);
+  Alcotest.(check int) "minus one" (-1) (Codec.Reader.varint r);
+  Alcotest.(check int) "max_int" max_int (Codec.Reader.varint r);
+  Alcotest.(check int) "min_int" min_int (Codec.Reader.varint r);
+  Alcotest.(check int64) "max64" Int64.max_int (Codec.Reader.varint64 r);
+  Alcotest.(check int64) "min64" Int64.min_int (Codec.Reader.varint64 r);
+  Alcotest.(check string) "empty" "" (Codec.Reader.string r);
+  Alcotest.(check string) "string" "hello \x00 world" (Codec.Reader.string r);
+  Alcotest.(check (array int)) "ints" [| 1; -2; 3 |] (Codec.Reader.int_array r);
+  Alcotest.(check (array string)) "strings" [| "a"; ""; "b" |]
+    (Codec.Reader.string_array r);
+  Alcotest.(check bool) "consumed" true (Codec.Reader.at_end r)
+
+let test_codec_truncation () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "hello";
+  let s = Codec.Writer.contents w in
+  let truncated = String.sub s 0 (String.length s - 2) in
+  Alcotest.(check bool) "raises" true
+    (match Codec.Reader.string (Codec.Reader.create truncated) with
+    | exception Codec.Reader.Corrupt _ -> true
+    | _ -> false)
+
+let qcheck_varint_roundtrip =
+  QCheck.Test.make ~name:"varint64 roundtrip" ~count:1000
+    QCheck.(map Int64.of_int int)
+    (fun v ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.varint64 w v;
+      Int64.equal v (Codec.Reader.varint64 (Codec.Reader.create (Codec.Writer.contents w))))
+
+(* ------------------------------------------------------------ *)
+(* Documents                                                     *)
+
+let sample =
+  "<site a=\"1\"><people><person id=\"p0\"><name>Alice &amp; co</name>\
+   </person></people><!--note--><?pi data?></site>"
+
+let test_doc_roundtrip () =
+  let d = Doc.parse ~name:"sample.xml" sample in
+  let d' = Persist.doc_of_string (Persist.doc_to_string d) in
+  Doc.check_invariants d';
+  Alcotest.(check string) "name kept" "sample.xml" d'.Doc.doc_name;
+  Alcotest.(check bool) "same tree" true
+    (Dom.equal_node (Doc.to_dom d (Doc.root d)) (Doc.to_dom d' (Doc.root d')));
+  Alcotest.(check int) "same attrs" (Doc.attribute_count d)
+    (Doc.attribute_count d')
+
+let test_doc_file_roundtrip () =
+  let d = Doc.parse ~name:"sample.xml" sample in
+  let path = Filename.temp_file "standoff" ".sodb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save_doc d path;
+      let d' = Persist.load_doc path in
+      Alcotest.(check bool) "tree equal" true
+        (Dom.equal_node (Doc.to_dom d (Doc.root d)) (Doc.to_dom d' (Doc.root d'))))
+
+let test_corruption_detected () =
+  let d = Doc.parse ~name:"s" sample in
+  let s = Persist.doc_to_string d in
+  let check_rejects label s =
+    Alcotest.(check bool) label true
+      (match Persist.doc_of_string s with
+      | exception Persist.Corrupt _ -> true
+      | _ -> false)
+  in
+  (* Flip a payload byte: checksum failure. *)
+  let flipped = Bytes.of_string s in
+  let mid = String.length s / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0xFF));
+  check_rejects "bit flip" (Bytes.to_string flipped);
+  (* Truncation. *)
+  check_rejects "truncation" (String.sub s 0 (String.length s - 3));
+  (* Wrong magic. *)
+  check_rejects "bad magic" ("XXXX" ^ String.sub s 4 (String.length s - 4));
+  (* Wrong container tag. *)
+  let coll = Collection.create () in
+  ignore (Collection.load_string coll ~name:"x" "<a/>");
+  let coll_file = Filename.temp_file "standoff" ".sodb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove coll_file)
+    (fun () ->
+      Persist.save_collection coll coll_file;
+      let ic = open_in_bin coll_file in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check_rejects "tag mismatch" contents)
+
+(* Random documents roundtrip through the binary format. *)
+let gen_tree =
+  let open QCheck.Gen in
+  let rec node depth =
+    if depth = 0 then map (fun s -> Dom.text s) (oneofl [ "x"; "y&z"; " " ])
+    else
+      frequency
+        [
+          (2, map (fun s -> Dom.text s) (oneofl [ "t"; "<>&" ]));
+          (1, return (Dom.Comment "c"));
+          ( 4,
+            map3
+              (fun tag attrs children -> Dom.element ~attrs tag children)
+              (oneofl [ "a"; "b"; "c" ])
+              (map
+                 (fun vs -> List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) vs)
+                 (list_size (0 -- 2) (oneofl [ "1"; "two" ])))
+              (list_size (0 -- 3) (node (depth - 1))) );
+        ]
+  in
+  map
+    (fun children -> Dom.document (Dom.element "root" children))
+    (list_size (0 -- 4) (node 3))
+
+let qcheck_doc_roundtrip =
+  QCheck.Test.make ~name:"binary roundtrip on random documents" ~count:300
+    (QCheck.make
+       ~print:(fun dom -> Standoff_xml.Serializer.to_string dom)
+       gen_tree)
+    (fun dom ->
+      let d = Doc.of_dom ~name:"r" dom in
+      let d' = Persist.doc_of_string (Persist.doc_to_string d) in
+      Dom.equal_node (Doc.to_dom d (Doc.root d)) (Doc.to_dom d' (Doc.root d')))
+
+(* ------------------------------------------------------------ *)
+(* Collections and query equivalence                             *)
+
+let test_collection_roundtrip () =
+  let coll = Collection.create () in
+  ignore
+    (Collection.load_string coll ~name:"fig1.xml"
+       "<sample><shot id=\"A\" start=\"0\" end=\"8\"/>\
+        <music start=\"0\" end=\"31\"/></sample>");
+  ignore (Collection.load_string coll ~name:"other.xml" "<x><y/></x>");
+  Collection.add_blob coll (Blob.of_string ~name:"stream.bin" "0123456789");
+  let path = Filename.temp_file "standoff" ".sodb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save_collection coll path;
+      let coll' = Persist.load_collection path in
+      Alcotest.(check int) "doc count" 2 (Collection.doc_count coll');
+      Alcotest.(check (option int)) "doc by name kept" (Some 0)
+        (Collection.doc_id_of_name coll' "fig1.xml");
+      (match Collection.blob coll' "stream.bin" with
+      | Some b -> Alcotest.(check string) "blob" "0123456789" (Blob.contents b)
+      | None -> Alcotest.fail "blob lost");
+      (* Queries over the reloaded collection give identical answers. *)
+      let q =
+        "for $s in doc(\"fig1.xml\")//music/select-wide::shot \
+         return string($s/@id)"
+      in
+      let run coll = (Engine.run (Engine.create coll) q).Engine.serialized in
+      Alcotest.(check string) "query equivalence" (run coll) (run coll'))
+
+let test_xmark_roundtrip () =
+  (* The real workload end-to-end: generate, transform, save, reload,
+     and check a StandOff query agrees. *)
+  let setup = Standoff_xmark.Setup.build ~scale:0.002 ~with_standard:false () in
+  let path = Filename.temp_file "standoff" ".sodb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save_collection setup.Standoff_xmark.Setup.coll path;
+      let coll' = Persist.load_collection path in
+      let q =
+        Standoff_xmark.Queries.q6.Standoff_xmark.Queries.standoff
+          setup.Standoff_xmark.Setup.standoff_doc
+      in
+      let a =
+        (Engine.run setup.Standoff_xmark.Setup.engine ~rollback_constructed:true q)
+          .Engine.serialized
+      in
+      let b =
+        (Engine.run (Engine.create coll') ~rollback_constructed:true q)
+          .Engine.serialized
+      in
+      Alcotest.(check string) "Q6 equal after reload" a b)
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_codec_truncation;
+          QCheck_alcotest.to_alcotest qcheck_varint_roundtrip;
+        ] );
+      ( "documents",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_doc_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_doc_file_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick
+            test_corruption_detected;
+          QCheck_alcotest.to_alcotest qcheck_doc_roundtrip;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "roundtrip with blobs" `Quick
+            test_collection_roundtrip;
+          Alcotest.test_case "xmark end-to-end" `Quick test_xmark_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests of the loop-lifted sequence-table model (paper §4.1),
+   including the paper's own $x/$y/$z loop-lifting example. *)
+
+module Item = Standoff_relalg.Item
+module Table = Standoff_relalg.Table
+
+let str s = Item.Str s
+let int i = Item.Int (Int64.of_int i)
+
+let items : Item.t list Alcotest.testable =
+  Alcotest.testable
+    (Fmt.Dump.list (fun fmt i -> Item.pp fmt i))
+    (List.equal Item.equal)
+
+let test_make_checks () =
+  Alcotest.(check bool) "decreasing iters rejected" true
+    (match Table.make [| 2; 1 |] [| str "a"; str "b" |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "length mismatch rejected" true
+    (match Table.make [| 1 |] [||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_const () =
+  let t = Table.const ~loop:[| 1; 2; 3 |] [ str "x"; str "y" ] in
+  Alcotest.(check int) "rows" 6 (Table.row_count t);
+  Alcotest.check items "iter 2" [ str "x"; str "y" ] (Table.sequence_of_iter t 2);
+  Alcotest.check items "absent iter" [] (Table.sequence_of_iter t 5)
+
+(* The paper's running example: for $x in ("twenty","thirty")
+   for $y in ("one","two") let $z := ($x,$y) return $z. *)
+let test_paper_loop_lifting_example () =
+  let outer_loop = [| 1 |] in
+  let x_src = Table.const ~loop:outer_loop [ str "twenty"; str "thirty" ] in
+  let exp_x = Table.expand x_src in
+  (* Inside the $x loop there are two iterations. *)
+  Alcotest.(check int) "x iterations" 2 (Array.length exp_x.Table.inner_loop);
+  let y_src = Table.const ~loop:exp_x.Table.inner_loop [ str "one"; str "two" ] in
+  let exp_y = Table.expand y_src in
+  Alcotest.(check int) "y iterations" 4 (Array.length exp_y.Table.inner_loop);
+  (* $x lifted into the inner loop: "twenty","twenty","thirty","thirty". *)
+  let x_inner =
+    Table.lift exp_x.Table.var_table ~outer_of_inner:exp_y.Table.outer_of_inner
+  in
+  Alcotest.check items "x lifted"
+    [ str "twenty"; str "twenty"; str "thirty"; str "thirty" ]
+    (List.concat_map
+       (fun it -> Table.sequence_of_iter x_inner it)
+       (Array.to_list exp_y.Table.inner_loop));
+  (* $z := ($x, $y): per-iteration concatenation. *)
+  let z = Table.append2 x_inner exp_y.Table.var_table in
+  Alcotest.check items "z iter 0" [ str "twenty"; str "one" ]
+    (Table.sequence_of_iter z 0);
+  Alcotest.check items "z iter 3" [ str "thirty"; str "two" ]
+    (Table.sequence_of_iter z 3);
+  (* return $z, mapped back through both loops: the 8-row table of the
+     paper, then the final sequence. *)
+  let back_y = Table.backmap z ~outer_of_inner:exp_y.Table.outer_of_inner in
+  Alcotest.(check int) "8 rows" 8 (Table.row_count back_y);
+  let back_x =
+    Table.backmap back_y ~outer_of_inner:exp_x.Table.outer_of_inner
+  in
+  Alcotest.check items "final sequence"
+    [
+      str "twenty"; str "one"; str "twenty"; str "two";
+      str "thirty"; str "one"; str "thirty"; str "two";
+    ]
+    (Table.sequence_of_iter back_x 1)
+
+let test_expand_positions () =
+  let t = Table.make [| 1; 1; 3 |] [| str "a"; str "b"; str "c" |] in
+  let e = Table.expand t in
+  Alcotest.check items "positions restart per iter" [ int 1; int 2; int 1 ]
+    (Array.to_list e.Table.pos_table.Table.items)
+
+let test_count_exists () =
+  let t = Table.make [| 1; 1; 3 |] [| str "a"; str "b"; str "c" |] in
+  let loop = [| 1; 2; 3 |] in
+  Alcotest.check items "count includes empty iters" [ int 2; int 0; int 1 ]
+    (Array.to_list (Table.count ~loop t).Table.items);
+  Alcotest.check items "exists"
+    [ Item.Bool true; Item.Bool false; Item.Bool true ]
+    (Array.to_list (Table.exists ~loop t).Table.items)
+
+let test_append2_order () =
+  let t1 = Table.make [| 1; 2 |] [| str "a"; str "c" |] in
+  let t2 = Table.make [| 1; 3 |] [| str "b"; str "d" |] in
+  let t = Table.append2 t1 t2 in
+  Alcotest.check items "iter 1 keeps order" [ str "a"; str "b" ]
+    (Table.sequence_of_iter t 1);
+  Alcotest.check items "iter 2" [ str "c" ] (Table.sequence_of_iter t 2);
+  Alcotest.check items "iter 3" [ str "d" ] (Table.sequence_of_iter t 3)
+
+let test_distinct_doc_order () =
+  let n doc_id pre = Item.Node { Standoff_store.Collection.doc_id; pre } in
+  let t =
+    Table.make [| 1; 1; 1; 2 |] [| n 0 9; n 0 3; n 0 9; n 1 1 |]
+  in
+  let d = Table.distinct_doc_order t in
+  Alcotest.check items "sorted deduped" [ n 0 3; n 0 9 ]
+    (Table.sequence_of_iter d 1);
+  Alcotest.check items "iter 2 untouched" [ n 1 1 ] (Table.sequence_of_iter d 2)
+
+let test_filter_map () =
+  let t = Table.make [| 1; 1; 2 |] [| int 1; int 2; int 3 |] in
+  let even =
+    Table.filter
+      (function Item.Int i -> Int64.rem i 2L = 0L | _ -> false)
+      t
+  in
+  Alcotest.(check int) "filtered rows" 1 (Table.row_count even);
+  let doubled =
+    Table.map_items
+      (function Item.Int i -> Item.Int (Int64.mul 2L i) | x -> x)
+      t
+  in
+  Alcotest.check items "mapped" [ int 2; int 4 ] (Table.sequence_of_iter doubled 1)
+
+let test_of_rows_stable () =
+  let t = Table.of_rows [ (2, str "x"); (1, str "a"); (2, str "y") ] in
+  Alcotest.check items "iter 2 order preserved" [ str "x"; str "y" ]
+    (Table.sequence_of_iter t 2);
+  Alcotest.check items "iter 1" [ str "a" ] (Table.sequence_of_iter t 1)
+
+let test_to_sequence_guard () =
+  let t = Table.make [| 1; 2 |] [| str "a"; str "b" |] in
+  Alcotest.(check bool) "multi-iter rejected" true
+    (match Table.to_sequence t with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* lift distributes over iteration structure: lifting a table through
+   expand's identity mapping is the identity. *)
+let qcheck_lift_identity =
+  QCheck.Test.make ~name:"lift through identity outer_of_inner" ~count:300
+    QCheck.(list (pair (int_bound 5) small_nat))
+    (fun rows ->
+      let rows = List.map (fun (it, v) -> (it, int v)) rows in
+      let t = Table.of_rows rows in
+      let iters = Table.iters_present t in
+      let lifted = Table.lift t ~outer_of_inner:iters in
+      (* Inner iteration i receives iters.(i)'s sequence. *)
+      Array.for_all
+        (fun i ->
+          List.equal Item.equal
+            (Table.sequence_of_iter lifted i)
+            (Table.sequence_of_iter t iters.(i)))
+        (Array.init (Array.length iters) Fun.id))
+
+let qcheck_append2_rowcount =
+  QCheck.Test.make ~name:"append2 preserves rows" ~count:300
+    QCheck.(pair (list (pair (int_bound 5) small_nat)) (list (pair (int_bound 5) small_nat)))
+    (fun (r1, r2) ->
+      let t1 = Table.of_rows (List.map (fun (i, v) -> (i, int v)) r1) in
+      let t2 = Table.of_rows (List.map (fun (i, v) -> (i, int v)) r2) in
+      Table.row_count (Table.append2 t1 t2)
+      = Table.row_count t1 + Table.row_count t2)
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "make checks" `Quick test_make_checks;
+          Alcotest.test_case "const" `Quick test_const;
+          Alcotest.test_case "paper loop-lifting example" `Quick
+            test_paper_loop_lifting_example;
+          Alcotest.test_case "expand positions" `Quick test_expand_positions;
+          Alcotest.test_case "count/exists" `Quick test_count_exists;
+          Alcotest.test_case "append2 order" `Quick test_append2_order;
+          Alcotest.test_case "distinct doc order" `Quick test_distinct_doc_order;
+          Alcotest.test_case "filter/map" `Quick test_filter_map;
+          Alcotest.test_case "of_rows stable" `Quick test_of_rows_stable;
+          Alcotest.test_case "to_sequence guard" `Quick test_to_sequence_guard;
+          QCheck_alcotest.to_alcotest qcheck_lift_identity;
+          QCheck_alcotest.to_alcotest qcheck_append2_rowcount;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+(* Tests for the shared substrate: vectors, binary search, PRNG,
+   timing. *)
+
+module Vec = Standoff_util.Vec
+module Search = Standoff_util.Search
+module Prng = Standoff_util.Prng
+module Timing = Standoff_util.Timing
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Alcotest.(check int) "last" (99 * 99) (Vec.last v)
+
+let test_vec_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Vec.length v);
+  Alcotest.(check (list int)) "rest" [ 1; 2 ] (Vec.to_list v)
+
+let test_vec_remove_insert () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  Vec.remove v 1;
+  Alcotest.(check (list int)) "after remove" [ 10; 30; 40 ] (Vec.to_list v);
+  Vec.insert v 1 99;
+  Alcotest.(check (list int)) "after insert" [ 10; 99; 30; 40 ] (Vec.to_list v);
+  Vec.insert v 4 7;
+  Alcotest.(check (list int)) "insert at end" [ 10; 99; 30; 40; 7 ]
+    (Vec.to_list v);
+  Vec.insert v 0 1;
+  Alcotest.(check int) "insert at front" 1 (Vec.get v 0)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 1 out of bounds (len 1)") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () ->
+      ignore (Vec.pop v);
+      ignore (Vec.pop v))
+
+let test_vec_sort () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+(* Floats exercise the flat-float-array hazard the backing store must
+   avoid. *)
+let test_vec_floats () =
+  let v = Vec.create () in
+  Vec.push v 1.5;
+  Vec.push v 2.5;
+  Vec.insert v 1 0.25;
+  Alcotest.(check (float 0.0)) "sum" 4.25
+    (Vec.fold_left ( +. ) 0.0 v);
+  Vec.sort compare v;
+  Alcotest.(check (float 0.0)) "min first" 0.25 (Vec.get v 0);
+  Alcotest.(check (float 0.0)) "pop" 2.5 (Vec.pop v)
+
+let test_vec_truncate_clear () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "truncated" [ 1; 2 ] (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v)
+
+let test_lower_bound () =
+  let a = [| 1; 3; 3; 5; 9 |] in
+  Alcotest.(check int) "lb 0" 0 (Search.lower_bound_int a 0);
+  Alcotest.(check int) "lb 3" 1 (Search.lower_bound_int a 3);
+  Alcotest.(check int) "lb 4" 3 (Search.lower_bound_int a 4);
+  Alcotest.(check int) "lb 10" 5 (Search.lower_bound_int a 10);
+  Alcotest.(check int) "ub 3" 3 (Search.upper_bound ~cmp:compare a 3);
+  Alcotest.(check bool) "mem 5" true (Search.mem_sorted_int a 5);
+  Alcotest.(check bool) "mem 4" false (Search.mem_sorted_int a 4)
+
+let test_lower_bound_empty () =
+  Alcotest.(check int) "empty" 0 (Search.lower_bound_int [||] 42)
+
+let test_prng_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let t = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let y = Prng.int_in_range t 5 8 in
+    Alcotest.(check bool) "in closed range" true (y >= 5 && y <= 8);
+    let f = Prng.float t in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create 11L in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let t = Prng.create 3L in
+  let child = Prng.split t in
+  let parent_next = Prng.next_int64 t and child_next = Prng.next_int64 child in
+  Alcotest.(check bool) "different streams" true (parent_next <> child_next)
+
+let test_timeout_fires () =
+  match
+    Timing.run_with_timeout ~seconds:0.05 (fun d ->
+        while true do
+          Timing.checkpoint d
+        done)
+  with
+  | Timing.Timed_out _ -> ()
+  | Timing.Finished _ -> Alcotest.fail "infinite loop finished?"
+
+let test_timeout_completes () =
+  match Timing.run_with_timeout ~seconds:10.0 (fun _ -> 42) with
+  | Timing.Finished (42, _) -> ()
+  | Timing.Finished _ -> Alcotest.fail "wrong value"
+  | Timing.Timed_out _ -> Alcotest.fail "spurious timeout"
+
+let qcheck_lower_bound =
+  QCheck.Test.make ~name:"lower_bound is first index >= key" ~count:500
+    QCheck.(pair (list small_nat) small_nat)
+    (fun (l, key) ->
+      let a = Array.of_list (List.sort compare l) in
+      let i = Search.lower_bound_int a key in
+      let ok_left = Array.for_all (fun x -> x < key) (Array.sub a 0 i) in
+      let ok_right =
+        Array.for_all (fun x -> x >= key) (Array.sub a i (Array.length a - i))
+      in
+      ok_left && ok_right)
+
+let qcheck_vec_roundtrip =
+  QCheck.Test.make ~name:"Vec.of_list |> to_list = id" ~count:500
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "pop" `Quick test_vec_pop;
+          Alcotest.test_case "remove/insert" `Quick test_vec_remove_insert;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+          Alcotest.test_case "floats" `Quick test_vec_floats;
+          Alcotest.test_case "truncate/clear" `Quick test_vec_truncate_clear;
+          QCheck_alcotest.to_alcotest qcheck_vec_roundtrip;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "lower_bound" `Quick test_lower_bound;
+          Alcotest.test_case "empty" `Quick test_lower_bound_empty;
+          QCheck_alcotest.to_alcotest qcheck_lower_bound;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_prng_shuffle_permutes;
+          Alcotest.test_case "split independent" `Quick
+            test_prng_split_independent;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "timeout fires" `Quick test_timeout_fires;
+          Alcotest.test_case "completion" `Quick test_timeout_completes;
+        ] );
+    ]

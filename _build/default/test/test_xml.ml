@@ -1,0 +1,280 @@
+(* XML parser/serializer tests: conformance on hand-picked documents,
+   error reporting, and a qcheck roundtrip over generated trees. *)
+
+module Dom = Standoff_xml.Dom
+module Parser = Standoff_xml.Parser
+module Serializer = Standoff_xml.Serializer
+
+let parse = Parser.parse_string
+
+let test_minimal () =
+  let d = parse "<a/>" in
+  Alcotest.(check string) "tag" "a" d.Dom.root.Dom.tag;
+  Alcotest.(check int) "no children" 0 (List.length d.Dom.root.Dom.children)
+
+let test_attributes () =
+  let d = parse {|<shot id="Intro" start="0" end="8"/>|} in
+  Alcotest.(check (option string)) "id" (Some "Intro") (Dom.attr d.Dom.root "id");
+  Alcotest.(check (option string)) "start" (Some "0") (Dom.attr d.Dom.root "start");
+  Alcotest.(check (option string)) "missing" None (Dom.attr d.Dom.root "nope")
+
+let test_single_quotes () =
+  let d = parse "<a x='1 \"2\"'/>" in
+  Alcotest.(check (option string)) "value" (Some "1 \"2\"") (Dom.attr d.Dom.root "x")
+
+let test_text_and_nesting () =
+  let d = parse "<a>hello <b>world</b>!</a>" in
+  match d.Dom.root.Dom.children with
+  | [ Dom.Text "hello "; Dom.Element b; Dom.Text "!" ] ->
+      Alcotest.(check string) "inner tag" "b" b.Dom.tag;
+      Alcotest.(check string) "inner text" "world" (Dom.text_content (Dom.Element b))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_entities () =
+  let d = parse "<a>&lt;&amp;&gt;&apos;&quot;</a>" in
+  Alcotest.(check string) "decoded" "<&>'\"" (Dom.text_content (Dom.Element d.Dom.root))
+
+let test_char_refs () =
+  let d = parse "<a>&#65;&#x42;&#x263A;</a>" in
+  Alcotest.(check string) "decoded" "AB\xE2\x98\xBA"
+    (Dom.text_content (Dom.Element d.Dom.root))
+
+let test_cdata () =
+  let d = parse "<a><![CDATA[<not><markup> & such]]></a>" in
+  Alcotest.(check string) "raw" "<not><markup> & such"
+    (Dom.text_content (Dom.Element d.Dom.root))
+
+let test_comments_pis () =
+  let d = parse "<!-- hi --><?style x=1?><a><!--in--><?p d?></a><!--bye-->" in
+  Alcotest.(check int) "prolog" 2 (List.length d.Dom.prolog);
+  Alcotest.(check int) "epilog" 1 (List.length d.Dom.epilog);
+  match d.Dom.root.Dom.children with
+  | [ Dom.Comment "in"; Dom.Pi ("p", "d") ] -> ()
+  | _ -> Alcotest.fail "unexpected children"
+
+let test_xml_declaration_and_doctype () =
+  let d =
+    parse
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+       <!DOCTYPE sample [ <!ELEMENT sample ANY> ]>\n\
+       <sample/>"
+  in
+  Alcotest.(check string) "root" "sample" d.Dom.root.Dom.tag
+
+let check_error input =
+  match parse input with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "accepted malformed input %S" input)
+
+let test_errors () =
+  List.iter check_error
+    [
+      "";
+      "<a>";
+      "<a></b>";
+      "<a";
+      "<a x=1/>";
+      "<a x=\"1\" x=\"2\"/>";
+      "<a>&unknown;</a>";
+      "<a>&#xD800;</a>";
+      "<a/><b/>";
+      "<a><!-- -- --></a>";
+      "<1tag/>";
+      "<a>]]></a>";
+      "<a x=\"<\"/>";
+    ]
+
+let test_error_position () =
+  match parse "<a>\n  <b>\n</a>" with
+  | exception Parser.Parse_error { line; _ } ->
+      Alcotest.(check int) "line of mismatch" 3 line
+  | _ -> Alcotest.fail "accepted mismatched tags"
+
+let test_mixed_content_roundtrip () =
+  let src = "<p>one <em>two</em> three<br/>four</p>" in
+  let d = parse src in
+  Alcotest.(check string) "exact" src
+    (Serializer.node_to_string (Dom.Element d.Dom.root))
+
+let test_escaping_roundtrip () =
+  let d = Dom.document (Dom.element "a" ~attrs:[ ("k", "a\"b<c&d\ne") ] [ Dom.text "x < y & z" ]) in
+  let s = Serializer.to_string d in
+  let d' = parse s in
+  Alcotest.(check bool) "roundtrip equal" true (Dom.equal d d')
+
+let test_strip_whitespace () =
+  let d = parse "<a>\n  <b> x </b>\n  <c/>\n</a>" in
+  let s = Dom.strip_whitespace d in
+  Alcotest.(check int) "children" 2 (List.length s.Dom.root.Dom.children);
+  (* Text with non-whitespace survives untouched. *)
+  Alcotest.(check string) "inner" " x " (Dom.text_content (Dom.Element s.Dom.root))
+
+let test_count_nodes () =
+  let d = parse "<a>t<b><c/></b><!--x--></a>" in
+  Alcotest.(check int) "count" 5 (Dom.count_nodes (Dom.Element d.Dom.root))
+
+let test_parse_fragment () =
+  match Parser.parse_fragment "<a/>text<b/>" with
+  | [ Dom.Element _; Dom.Text "text"; Dom.Element _ ] -> ()
+  | _ -> Alcotest.fail "unexpected fragment shape"
+
+let test_valid_name () =
+  Alcotest.(check bool) "simple" true (Dom.valid_name "foo");
+  Alcotest.(check bool) "qualified" true (Dom.valid_name "xs:integer");
+  Alcotest.(check bool) "dashes" true (Dom.valid_name "select-narrow");
+  Alcotest.(check bool) "leading digit" false (Dom.valid_name "1x");
+  Alcotest.(check bool) "space" false (Dom.valid_name "a b");
+  Alcotest.(check bool) "empty" false (Dom.valid_name "")
+
+(* --------------------------------------------------------------- *)
+(* Random document roundtrip                                        *)
+
+let gen_doc =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c"; "data"; "x-y" ] in
+  let text_chunk = oneofl [ "hello"; "a<b"; "x & y"; "\"quoted\""; "  "; "]]" ] in
+  let rec node depth =
+    if depth = 0 then map (fun t -> Dom.Text t) text_chunk
+    else
+      frequency
+        [
+          (3, map (fun t -> Dom.Text t) text_chunk);
+          (1, map (fun c -> Dom.Comment c) (oneofl [ "c"; "note"; "x y" ]));
+          ( 3,
+            map3
+              (fun tag attrs children -> Dom.element ~attrs tag children)
+              tag
+              (map
+                 (fun vals ->
+                   (* Distinct attribute names. *)
+                   List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) vals)
+                 (list_size (0 -- 3) text_chunk))
+              (list_size (0 -- 3) (node (depth - 1))) );
+        ]
+  in
+  map3
+    (fun tag attrs children -> Dom.document (Dom.element ~attrs tag children))
+    tag
+    (map (fun v -> [ ("id", v) ]) text_chunk)
+    (list_size (0 -- 4) (node 3))
+
+let arbitrary_doc = QCheck.make ~print:(fun d -> Serializer.to_string d) gen_doc
+
+(* Adjacent text nodes merge during parsing, so compare text-normalised
+   trees. *)
+let rec normalise_node n =
+  match n with
+  | Dom.Element e ->
+      let children =
+        List.fold_right
+          (fun c acc ->
+            match (normalise_node c, acc) with
+            | Dom.Text a, Dom.Text b :: rest -> Dom.Text (a ^ b) :: rest
+            | c, acc -> c :: acc)
+          e.Dom.children []
+        |> List.filter (function Dom.Text "" -> false | _ -> true)
+      in
+      Dom.Element { e with children }
+  | n -> n
+
+let normalise d =
+  match normalise_node (Dom.Element d.Dom.root) with
+  | Dom.Element root -> { d with Dom.root = root }
+  | _ -> assert false
+
+(* The parser must never crash on arbitrary bytes — anything malformed
+   raises Parse_error, nothing else. *)
+let qcheck_parser_total =
+  QCheck.Test.make ~name:"parser is total (Parse_error or a document)"
+    ~count:2000
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun s ->
+      match Parser.parse_string s with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true)
+
+(* Mutating a valid document's bytes must also stay within
+   Parse_error. *)
+let qcheck_parser_total_mutated =
+  QCheck.Test.make ~name:"parser survives mutations of valid documents"
+    ~count:1000
+    QCheck.(pair (int_bound 200) (int_bound 255))
+    (fun (pos, byte) ->
+      let base =
+        "<a x=\"1\"><b>text &amp; more</b><!--c--><?p d?><c/><![CDATA[x]]></a>"
+      in
+      let b = Bytes.of_string base in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match Parser.parse_string (Bytes.to_string b) with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true)
+
+let test_indented_output () =
+  let d = parse "<a><b><c/></b><d>mixed <e/> text</d></a>" in
+  let s = Serializer.to_string ~indent:2 d in
+  (* Element-only content breaks over lines; mixed content stays
+     verbatim. *)
+  Alcotest.(check bool) "has newlines" true (String.contains s '\n');
+  Alcotest.(check bool) "mixed content intact" true
+    (let sub = "mixed <e/> text" in
+     let n = String.length sub in
+     let rec scan i =
+       i + n <= String.length s && (String.sub s i n = sub || scan (i + 1))
+     in
+     scan 0);
+  (* Indented output reparses to the same tree modulo whitespace-only
+     text nodes. *)
+  let d' = Dom.strip_whitespace (parse s) in
+  Alcotest.(check bool) "reparses equal" true
+    (Dom.equal (Dom.strip_whitespace d) d')
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"parse (serialize d) = d (text-normalised)"
+    ~count:300 arbitrary_doc (fun d ->
+      let s = Serializer.to_string d in
+      Dom.equal (normalise d) (normalise (Parser.parse_string s)))
+
+let qcheck_roundtrip_stable =
+  QCheck.Test.make ~name:"serialize is stable after one roundtrip"
+    ~count:300 arbitrary_doc (fun d ->
+      let s = Serializer.to_string d in
+      let s' = Serializer.to_string (Parser.parse_string s) in
+      String.equal s s')
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "minimal" `Quick test_minimal;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "single quotes" `Quick test_single_quotes;
+          Alcotest.test_case "text and nesting" `Quick test_text_and_nesting;
+          Alcotest.test_case "entities" `Quick test_entities;
+          Alcotest.test_case "char refs" `Quick test_char_refs;
+          Alcotest.test_case "cdata" `Quick test_cdata;
+          Alcotest.test_case "comments and PIs" `Quick test_comments_pis;
+          Alcotest.test_case "declaration and doctype" `Quick
+            test_xml_declaration_and_doctype;
+          Alcotest.test_case "malformed inputs" `Quick test_errors;
+          Alcotest.test_case "error position" `Quick test_error_position;
+          Alcotest.test_case "fragment" `Quick test_parse_fragment;
+          QCheck_alcotest.to_alcotest qcheck_parser_total;
+          QCheck_alcotest.to_alcotest qcheck_parser_total_mutated;
+        ] );
+      ( "serializer",
+        [
+          Alcotest.test_case "mixed content roundtrip" `Quick
+            test_mixed_content_roundtrip;
+          Alcotest.test_case "escaping roundtrip" `Quick test_escaping_roundtrip;
+          Alcotest.test_case "indented output" `Quick test_indented_output;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip_stable;
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "strip whitespace" `Quick test_strip_whitespace;
+          Alcotest.test_case "count nodes" `Quick test_count_nodes;
+          Alcotest.test_case "valid_name" `Quick test_valid_name;
+        ] );
+    ]

@@ -1,0 +1,339 @@
+(* White-box tests of the XQuery front end: tokenizer, parser AST
+   shapes, and result serialization. *)
+
+module L = Standoff_xquery.Lexer
+module Ast = Standoff_xquery.Ast
+module Parse = Standoff_xquery.Parse
+module Serialize = Standoff_xquery.Serialize
+module Item = Standoff_relalg.Item
+module Collection = Standoff_store.Collection
+
+(* ------------------------------------------------------------ *)
+(* Lexer                                                         *)
+
+let tokens src =
+  let lx = L.create src in
+  let rec loop acc =
+    match L.next lx with
+    | L.Eof -> List.rev acc
+    | tok -> loop (tok :: acc)
+  in
+  loop []
+
+let token_strings src = List.map L.token_to_string (tokens src)
+
+let test_lexer_basic () =
+  Alcotest.(check (list string))
+    "symbols"
+    [ "("; ")"; "["; "]"; "{"; "}"; ","; ";"; "@"; "*"; "+"; "-"; "|" ]
+    (token_strings "( ) [ ] { } , ; @ * + - |");
+  Alcotest.(check (list string))
+    "composites"
+    [ ":="; "//"; "/"; "::"; ".."; "."; "!="; "<="; ">="; "<"; ">"; "=" ]
+    (token_strings ":= // / :: .. . != <= >= < > =")
+
+let test_lexer_names () =
+  Alcotest.(check (list string))
+    "plain and qualified"
+    [ "foo"; "select-narrow"; "xs:integer"; "local:f"; "a.b" ]
+    (token_strings "foo select-narrow xs:integer local:f a.b");
+  (* '::' must not be folded into a QName. *)
+  Alcotest.(check (list string))
+    "axis separator survives" [ "child"; "::"; "shot" ]
+    (token_strings "child::shot")
+
+let test_lexer_numbers () =
+  Alcotest.(check (list string)) "ints and floats"
+    [ "42"; "2.5"; "0.125"; "1000000" ]
+    (token_strings "42 2.5 0.125 1e6" |> List.map (fun s ->
+         (* 1e6 prints as "1000000." via string_of_float; normalise *)
+         match float_of_string_opt s with
+         | Some f when Float.is_integer f -> Printf.sprintf "%.0f" f
+         | _ -> s))
+
+let test_lexer_strings () =
+  Alcotest.(check (list string)) "escaped quotes"
+    [ "\"say \\\"hi\\\"\"" ]
+    (token_strings {|"say ""hi"""|});
+  Alcotest.(check (list string)) "apos string" [ "\"it's\"" ]
+    (token_strings "'it''s'")
+
+let test_lexer_vars () =
+  Alcotest.(check (list string)) "variables" [ "$x"; "$long-name" ]
+    (token_strings "$x $long-name")
+
+let test_lexer_comments () =
+  Alcotest.(check (list string)) "nested comment skipped" [ "1"; "+"; "2" ]
+    (token_strings "1 + (: a (: nested :) comment :) 2")
+
+let expect_syntax_error src =
+  match tokens src with
+  | exception L.Syntax_error _ -> ()
+  | _ -> Alcotest.failf "lexer accepted %S" src
+
+let test_lexer_errors () =
+  expect_syntax_error "\"unterminated";
+  expect_syntax_error "(: unterminated";
+  expect_syntax_error "$ x";
+  expect_syntax_error "!x";
+  expect_syntax_error "#"
+
+(* ------------------------------------------------------------ *)
+(* Parser: AST shapes                                            *)
+
+let parse = Parse.parse_expr
+
+let test_parse_precedence () =
+  (match parse "1 + 2 * 3" with
+  | Ast.Binop (Ast.Op_add, Ast.Literal (Ast.Lit_int 1L), Ast.Binop (Ast.Op_mul, _, _))
+    ->
+      ()
+  | _ -> Alcotest.fail "addition should be outermost");
+  (match parse "1 = 2 or 3 = 4 and 5 = 6" with
+  | Ast.Binop (Ast.Op_or, _, Ast.Binop (Ast.Op_and, _, _)) -> ()
+  | _ -> Alcotest.fail "or should be outermost, and binds tighter");
+  match parse "-1 + 2" with
+  | Ast.Binop (Ast.Op_add, Ast.Unary_minus _, _) -> ()
+  | _ -> Alcotest.fail "unary minus binds tighter than +"
+
+let test_parse_flwor_shape () =
+  match parse "for $x in (1, 2) where $x > 1 order by $x descending return $x" with
+  | Ast.For
+      {
+        var = "x";
+        pos_var = None;
+        order_by = [ { Ast.descending = true; _ } ];
+        body = Ast.Where { body = Ast.Var "x"; _ };
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected FLWOR shape"
+
+let test_parse_nested_fors_share_order_by () =
+  (* order by attaches to the innermost for only. *)
+  match parse "for $x in (1), $y in (2) order by $y return $x" with
+  | Ast.For
+      { var = "x"; order_by = []; body = Ast.For { var = "y"; order_by = [ _ ]; _ }; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "order by should attach to the innermost for"
+
+let test_parse_path_shapes () =
+  (match parse "doc(\"a\")//shot" with
+  | Ast.Step
+      {
+        axis = Ast.Std Standoff_xpath.Axes.Child;
+        test = Standoff_xpath.Node_test.Name "shot";
+        input =
+          Ast.Step
+            { axis = Ast.Std Standoff_xpath.Axes.Descendant_or_self; _ };
+      } ->
+      ()
+  | _ -> Alcotest.fail "// should desugar to descendant-or-self::node()/");
+  (match parse "$m/select-narrow::shot" with
+  | Ast.Step
+      { axis = Ast.Standoff Standoff.Op.Select_narrow; input = Ast.Var "m"; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "standoff axis step expected");
+  (match parse "$m/@id" with
+  | Ast.Step { axis = Ast.Attribute; _ } -> ()
+  | _ -> Alcotest.fail "attribute step expected");
+  match parse "$m/.." with
+  | Ast.Step { axis = Ast.Std Standoff_xpath.Axes.Parent; _ } -> ()
+  | _ -> Alcotest.fail ".. should be parent::node()"
+
+let test_parse_predicate_desugaring () =
+  (* A predicated axis step becomes a per-context for-loop under #ddo. *)
+  match parse "$b/bidder[1]" with
+  | Ast.Call
+      {
+        name = "#ddo";
+        args = [ Ast.For { source = Ast.Var "b"; body = Ast.Filter _; _ } ];
+      } ->
+      ()
+  | _ -> Alcotest.fail "predicated step should desugar to #ddo(for ...)"
+
+let test_parse_constructor_shape () =
+  match parse "<out n=\"x{1}\">text{2}<inner/></out>" with
+  | Ast.Elem_ctor
+      {
+        tag = "out";
+        attrs = [ ("n", [ Ast.Fixed "x"; Ast.Enclosed _ ]) ];
+        content =
+          [
+            Ast.Fixed "text";
+            Ast.Enclosed (Ast.Literal (Ast.Lit_int 2L));
+            Ast.Enclosed (Ast.Elem_ctor { tag = "inner"; _ });
+          ];
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected constructor shape"
+
+let test_parse_quantified_shape () =
+  match parse "every $x in (1, 2) satisfies $x > 0" with
+  | Ast.Quantified { universal = true; var = "x"; _ } -> ()
+  | _ -> Alcotest.fail "quantified shape"
+
+let test_parse_prolog () =
+  let q =
+    Parse.parse_query
+      "declare namespace so = \"http://example.org\";\n\
+       declare option standoff-start \"from\";\n\
+       declare variable $n := 3;\n\
+       declare function local:f($x) { $x };\n\
+       $n"
+  in
+  Alcotest.(check int) "four declarations" 4 (List.length q.Ast.prolog);
+  match q.Ast.prolog with
+  | [
+   Ast.Decl_namespace { prefix = "so"; _ };
+   Ast.Decl_option { name = "standoff-start"; value = "from" };
+   Ast.Decl_variable { var = "n"; _ };
+   Ast.Decl_function { fn_name = "local:f"; fn_params = [ "x" ]; _ };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected prolog shape"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Parse.parse_query src with
+      | exception L.Syntax_error _ -> ()
+      | _ -> Alcotest.failf "parser accepted %S" src)
+    [
+      "for $x in";
+      "for $x in (1) order by return $x";
+      "if (1) then 2";
+      "1 +";
+      "$";
+      "<a>{1}</b>";
+      "<a x=1/>";
+      "doc(\"x\"//y";
+      "let $x := 1";
+      "declare option foo;1";
+      "child::";
+      "(1, 2";
+    ]
+
+let test_free_vars () =
+  let fv src = Ast.free_vars (parse src) in
+  Alcotest.(check (list string)) "simple" [ "y" ] (fv "for $x in $y return $x");
+  Alcotest.(check (list string)) "let binds" [ "z" ]
+    (fv "let $x := $z return $x");
+  Alcotest.(check (list string)) "order by keys counted" [ "k"; "s" ]
+    (fv "for $x in $s order by $k return $x");
+  Alcotest.(check (list string)) "pos var bound" []
+    (fv "for $x at $p in (1) return $p")
+
+(* ------------------------------------------------------------ *)
+(* Pretty-printer: explain output and the print/parse fixpoint    *)
+
+module Pp_ast = Standoff_xquery.Pp_ast
+
+let corpus =
+  [
+    "1 + 2 * 3";
+    "(1, 2.5, \"s\")";
+    "for $x at $i in (1, 2) where $x > 1 order by $x descending return ($i, $x)";
+    "let $y := 3 return $y + 1";
+    "some $x in (1, 2) satisfies $x = 2";
+    "if (1 < 2) then \"a\" else \"b\"";
+    "doc(\"d.xml\")//a/b[2]/@id";
+    "$m/select-narrow::shot[@id = \"x\"]";
+    "doc(\"d\")//a | doc(\"d\")//b intersect doc(\"d\")//c";
+    "count(//x) + sum((1, 2))";
+    "<out n=\"v{1}\">txt{2}<in/></out>";
+    "-(3 to 5)";
+    "//a/../following-sibling::b/text()";
+    "normalize-space(\" x \")";
+    "$a except $b";
+  ]
+
+(* Printing is a fixpoint from the second round: parse/print may
+   normalise once (abbreviations, #ddo), after which it is stable. *)
+let test_print_parse_stable () =
+  List.iter
+    (fun src ->
+      let printed = Pp_ast.expr_to_string (Parse.parse_expr src) in
+      let reprinted = Pp_ast.expr_to_string (Parse.parse_expr printed) in
+      Alcotest.(check string)
+        (Printf.sprintf "stable: %s" src)
+        printed reprinted)
+    corpus
+
+let test_explain () =
+  let out =
+    Standoff_xquery.Engine.explain
+      "declare option standoff-start \"from\";\n\
+       for $b in doc(\"a\")//open_auction return $b/bidder[1]"
+  in
+  Alcotest.(check bool) "prolog survives" true
+    (String.length out > 0
+    &&
+    let contains sub =
+      let n = String.length sub in
+      let rec scan i =
+        i + n <= String.length out && (String.sub out i n = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    contains "declare option standoff-start"
+    && contains "descendant-or-self::node()"
+    && contains "child::bidder")
+
+(* ------------------------------------------------------------ *)
+(* Serialization                                                 *)
+
+let test_serialize_items () =
+  let coll = Collection.create () in
+  let id = Collection.load_string coll ~name:"s" "<a><b k=\"v\">t</b></a>" in
+  let node pre = Item.Node { Collection.doc_id = id; pre } in
+  Alcotest.(check string) "node as markup" "<b k=\"v\">t</b>"
+    (Serialize.item coll (node 2));
+  Alcotest.(check string) "attribute" "k=\"v\""
+    (Serialize.item coll (Item.Attribute ({ Collection.doc_id = id; pre = 2 }, "k", "v")));
+  Alcotest.(check string) "atomics spaced" "1 x true"
+    (Serialize.sequence coll [ Item.Int 1L; Item.Str "x"; Item.Bool true ]);
+  Alcotest.(check string) "nodes on lines" "<b k=\"v\">t</b>\n1"
+    (Serialize.sequence coll [ node 2; Item.Int 1L ])
+
+let () =
+  Alcotest.run "xquery-frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "symbols" `Quick test_lexer_basic;
+          Alcotest.test_case "names" `Quick test_lexer_names;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "strings" `Quick test_lexer_strings;
+          Alcotest.test_case "variables" `Quick test_lexer_vars;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "flwor shape" `Quick test_parse_flwor_shape;
+          Alcotest.test_case "order-by placement" `Quick
+            test_parse_nested_fors_share_order_by;
+          Alcotest.test_case "path shapes" `Quick test_parse_path_shapes;
+          Alcotest.test_case "predicate desugaring" `Quick
+            test_parse_predicate_desugaring;
+          Alcotest.test_case "constructor shape" `Quick
+            test_parse_constructor_shape;
+          Alcotest.test_case "quantified shape" `Quick
+            test_parse_quantified_shape;
+          Alcotest.test_case "prolog" `Quick test_parse_prolog;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "free variables" `Quick test_free_vars;
+        ] );
+      ( "pretty-printer",
+        [
+          Alcotest.test_case "print/parse stable" `Quick
+            test_print_parse_stable;
+          Alcotest.test_case "explain" `Quick test_explain;
+        ] );
+      ( "serialize",
+        [ Alcotest.test_case "items" `Quick test_serialize_items ] );
+    ]
