@@ -7,6 +7,7 @@
      main.exe figure-4                 the Listing 1 execution trace
      main.exe figure-6 [options]       the XMark sweep (3 strategies + DNF)
      main.exe staircase-vs-standoff    §4.6 claim: select-narrow vs descendant
+     main.exe planner [--scale S]      optimized plan vs direct lowering
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
@@ -465,6 +466,52 @@ let active_set_ablation () =
     (time Standoff.Active_set.Lazy_heap *. 1000.0)
 
 (* ------------------------------------------------------------------ *)
+(* Planner: optimized plan vs direct (unoptimized) lowering            *)
+
+let planner ?(scale = 0.01) () =
+  section "Planner: optimized plan vs direct lowering (XMark queries)";
+  let setup = Setup.build ~scale ~with_standard:false () in
+  Printf.printf "xmark scale %g (%s serialized)\n\n" scale
+    (Setup.size_label setup.Setup.serialized_size);
+  let engine = setup.Setup.engine in
+  (* Warm the region index outside the measurements. *)
+  ignore
+    (Engine.run engine ~rollback_constructed:true
+       (Printf.sprintf "count(doc(\"%s\")//site/select-narrow::people)"
+          setup.Setup.standoff_doc));
+  Printf.printf "%-6s %12s %12s %10s %8s\n" "query" "direct" "planned"
+    "speedup" "agree";
+  Printf.printf "%s\n" (String.make 52 '-');
+  List.iter
+    (fun query ->
+      let text = query.Queries.standoff setup.Setup.standoff_doc in
+      let measure ~optimize =
+        let prepared = Engine.prepare engine ~optimize text in
+        (* One warm-up run, then the median of five. *)
+        let once () =
+          let (r, t) =
+            Timing.time (fun () ->
+                Engine.run_prepared engine ~rollback_constructed:true prepared)
+          in
+          (r.Engine.serialized, t)
+        in
+        let serialized, _ = once () in
+        let times = Array.init 5 (fun _ -> snd (once ())) in
+        Array.sort compare times;
+        (serialized, times.(Array.length times / 2))
+      in
+      let direct_out, t_direct = measure ~optimize:false in
+      let planned_out, t_planned = measure ~optimize:true in
+      Printf.printf "%-6s %10.2fms %10.2fms %9.2fx %8b\n%!" query.Queries.id
+        (t_direct *. 1000.0) (t_planned *. 1000.0)
+        (t_direct /. t_planned)
+        (String.equal direct_out planned_out))
+    Queries.all;
+  Printf.printf
+    "\n(direct = structural lowering evaluated as-is; planned = after\n\
+    \ candidate pushdown, step fusion, and per-operator strategy selection)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family    *)
 
 let micro () =
@@ -615,6 +662,13 @@ let () =
   | _ :: "staircase-vs-standoff" :: _ -> staircase_vs_standoff ()
   | _ :: "active-set" :: _ -> active_set_ablation ()
   | _ :: "scaling" :: _ -> scaling ()
+  | _ :: "planner" :: rest ->
+      let scale =
+        match rest with
+        | "--scale" :: v :: _ -> float_of_string v
+        | _ -> 0.01
+      in
+      planner ~scale ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
@@ -623,11 +677,13 @@ let () =
       staircase_vs_standoff ();
       active_set_ablation ();
       scaling ();
+      planner ();
       micro ()
   | _ :: cmd :: _ ->
       Printf.eprintf
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
-         staircase-vs-standoff | active-set | scaling | micro | all)\n"
+         staircase-vs-standoff | active-set | scaling | planner | micro | \
+         all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -101,10 +101,12 @@ let strategy_conv =
 let strategy_arg =
   Arg.(
     value
-    & opt strategy_conv Config.Loop_lifted
+    & opt (some strategy_conv) None
     & info [ "s"; "strategy" ] ~docv:"STRATEGY"
         ~doc:
-          "Evaluation strategy: udf-nocand | udf-cand | basic | loop-lifted.")
+          "Pin the evaluation strategy: udf-nocand | udf-cand | basic | \
+           loop-lifted.  Default: pick per operator from annotation \
+           statistics.")
 
 (* ---------------- query ---------------- *)
 
@@ -132,9 +134,20 @@ let query_cmd =
     Arg.(
       value & flag
       & info [ "explain" ]
-          ~doc:"Print the desugared query instead of evaluating it.")
+          ~doc:
+            "Print the optimized query plan instead of evaluating it \
+             (candidate pushdown and strategy decisions included).")
   in
-  let run docs blobs db strategy context timeout explain query =
+  let explain_analyze_arg =
+    Arg.(
+      value & flag
+      & info [ "explain-analyze" ]
+          ~doc:
+            "Run the query and print the plan annotated with per-operator \
+             row counts, index rows scanned, and timings.")
+  in
+  let run docs blobs db strategy context timeout explain explain_analyze query
+      =
     handle_errors (fun () ->
         let query =
           if String.length query > 0 && query.[0] = '@' then (
@@ -145,15 +158,38 @@ let query_cmd =
               (fun () -> really_input_string ic (in_channel_length ic)))
           else query
         in
+        let coll =
+          if explain then
+            (* --explain evaluates nothing, so a missing or unloadable
+               collection must not stop it: fall back to an empty one
+               (the plan still prints; only the statistics-driven
+               decisions lose their input). *)
+            try load_collection ?db docs blobs
+            with _ -> Collection.create ()
+          else load_collection ?db docs blobs
+        in
+        let engine = Engine.create ?strategy coll in
         if explain then begin
-          print_endline (Engine.explain query);
+          print_endline (Engine.explain engine query);
           exit 0
         end;
-        let coll = load_collection ?db docs blobs in
-        let engine = Engine.create ~strategy coll in
+        if explain_analyze then begin
+          let deadline =
+            match timeout with
+            | Some seconds -> Standoff_util.Timing.deadline_after seconds
+            | None -> Standoff_util.Timing.no_deadline
+          in
+          print_endline
+            (Engine.explain_analyze engine ~deadline ?context_doc:context
+               query);
+          exit 0
+        end;
         match timeout with
         | None ->
-            let r = Engine.run engine ?context_doc:context query in
+            (* Parse/lower/optimize once, then evaluate the prepared
+               plan (the query text is not parsed a second time). *)
+            let prepared = Engine.prepare engine query in
+            let r = Engine.run_prepared engine ?context_doc:context prepared in
             print_endline r.Engine.serialized
         | Some seconds -> (
             match
@@ -170,7 +206,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Evaluate an XQuery with StandOff axis support")
     Term.(
       const run $ docs_arg $ blobs_arg $ db_arg $ strategy_arg $ context_arg
-      $ timeout_arg $ explain_arg $ query_arg)
+      $ timeout_arg $ explain_arg $ explain_analyze_arg $ query_arg)
 
 (* ---------------- shred ---------------- *)
 
@@ -271,7 +307,7 @@ let axes_cmd =
   let run docs blobs strategy from_q to_q =
     handle_errors (fun () ->
         let coll = load_collection docs blobs in
-        let engine = Engine.create ~strategy coll in
+        let engine = Engine.create ?strategy coll in
         List.iter
           (fun op ->
             let q =

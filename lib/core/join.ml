@@ -154,17 +154,49 @@ let intersect_sorted a b =
   Array.iter (fun x -> if Search.mem_sorted_int b x then Vec.push out x) a;
   Vec.to_array out
 
+(* ------------------------------------------------------------------ *)
+(* Instrumentation and per-call strategy resolution.                  *)
+
+type stats = {
+  mutable s_invocations : int;
+  mutable s_index_rows : int;
+}
+
+let fresh_stats () = { s_invocations = 0; s_index_rows = 0 }
+
+let record stats ~index_rows =
+  match stats with
+  | None -> ()
+  | Some s ->
+      s.s_invocations <- s.s_invocations + 1;
+      s.s_index_rows <- s.s_index_rows + index_rows
+
+(* The strategies are result-equivalent, so picking one per operator
+   is purely a cost decision: for tiny context x candidate products
+   the quadratic UDF beats building a merge-join context (Figure 6's
+   left edge); everything else wants the loop-lifted sweep. *)
+let auto_strategy annots ~context_rows ~candidate_rows =
+  let cands =
+    match candidate_rows with
+    | Some n -> n
+    | None -> Annots.annotation_count annots
+  in
+  if context_rows * cands <= 512 then Config.Udf_candidates
+  else Config.Loop_lifted
+
 let run_sequence op strategy annots ?(active_set = Active_set.Sorted_list)
-    ?(deadline = Timing.no_deadline) ~context ~candidates () =
+    ?(deadline = Timing.no_deadline) ?stats ~context ~candidates () =
   match strategy with
   | Config.Udf_no_candidates ->
       (* Figure 2: join against everything, then apply the node test to
          the join result. *)
       let joined = Udf_join.join op annots ~deadline ~context ~candidates:None in
+      record stats ~index_rows:0;
       (match candidates with
       | None -> joined
       | Some ids -> intersect_sorted joined ids)
   | Config.Udf_candidates ->
+      record stats ~index_rows:0;
       Udf_join.join op annots ~deadline ~context ~candidates
   | Config.Basic_merge | Config.Loop_lifted ->
       let ctx =
@@ -177,6 +209,7 @@ let run_sequence op strategy annots ?(active_set = Active_set.Sorted_list)
          the loop-lifted entry point amortises this across iterations
          (§4.6). *)
       let cand_index = Annots.candidate_index_scan annots ~candidates in
+      record stats ~index_rows:(Region_index.row_count cand_index);
       let _, pres =
         merge_join_lifted op annots ~active_set ~deadline ~loop:[| 0 |] ctx
           cand_index
@@ -184,7 +217,7 @@ let run_sequence op strategy annots ?(active_set = Active_set.Sorted_list)
       pres
 
 let run_lifted op strategy annots ?(active_set = Active_set.Sorted_list)
-    ?(deadline = Timing.no_deadline) ~loop ~context_iters ~context_pres
+    ?(deadline = Timing.no_deadline) ?stats ~loop ~context_iters ~context_pres
     ~candidates () =
   match strategy with
   | Config.Loop_lifted ->
@@ -193,6 +226,7 @@ let run_lifted op strategy annots ?(active_set = Active_set.Sorted_list)
           ~pres:context_pres
       in
       let cand_index = Annots.candidate_index annots ~candidates in
+      record stats ~index_rows:(Region_index.row_count cand_index);
       merge_join_lifted op annots ~active_set ~deadline ~loop ctx cand_index
   | Config.Udf_no_candidates | Config.Udf_candidates | Config.Basic_merge ->
       (* The paper's pre-loop-lifting behaviour: the single-sequence
@@ -214,7 +248,8 @@ let run_lifted op strategy annots ?(active_set = Active_set.Sorted_list)
           done;
           let context = Array.sub context_pres lo (!row - lo) in
           let result =
-            run_sequence op strategy annots ~deadline ~context ~candidates ()
+            run_sequence op strategy annots ~deadline ?stats ~context
+              ~candidates ()
           in
           Array.iter
             (fun pre ->

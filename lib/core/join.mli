@@ -14,6 +14,27 @@
       candidate index each time — which is exactly why Basic StandOff
       MergeJoin DNFs on XMark Q2 (Figure 6). *)
 
+(** Per-call instrumentation, accumulated across join invocations:
+    how many times the underlying algorithm ran (once for a
+    loop-lifted sweep, once {e per iteration} otherwise) and how many
+    candidate region-index rows those runs built or scanned.  The
+    EXPLAIN ANALYZE output surfaces both, making the per-iteration
+    rescan cost of the non-lifted strategies visible. *)
+type stats = {
+  mutable s_invocations : int;
+  mutable s_index_rows : int;
+}
+
+val fresh_stats : unit -> stats
+
+(** [auto_strategy annots ~context_rows ~candidate_rows] picks a
+    strategy for one operator invocation from its input sizes
+    ([candidate_rows = None] means all area-annotations are
+    candidates).  All strategies are result-equivalent, so this is
+    purely a cost decision. *)
+val auto_strategy :
+  Annots.t -> context_rows:int -> candidate_rows:int option -> Config.strategy
+
 (** [run_sequence op strategy annots ?deadline ~context ~candidates]
     evaluates one operator between a context pre array and candidate
     pres ([None] = no restriction, i.e. all area-annotations).
@@ -25,6 +46,7 @@ val run_sequence :
   Annots.t ->
   ?active_set:Active_set.kind ->
   ?deadline:Standoff_util.Timing.deadline ->
+  ?stats:stats ->
   context:int array ->
   candidates:int array option ->
   unit ->
@@ -44,6 +66,7 @@ val run_lifted :
   Annots.t ->
   ?active_set:Active_set.kind ->
   ?deadline:Standoff_util.Timing.deadline ->
+  ?stats:stats ->
   loop:int array ->
   context_iters:int array ->
   context_pres:int array ->

@@ -43,7 +43,29 @@ let partition_by_doc (context : Table.t) ~keep_attribute_owner =
          let iters, pres = Hashtbl.find by_doc doc_id in
          (doc_id, Vec.to_array iters, Vec.to_array pres))
 
-let axis_step coll axis ~test (context : Table.t) =
+(* A fused positional predicate: keep the [k]-th row of every
+   iteration group.  Step results are per-iteration duplicate-free and
+   in document order, so row rank within the group {e is} the XPath
+   position. *)
+let positional (t : Table.t) k =
+  if k < 1 then Table.of_rows []
+  else begin
+    let rows = ref [] in
+    let n = Table.row_count t in
+    let r = ref 0 in
+    while !r < n do
+      let iter = Table.iter_at t !r in
+      let lo = !r in
+      while !r < n && Table.iter_at t !r = iter do
+        incr r
+      done;
+      if lo + k - 1 < !r then
+        rows := (iter, Table.item_at t (lo + k - 1)) :: !rows
+    done;
+    Table.of_rows (List.rev !rows)
+  end
+
+let axis_step coll axis ?position ~test (context : Table.t) =
   let keep_attribute_owner = axis = Axes.Parent in
   let parts = partition_by_doc context ~keep_attribute_owner in
   let tables =
@@ -62,7 +84,8 @@ let axis_step coll axis ~test (context : Table.t) =
   (* Folding in ascending doc id keeps each iteration's sequence in
      global document order; per-document results are already sorted and
      duplicate-free. *)
-  Table.concat tables
+  let out = Table.concat tables in
+  match position with None -> out | Some k -> positional out k
 
 let attribute_step coll ~test (context : Table.t) =
   let rows = ref [] in

@@ -9,13 +9,21 @@
 (** Raised when a context item is not a node. *)
 exception Not_a_node of Standoff_relalg.Item.t
 
-(** [axis_step coll axis ~test context] evaluates a standard axis step.
-    Attribute items in the context contribute only to the [Parent]
-    axis (their owner element); they have no descendants or
+(** [positional t k] keeps the [k]-th row of every iteration group of
+    [t] — the fused form of a literal positional predicate over a
+    step result (which is duplicate-free and in document order per
+    iteration, so group row rank is the XPath position). *)
+val positional : Standoff_relalg.Table.t -> int -> Standoff_relalg.Table.t
+
+(** [axis_step coll axis ?position ~test context] evaluates a standard
+    axis step; [position] is a fused positional predicate applied to
+    the result.  Attribute items in the context contribute only to the
+    [Parent] axis (their owner element); they have no descendants or
     siblings. *)
 val axis_step :
   Standoff_store.Collection.t ->
   Axes.axis ->
+  ?position:int ->
   test:Node_test.t ->
   Standoff_relalg.Table.t ->
   Standoff_relalg.Table.t

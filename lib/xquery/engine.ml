@@ -8,15 +8,17 @@ module Catalog = Standoff.Catalog
 type t = {
   coll : Collection.t;
   cat : Catalog.t;
-  mutable strategy : Config.strategy;
+  mutable strategy : Config.strategy option;
+      (* engine-wide override; [None] lets the planner/evaluator pick a
+         strategy per operator *)
 }
 
-let create ?(strategy = Config.Loop_lifted) coll =
-  { coll; cat = Catalog.create (); strategy }
+let create ?strategy coll = { coll; cat = Catalog.create (); strategy }
 
 let collection t = t.coll
 let catalog t = t.cat
-let set_strategy t s = t.strategy <- s
+let set_strategy t s = t.strategy <- Some s
+let set_auto_strategy t = t.strategy <- None
 
 type result = {
   items : Item.t list;
@@ -25,7 +27,7 @@ type result = {
 }
 
 (* Prolog processing: fold the standoff-* options into a configuration,
-   register user functions, and evaluate global variables. *)
+   register user functions, and collect global variables. *)
 let process_prolog (q : Ast.query) =
   let functions = Hashtbl.create 8 in
   let config = ref Config.default in
@@ -61,16 +63,65 @@ let process_prolog (q : Ast.query) =
     q.Ast.prolog;
   (functions, !config, !strategy_override, List.rev !globals)
 
-let run t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
-    ?(rollback_constructed = false) query_text =
+(* ------------------------------------------------------------------ *)
+(* Prepared queries: parse -> lower -> optimize, once.                *)
+
+type prepared = {
+  p_prolog : Ast.prolog_decl list;
+  p_plan : Plan.t;
+  p_functions : (string, Plan.function_def) Hashtbl.t;
+  p_globals : (string * Plan.t) list;
+  p_config : Config.t;
+  p_strategy : Config.strategy option;
+}
+
+let prepared_plan p = p.p_plan
+let prepared_config p = p.p_config
+
+let prepare t ?strategy ?(optimize = true) query_text =
   let q = Parse.parse_query query_text in
-  let functions, config, strategy_override, globals = process_prolog q in
-  let strategy =
-    match (strategy, strategy_override) with
-    | _, Some s -> s
-    | Some s, None -> s
+  let ast_functions, config, strategy_override, ast_globals =
+    process_prolog q
+  in
+  (* A name declared as a user function shadows the builtin function
+     form of the StandOff operators, so lowering must not turn calls to
+     it into join nodes. *)
+  let is_udf name = Hashtbl.mem ast_functions name in
+  let resolved =
+    match (strategy_override, strategy) with
+    | Some s, _ -> Some s
+    | None, Some s -> Some s
     | None, None -> t.strategy
   in
+  let rewrite =
+    if optimize then begin
+      let stats = Optimize.collection_stats t.coll t.cat config in
+      fun plan -> Optimize.optimize ?pin_strategy:resolved ~stats plan
+    end
+    else Fun.id
+  in
+  let lower e = rewrite (Plan.lower ~is_udf e) in
+  let functions = Hashtbl.create (Hashtbl.length ast_functions) in
+  Hashtbl.iter
+    (fun name fn ->
+      Hashtbl.add functions name
+        {
+          Plan.fn_name = fn.Ast.fn_name;
+          fn_params = fn.Ast.fn_params;
+          fn_body = lower fn.Ast.fn_body;
+        })
+    ast_functions;
+  {
+    p_prolog = q.Ast.prolog;
+    p_plan = lower q.Ast.body;
+    p_functions = functions;
+    p_globals = List.map (fun (var, value) -> (var, lower value)) ast_globals;
+    p_config = config;
+    p_strategy = resolved;
+  }
+
+let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
+    ?(rollback_constructed = false) ?(instrument = false) prepared =
   let context =
     Option.map
       (fun name ->
@@ -79,6 +130,13 @@ let run t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
         | None -> Err.raisef "context document %S not found" name)
       context_doc
   in
+  if instrument then begin
+    Plan.reset_counters prepared.p_plan;
+    Hashtbl.iter
+      (fun _ fn -> Plan.reset_counters fn.Plan.fn_body)
+      prepared.p_functions;
+    List.iter (fun (_, p) -> Plan.reset_counters p) prepared.p_globals
+  end;
   let mark = Collection.checkpoint t.coll in
   Fun.protect
     ~finally:(fun () ->
@@ -88,22 +146,61 @@ let run t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
       if rollback_constructed then Collection.rollback t.coll mark)
     (fun () ->
       let env =
-        Eval.initial_env ~coll:t.coll ~catalog:t.cat ~config ~strategy
-          ~deadline ~functions ~context
+        Eval.initial_env ~coll:t.coll ~catalog:t.cat ~config:prepared.p_config
+          ~strategy:prepared.p_strategy ~instrument ~deadline
+          ~functions:prepared.p_functions ~context ()
       in
       let env =
         List.fold_left
           (fun env (var, value) ->
             { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
-          env globals
+          env prepared.p_globals
       in
-      let table = Eval.eval env q.Ast.body in
+      let table = Eval.eval env prepared.p_plan in
       let items = Table.to_sequence table in
       (* Serialize before constructed documents are rolled back. *)
       let serialized = Serialize.sequence t.coll items in
-      { items; serialized; config })
+      { items; serialized; config = prepared.p_config })
 
-let explain query_text = Pp_ast.query_to_string (Parse.parse_query query_text)
+let run t ?strategy ?deadline ?context_doc ?rollback_constructed query_text =
+  let prepared = prepare t ?strategy query_text in
+  run_prepared t ?deadline ?context_doc ?rollback_constructed prepared
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN / EXPLAIN ANALYZE                                          *)
+
+let render_prepared ?analyze prepared =
+  let decls = List.map Pp_ast.decl_to_string prepared.p_prolog in
+  let fn_plans =
+    (* Deterministic order for display. *)
+    Hashtbl.fold (fun _ fn acc -> fn :: acc) prepared.p_functions []
+    |> List.sort (fun a b -> compare a.Plan.fn_name b.Plan.fn_name)
+    |> List.map (fun fn ->
+           Printf.sprintf "function %s(%s):\n%s" fn.Plan.fn_name
+             (String.concat ", "
+                (List.map (fun p -> "$" ^ p) fn.Plan.fn_params))
+             (Plan.render ?analyze fn.Plan.fn_body))
+  in
+  let global_plans =
+    List.map
+      (fun (var, p) ->
+        Printf.sprintf "variable $%s:\n%s" var (Plan.render ?analyze p))
+      prepared.p_globals
+  in
+  String.concat "\n"
+    (decls @ fn_plans @ global_plans @ [ Plan.render ?analyze prepared.p_plan ])
+
+let explain t ?strategy ?optimize query_text =
+  render_prepared (prepare t ?strategy ?optimize query_text)
+
+let explain_analyze t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
+    query_text =
+  let prepared = prepare t ?strategy query_text in
+  let _ =
+    run_prepared t ~deadline ?context_doc ~rollback_constructed:true
+      ~instrument:true prepared
+  in
+  render_prepared ~analyze:true prepared
 
 let run_with_timeout t ?strategy ?context_doc ~seconds query_text =
   let mark = Collection.checkpoint t.coll in

@@ -1,7 +1,18 @@
 (** The query engine façade: parse a query, process its prolog
     ([declare option standoff-*], [declare function], [declare
-    variable]), and evaluate it against a document collection under a
-    chosen StandOff evaluation strategy.
+    variable]), lower it to a {!Plan.t}, optimize, and evaluate it
+    against a document collection.
+
+    The pipeline is parse -> {!Plan.lower} -> {!Optimize.optimize} ->
+    {!Eval.eval}.  {!prepare} runs the front half once and returns a
+    reusable {!prepared} query; {!run} is the one-shot composition.
+
+    Strategy selection is per StandOff operator: with no engine-wide
+    override ([create] without [?strategy], no prolog
+    [declare option standoff-strategy], no [?strategy] argument) each
+    join resolves its own strategy from annotation statistics at run
+    time.  An override pins every operator, which is what the paper's
+    Figure 6 strategy sweeps use.
 
     Nodes constructed by element constructors live in scratch documents
     registered in the collection.  By default they stay alive so the
@@ -12,8 +23,9 @@
 
 type t
 
-(** [create ?strategy coll] wraps a collection.  Default strategy:
-    {!Standoff.Config.Loop_lifted}. *)
+(** [create ?strategy coll] wraps a collection.  Without [strategy],
+    each StandOff operator picks its own strategy from annotation
+    statistics ({!Standoff.Join.auto_strategy}). *)
 val create : ?strategy:Standoff.Config.strategy -> Standoff_store.Collection.t -> t
 
 (** [collection t] is the underlying collection. *)
@@ -22,8 +34,12 @@ val collection : t -> Standoff_store.Collection.t
 (** [catalog t] is the annotation catalogue (region indexes). *)
 val catalog : t -> Standoff.Catalog.t
 
-(** [set_strategy t s] changes the default strategy. *)
+(** [set_strategy t s] pins the engine-wide strategy. *)
 val set_strategy : t -> Standoff.Config.strategy -> unit
+
+(** [set_auto_strategy t] removes the engine-wide pin, returning to
+    per-operator selection. *)
+val set_auto_strategy : t -> unit
 
 (** Everything a query run produces. *)
 type result = {
@@ -33,9 +49,47 @@ type result = {
   config : Standoff.Config.t;  (** the configuration after the prolog *)
 }
 
-(** [run t ?strategy ?deadline ?context_doc query] parses and evaluates
-    [query].  [context_doc] names the document that leading [/] paths
-    and bare [//x] paths refer to.
+(** A parsed, lowered, optimized query, ready to evaluate any number
+    of times. *)
+type prepared
+
+(** The optimized body plan (for tests and plan inspection). *)
+val prepared_plan : prepared -> Plan.t
+
+(** The configuration the prolog produced. *)
+val prepared_config : prepared -> Standoff.Config.t
+
+(** [prepare t ?strategy ?optimize query] parses [query] and lowers it
+    to a plan.  With [optimize:false] (default [true]) the optimizer
+    pass is skipped and the structural lowering is evaluated as-is —
+    the direct path, used to validate rewrites.
+    @raise Err.Error on static errors
+    @raise Lexer.Syntax_error on parse errors. *)
+val prepare :
+  t ->
+  ?strategy:Standoff.Config.strategy ->
+  ?optimize:bool ->
+  string ->
+  prepared
+
+(** [run_prepared t ?deadline ?context_doc ?rollback_constructed
+    ?instrument prepared] evaluates a prepared query.  [context_doc]
+    names the document that leading [/] paths refer to.  With
+    [instrument:true] the plan's {!Plan.counters} are reset and filled
+    during the run (see {!explain_analyze}).
+    @raise Err.Error on dynamic errors
+    @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
+val run_prepared :
+  t ->
+  ?deadline:Standoff_util.Timing.deadline ->
+  ?context_doc:string ->
+  ?rollback_constructed:bool ->
+  ?instrument:bool ->
+  prepared ->
+  result
+
+(** [run t ?strategy ?deadline ?context_doc query] is {!prepare}
+    composed with {!run_prepared}.
     @raise Err.Error on static/dynamic errors
     @raise Lexer.Syntax_error on parse errors
     @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
@@ -48,11 +102,25 @@ val run :
   string ->
   result
 
-(** [explain query] parses [query] and renders the desugared form the
-    evaluator sees — abbreviations expanded, predicates turned into
-    per-context loops, [//] spelled out.  Raises the same parse errors
-    as {!run}. *)
-val explain : string -> string
+(** [explain t query] renders the optimized physical plan: prolog
+    declarations, then the plan trees of user functions, global
+    variables, and the query body, with candidate-pushdown and
+    strategy decisions visible on every StandOff join.  Evaluates
+    nothing.  [optimize:false] shows the raw lowering instead. *)
+val explain :
+  t -> ?strategy:Standoff.Config.strategy -> ?optimize:bool -> string -> string
+
+(** [explain_analyze t query] runs the query with instrumentation and
+    renders the plan annotated with per-operator call counts, row
+    cardinalities, region-index rows scanned, resolved strategies, and
+    inclusive wall times.  Constructed nodes are rolled back. *)
+val explain_analyze :
+  t ->
+  ?strategy:Standoff.Config.strategy ->
+  ?deadline:Standoff_util.Timing.deadline ->
+  ?context_doc:string ->
+  string ->
+  string
 
 (** [run_with_timeout t ?strategy ?context_doc ~seconds query] is
     {!run} under a wall-clock budget, reporting DNF as

@@ -18,12 +18,15 @@ type env = {
   coll : Collection.t;
   catalog : Catalog.t;
   config : Config.t;
-  strategy : Config.strategy;
+  strategy : Config.strategy option;
+      (* engine-wide override; [None] lets each operator resolve its
+         own strategy from annotation statistics *)
   deadline : Timing.deadline;
+  instrument : bool;
   loop : int array;
   vars : (string * Table.t) list;
   focus : focus option;
-  functions : (string, Ast.function_def) Hashtbl.t;
+  functions : (string, Plan.function_def) Hashtbl.t;
   depth : int;
   ctor_counter : int ref;
 }
@@ -34,7 +37,8 @@ and focus = {
   f_last : Table.t;
 }
 
-let initial_env ~coll ~catalog ~config ~strategy ~deadline ~functions ~context =
+let initial_env ~coll ~catalog ~config ~strategy ?(instrument = false)
+    ~deadline ~functions ~context () =
   let loop = [| 0 |] in
   let focus =
     Option.map
@@ -52,6 +56,7 @@ let initial_env ~coll ~catalog ~config ~strategy ~deadline ~functions ~context =
     config;
     strategy;
     deadline;
+    instrument;
     loop;
     vars = [];
     focus;
@@ -150,13 +155,25 @@ let singleton_of what items =
   | _ -> Err.raisef "%s expects at most one item per iteration" what
 
 (* ------------------------------------------------------------------ *)
-(* StandOff axis steps                                                *)
+(* StandOff joins                                                     *)
 
 (* Partition context rows per document, keeping for each document both
    the (iter, pre) rows and the set of live iterations (needed by the
    reject operators: an iteration whose context has no annotations
-   still designates the fragment). *)
-let standoff_step env op test context =
+   still designates the fragment).
+
+   Physical-operator knobs (decided by the optimizer, carried on the
+   plan node):
+   - [pushdown]: restrict the candidate region index to elements
+     matching the name test before the join, instead of joining
+     against every area-annotation and post-filtering (§4.3).  The
+     post-filter below always runs, so a plan without pushdown is
+     still correct — just slower.
+   - [strategy]: [S_fixed] uses that algorithm; [S_auto] defers to the
+     engine-wide override if any, else picks per document from the
+     context and candidate sizes.
+   [meta] collects EXPLAIN ANALYZE instrumentation. *)
+let standoff_step env ?meta ~strategy_choice ~pushdown op test context =
   let by_doc : (int, int Vec.t * int Vec.t) Hashtbl.t = Hashtbl.create 4 in
   let doc_ids = Vec.create () in
   for r = 0 to Table.row_count context - 1 do
@@ -190,7 +207,23 @@ let standoff_step env op test context =
            let doc = Collection.doc env.coll doc_id in
            let annots = Catalog.annots env.catalog env.config doc in
            let candidates =
-             Option.map (Doc.elements_named doc) (Node_test.name_filter test)
+             if pushdown then
+               Option.map (Doc.elements_named doc) (Node_test.name_filter test)
+             else None
+           in
+           let strategy =
+             match strategy_choice with
+             | Plan.S_fixed s -> s
+             | Plan.S_auto -> (
+                 match env.strategy with
+                 | Some s -> s
+                 | None ->
+                     Join.auto_strategy annots
+                       ~context_rows:(Array.length context_pres)
+                       ~candidate_rows:(Option.map Array.length candidates))
+           in
+           let stats =
+             match meta with Some _ -> Some (Join.fresh_stats ()) | None -> None
            in
            let loop =
              (* Distinct iters present in this document's context. *)
@@ -202,14 +235,20 @@ let standoff_step env op test context =
              Vec.to_array v
            in
            let iters, pres =
-             Join.run_lifted op env.strategy annots ~deadline:env.deadline
+             Join.run_lifted op strategy annots ~deadline:env.deadline ?stats
                ~loop ~context_iters ~context_pres ~candidates ()
            in
+           (match (meta, stats) with
+           | Some m, Some s ->
+               m.Plan.c_index_rows <- m.Plan.c_index_rows + s.Join.s_index_rows;
+               m.Plan.c_strategy <- Some strategy
+           | _ -> ());
            let keep = Vec.create () in
            Array.iteri
              (fun r pre ->
-               (* Name tests were pushed into the candidate index; kind
-                  tests filter here. *)
+               (* Whether or not the name test was pushed into the
+                  candidate index, the node test filters here (kind
+                  tests cannot be pushed at all). *)
                if Node_test.matches doc test pre then
                  Vec.push keep (iters.(r), Item.Node { Collection.doc_id; pre }))
              pres;
@@ -287,36 +326,53 @@ and construct_element env ~tag ~attr_tables ~content_tables iter =
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                         *)
 
-let rec eval env expr =
+let rec eval env (plan : Plan.t) =
   Timing.checkpoint env.deadline;
   (* Dead iteration scopes evaluate to nothing without touching the
-     expression.  Besides saving work, this is what lets recursive
-     user functions terminate: the recursive branch of a conditional
-     runs under the loop restricted to the iterations that took it,
-     which eventually is empty. *)
-  if Array.length env.loop = 0 then Table.empty else eval_live env expr
+     plan.  Besides saving work, this is what lets recursive user
+     functions terminate: the recursive branch of a conditional runs
+     under the loop restricted to the iterations that took it, which
+     eventually is empty.  Instrumentation skips them too, so EXPLAIN
+     ANALYZE reports dead branches as not executed. *)
+  if Array.length env.loop = 0 then Table.empty
+  else if not env.instrument then eval_live env plan
+  else begin
+    let t0 = Timing.now () in
+    let out = eval_live env plan in
+    let m = plan.Plan.meta in
+    m.Plan.c_calls <- m.Plan.c_calls + 1;
+    m.Plan.c_rows_out <- m.Plan.c_rows_out + Table.row_count out;
+    m.Plan.c_seconds <- m.Plan.c_seconds +. (Timing.now () -. t0);
+    out
+  end
 
-and eval_live env expr =
-  match expr with
-  | Ast.Literal (Ast.Lit_int i) -> Table.const ~loop:env.loop [ Item.Int i ]
-  | Ast.Literal (Ast.Lit_float f) -> Table.const ~loop:env.loop [ Item.Float f ]
-  | Ast.Literal (Ast.Lit_string s) -> Table.const ~loop:env.loop [ Item.Str s ]
-  | Ast.Var v -> (
+and record_rows_in env (plan : Plan.t) input =
+  if env.instrument then begin
+    let m = plan.Plan.meta in
+    m.Plan.c_rows_in <- m.Plan.c_rows_in + Table.row_count input
+  end
+
+and eval_live env (plan : Plan.t) =
+  match plan.Plan.desc with
+  | Plan.Literal (Ast.Lit_int i) -> Table.const ~loop:env.loop [ Item.Int i ]
+  | Plan.Literal (Ast.Lit_float f) -> Table.const ~loop:env.loop [ Item.Float f ]
+  | Plan.Literal (Ast.Lit_string s) -> Table.const ~loop:env.loop [ Item.Str s ]
+  | Plan.Var v -> (
       match List.assoc_opt v env.vars with
       | Some t -> t
       | None -> Err.raisef "unbound variable $%s" v)
-  | Ast.Context_item -> (
+  | Plan.Context_item -> (
       match env.focus with
       | Some f -> f.f_item
       | None -> Err.raisef "no context item is defined here")
-  | Ast.Sequence es -> Table.concat (List.map (eval env) es)
-  | Ast.For { var; pos_var; source; order_by; body } ->
+  | Plan.Sequence es -> Table.concat (List.map (eval env) es)
+  | Plan.For { var; pos_var; source; order_by; body } ->
       let src = eval env source in
       let exp = Table.expand src in
       let free =
         List.sort_uniq compare
-          (Ast.free_vars body
-          @ List.concat_map (fun s -> Ast.free_vars s.Ast.key) order_by)
+          (Plan.free_vars body
+          @ List.concat_map (fun s -> Plan.free_vars s.Plan.key) order_by)
       in
       let env' = enter_loop env exp ~free in
       let vars = (var, exp.Table.var_table) :: env'.vars in
@@ -331,17 +387,17 @@ and eval_live env expr =
         Table.backmap out ~outer_of_inner:exp.Table.outer_of_inner
       else
         reorder_for env' exp out order_by
-  | Ast.Let { var; value; body } ->
+  | Plan.Let { var; value; body } ->
       let v = eval env value in
       eval { env with vars = (var, v) :: env.vars } body
-  | Ast.Where { cond; body } ->
+  | Plan.Where { cond; body } ->
       let mask = ebv_mask env (eval env cond) in
       let keep = loop_where env mask true in
       eval (restrict_env env ~keep) body
-  | Ast.Quantified { universal; var; source; satisfies } ->
+  | Plan.Quantified { universal; var; source; satisfies } ->
       let src = eval env source in
       let exp = Table.expand src in
-      let free = Ast.free_vars satisfies in
+      let free = Plan.free_vars satisfies in
       let env' = enter_loop env exp ~free in
       let env' = { env' with vars = (var, exp.Table.var_table) :: env'.vars } in
       let sat = eval env' satisfies in
@@ -356,15 +412,15 @@ and eval_live env expr =
           else verdict.(i) <- verdict.(i) || inner_mask.(inner))
         exp.Table.outer_of_inner;
       bool_table env verdict
-  | Ast.If { cond; then_; else_ } ->
+  | Plan.If { cond; then_; else_ } ->
       let mask = ebv_mask env (eval env cond) in
       let keep_t = loop_where env mask true in
       let keep_f = loop_where env mask false in
       let t = eval (restrict_env env ~keep:keep_t) then_ in
       let f = eval (restrict_env env ~keep:keep_f) else_ in
       Table.append2 t f
-  | Ast.Binop (op, a, b) -> eval_binop env op a b
-  | Ast.Unary_minus e ->
+  | Plan.Binop (op, a, b) -> eval_binop env op a b
+  | Plan.Unary_minus e ->
       let t = eval env e in
       let rows = ref [] in
       per_iter env t ~f:(fun iter items ->
@@ -375,20 +431,39 @@ and eval_live env expr =
                 (iter, Atomic.to_item (Atomic.negate (Atomic.atomize env.coll item)))
                 :: !rows);
       Table.of_rows (List.rev !rows)
-  | Ast.Step { input; axis; test } -> (
+  | Plan.Axis_step { input; axis; test; position } -> (
       let ctx = eval env input in
-      match axis with
-      | Ast.Std axis -> (
-          try Step.axis_step env.coll axis ~test ctx
-          with Step.Not_a_node item ->
-            Err.raisef "axis step applied to non-node %s" (Item.to_string item))
-      | Ast.Attribute -> Step.attribute_step env.coll ~test ctx
-      | Ast.Standoff op -> standoff_step env op test ctx)
-  | Ast.Filter { input; predicate } -> eval_filter env input predicate
-  | Ast.Path_map { input; body } ->
+      record_rows_in env plan ctx;
+      try Step.axis_step env.coll axis ?position ~test ctx
+      with Step.Not_a_node item ->
+        Err.raisef "axis step applied to non-node %s" (Item.to_string item))
+  | Plan.Attribute_step { input; test } ->
+      let ctx = eval env input in
+      record_rows_in env plan ctx;
+      Step.attribute_step env.coll ~test ctx
+  | Plan.Standoff_join
+      { input; op; test; position; pushdown; strategy; candidates } ->
+      let ctx = eval env input in
+      record_rows_in env plan ctx;
+      let meta = if env.instrument then Some plan.Plan.meta else None in
+      let joined =
+        match candidates with
+        | None ->
+            standoff_step env ?meta ~strategy_choice:strategy ~pushdown op test
+              ctx
+        | Some cand_plan ->
+            let cand = eval env cand_plan in
+            standoff_function env ?meta ~strategy_choice:strategy op test ctx
+              cand
+      in
+      (match position with
+      | None -> joined
+      | Some k -> Step.positional joined k)
+  | Plan.Filter { input; predicate } -> eval_filter env plan input predicate
+  | Plan.Path_map { input; body } ->
       let t = eval env input in
       let exp = Table.expand t in
-      let free = Ast.free_vars body in
+      let free = Plan.free_vars body in
       let env' = enter_loop env exp ~free in
       let last_items =
         Array.map
@@ -419,11 +494,11 @@ and eval_live env expr =
         if not (Item.is_node (Table.item_at back r)) then all_nodes := false
       done;
       if !all_nodes then Table.distinct_doc_order back else back
-  | Ast.Call { name; args } -> eval_call env name args
-  | Ast.Elem_ctor { tag; attrs; content } ->
+  | Plan.Call { name; args } -> eval_call env name args
+  | Plan.Elem_ctor { tag; attrs; content } ->
       let eval_part = function
-        | Ast.Fixed s -> `Fixed s
-        | Ast.Enclosed e -> `Table (eval env e)
+        | Plan.Fixed s -> `Fixed s
+        | Plan.Enclosed e -> `Table (eval env e)
       in
       let attr_tables =
         List.map (fun (n, parts) -> (n, List.map eval_part parts)) attrs
@@ -448,7 +523,7 @@ and reorder_for env' (exp : Table.expansion) out order_by =
   let keys =
     List.map
       (fun spec ->
-        let t = eval env' spec.Ast.key in
+        let t = eval env' spec.Plan.key in
         let column = Array.make n None in
         Array.iter
           (fun inner ->
@@ -459,7 +534,7 @@ and reorder_for env' (exp : Table.expansion) out order_by =
             | Some item ->
                 column.(inner) <- Some (Atomic.atomize env'.coll item))
           exp.Table.inner_loop;
-        (column, spec.Ast.descending))
+        (column, spec.Plan.descending))
       order_by
   in
   let perm = Array.init n Fun.id in
@@ -608,10 +683,11 @@ and eval_binop env op a b =
 
 (* ---------------- predicates ---------------- *)
 
-and eval_filter env input predicate =
+and eval_filter env plan input predicate =
   let t = eval env input in
+  record_rows_in env plan t;
   let exp = Table.expand t in
-  let free = Ast.free_vars predicate in
+  let free = Plan.free_vars predicate in
   let env' = enter_loop env exp ~free in
   (* Focus: the filtered item, its position, and the size of its
      iteration's sequence. *)
@@ -686,18 +762,18 @@ and apply_udf env fn args =
   if env.depth > 1024 then
     Err.raisef
       "function %s: recursion depth exceeded (does the recursion terminate?)"
-      fn.Ast.fn_name;
-  if List.length args <> List.length fn.Ast.fn_params then
-    Err.raisef "function %s expects %d arguments, got %d" fn.Ast.fn_name
-      (List.length fn.Ast.fn_params) (List.length args);
+      fn.Plan.fn_name;
+  if List.length args <> List.length fn.Plan.fn_params then
+    Err.raisef "function %s expects %d arguments, got %d" fn.Plan.fn_name
+      (List.length fn.Plan.fn_params) (List.length args);
   let bindings =
-    List.map2 (fun p a -> (p, eval env a)) fn.Ast.fn_params args
+    List.map2 (fun p a -> (p, eval env a)) fn.Plan.fn_params args
   in
   (* The body sees only its parameters (functions have no closure over
      query variables), plus the focus-free top environment. *)
   eval
     { env with vars = bindings; focus = None; depth = env.depth + 1 }
-    fn.Ast.fn_body
+    fn.Plan.fn_body
 
 and eval_builtin env name args =
   let argc = List.length args in
@@ -1180,87 +1256,80 @@ and eval_builtin env name args =
           | _ -> ())
         env.loop;
       Table.of_rows (List.rev !rows)
-  | ("select-narrow" | "select-wide" | "reject-narrow" | "reject-wide"), (1 | 2)
-    ->
-      (* Alternative 3 (paper §3.2): the StandOff joins as built-in
-         functions, with an optional candidate sequence. *)
-      let op = Op.of_string name in
-      let ctx = eval1 () in
-      let cand = if argc = 2 then Some (eval env (arg 1)) else None in
-      standoff_function env op ctx cand
   | _ -> Err.raisef "unknown function %s/%d" name argc
 
-(* Function form of the StandOff joins: candidates given as an explicit
-   node sequence (Figure 3) or defaulting to all area-annotations of
-   the context's fragment (Figure 2). *)
-and standoff_function env op ctx cand =
-  match cand with
-  | None -> standoff_step env op Node_test.Kind_node ctx
-  | Some cand_table ->
-      (* Restrict per document to the explicit candidate nodes. *)
-      let by_doc : (int, int Vec.t) Hashtbl.t = Hashtbl.create 4 in
-      for r = 0 to Table.row_count cand_table - 1 do
-        match Table.item_at cand_table r with
-        | Item.Node n ->
-            let v =
-              match Hashtbl.find_opt by_doc n.Collection.doc_id with
-              | Some v -> v
-              | None ->
-                  let v = Vec.create () in
-                  Hashtbl.add by_doc n.Collection.doc_id v;
-                  v
-            in
-            Vec.push v n.Collection.pre
-        | item -> Err.raisef "%s: candidate is not a node" (Item.to_string item)
-      done;
-      let sorted_by_doc = Hashtbl.create 4 in
-      Hashtbl.iter
-        (fun doc_id v ->
-          let ids = Vec.to_array v in
-          Array.sort compare ids;
-          Hashtbl.add sorted_by_doc doc_id ids)
-        by_doc;
-      (* Select ops: intersect with the candidate set.  Reject ops need
-         the join re-run against the candidate set, since rejecting is
-         relative to S2. *)
-      (match op with
-      | Op.Select_narrow | Op.Select_wide ->
-          let unrestricted = standoff_step env op Node_test.Kind_node ctx in
-          Table.filter
+(* Function form of the StandOff joins with an explicit candidate
+   sequence (Figure 3).  [Plan.lower] already unified the
+   no-candidates form with the axis form, so only the explicit case
+   lands here. *)
+and standoff_function env ?meta ~strategy_choice op test ctx cand_table =
+  (* Restrict per document to the explicit candidate nodes. *)
+  let by_doc : (int, int Vec.t) Hashtbl.t = Hashtbl.create 4 in
+  for r = 0 to Table.row_count cand_table - 1 do
+    match Table.item_at cand_table r with
+    | Item.Node n ->
+        let v =
+          match Hashtbl.find_opt by_doc n.Collection.doc_id with
+          | Some v -> v
+          | None ->
+              let v = Vec.create () in
+              Hashtbl.add by_doc n.Collection.doc_id v;
+              v
+        in
+        Vec.push v n.Collection.pre
+    | item -> Err.raisef "%s: candidate is not a node" (Item.to_string item)
+  done;
+  let sorted_by_doc = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun doc_id v ->
+      let ids = Vec.to_array v in
+      Array.sort compare ids;
+      Hashtbl.add sorted_by_doc doc_id ids)
+    by_doc;
+  (* Select ops: intersect with the candidate set.  Reject ops need
+     the join re-run against the candidate set, since rejecting is
+     relative to S2. *)
+  match op with
+  | Op.Select_narrow | Op.Select_wide ->
+      let unrestricted =
+        standoff_step env ?meta ~strategy_choice ~pushdown:false op test ctx
+      in
+      Table.filter
+        (fun item ->
+          match item with
+          | Item.Node n -> (
+              match Hashtbl.find_opt sorted_by_doc n.Collection.doc_id with
+              | Some ids -> Search.mem_sorted_int ids n.Collection.pre
+              | None -> false)
+          | _ -> false)
+        unrestricted
+  | Op.Reject_narrow | Op.Reject_wide ->
+      (* reject(S1, S2) = S2 minus select(S1, S2): compute the
+         matching semi-join and complement within S2, per
+         iteration. *)
+      let selected =
+        standoff_function env ?meta ~strategy_choice (Op.select_of op) test ctx
+          cand_table
+      in
+      let rows = ref [] in
+      Array.iter
+        (fun iter ->
+          let matched = Table.sequence_of_iter selected iter in
+          List.iter
             (fun item ->
+              (* Keep candidates that are area-annotations and did
+                 not match. *)
               match item with
-              | Item.Node n -> (
-                  match Hashtbl.find_opt sorted_by_doc n.Collection.doc_id with
-                  | Some ids -> Search.mem_sorted_int ids n.Collection.pre
-                  | None -> false)
-              | _ -> false)
-            unrestricted
-      | Op.Reject_narrow | Op.Reject_wide ->
-          (* reject(S1, S2) = S2 minus select(S1, S2): compute the
-             matching semi-join and complement within S2, per
-             iteration. *)
-          let selected =
-            standoff_function env (Op.select_of op) ctx (Some cand_table)
-          in
-          let rows = ref [] in
-          Array.iter
-            (fun iter ->
-              let matched = Table.sequence_of_iter selected iter in
-              List.iter
-                (fun item ->
-                  (* Keep candidates that are area-annotations and did
-                     not match. *)
-                  match item with
-                  | Item.Node n ->
-                      let doc = Collection.doc env.coll n.Collection.doc_id in
-                      let annots =
-                        Catalog.annots env.catalog env.config doc
-                      in
-                      if
-                        Standoff.Annots.is_annotation annots n.Collection.pre
-                        && not (List.exists (Item.equal item) matched)
-                      then rows := (iter, item) :: !rows
-                  | _ -> ())
-                (Table.sequence_of_iter cand_table iter))
-            env.loop;
-          Table.distinct_doc_order (Table.of_rows (List.rev !rows)))
+              | Item.Node n ->
+                  let doc = Collection.doc env.coll n.Collection.doc_id in
+                  let annots =
+                    Catalog.annots env.catalog env.config doc
+                  in
+                  if
+                    Standoff.Annots.is_annotation annots n.Collection.pre
+                    && not (List.exists (Item.equal item) matched)
+                  then rows := (iter, item) :: !rows
+              | _ -> ())
+            (Table.sequence_of_iter cand_table iter))
+        env.loop;
+      Table.distinct_doc_order (Table.of_rows (List.rev !rows))

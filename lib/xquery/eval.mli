@@ -1,26 +1,35 @@
-(** The loop-lifted evaluator.
+(** The loop-lifted evaluator over {!Plan.t} physical plans.
 
-    Expressions evaluate to {!Standoff_relalg.Table.t} sequence tables
-    over the current loop relation, exactly as in the Pathfinder
+    Plans evaluate to {!Standoff_relalg.Table.t} sequence tables over
+    the current loop relation, exactly as in the Pathfinder
     translation the paper builds on (§4.1): a [for] clause expands the
     binding sequence into a fresh inner loop, variables are lifted
     through the map relation, and the return value is mapped back.
-    Axis steps — including the four StandOff steps — therefore receive
+    Axis steps — including the four StandOff joins — therefore receive
     the context of {e all} iterations at once, which is what lets the
     {!Standoff.Config.Loop_lifted} strategy answer them in a single
     merge-join sweep while the other strategies are re-invoked per
-    iteration. *)
+    iteration.
+
+    The physical operators honour the plan's decisions: fused
+    positional predicates, candidate pushdown on StandOff joins, and
+    per-operator strategy choice ([S_auto] resolves against the
+    engine-wide override, if any, else from {!Standoff.Annots}
+    statistics per document).  With [instrument] on, every plan node's
+    {!Plan.counters} are filled in for EXPLAIN ANALYZE. *)
 
 type env = {
   coll : Standoff_store.Collection.t;
   catalog : Standoff.Catalog.t;
   config : Standoff.Config.t;
-  strategy : Standoff.Config.strategy;
+  strategy : Standoff.Config.strategy option;
+      (** engine-wide strategy override; [None] = per-operator auto *)
   deadline : Standoff_util.Timing.deadline;
+  instrument : bool;  (** fill in {!Plan.counters} while evaluating *)
   loop : int array;
   vars : (string * Standoff_relalg.Table.t) list;
   focus : focus option;
-  functions : (string, Ast.function_def) Hashtbl.t;
+  functions : (string, Plan.function_def) Hashtbl.t;
   depth : int;  (** user-function inlining depth (recursion guard) *)
   ctor_counter : int ref;  (** names for constructed-node documents *)
 }
@@ -32,20 +41,22 @@ and focus = {
 }
 
 (** [initial_env ~coll ~catalog ~config ~strategy ~deadline ~functions
-    ~context] is the single-iteration top-level environment; [context],
-    when given, becomes the initial context item (used for queries with
-    leading [/] paths). *)
+    ~context ()] is the single-iteration top-level environment;
+    [context], when given, becomes the initial context item (used for
+    queries with leading [/] paths). *)
 val initial_env :
   coll:Standoff_store.Collection.t ->
   catalog:Standoff.Catalog.t ->
   config:Standoff.Config.t ->
-  strategy:Standoff.Config.strategy ->
+  strategy:Standoff.Config.strategy option ->
+  ?instrument:bool ->
   deadline:Standoff_util.Timing.deadline ->
-  functions:(string, Ast.function_def) Hashtbl.t ->
+  functions:(string, Plan.function_def) Hashtbl.t ->
   context:Standoff_relalg.Item.t option ->
+  unit ->
   env
 
-(** [eval env expr] evaluates [expr] under [env].
+(** [eval env plan] evaluates [plan] under [env].
     @raise Err.Error on dynamic errors
     @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
-val eval : env -> Ast.expr -> Standoff_relalg.Table.t
+val eval : env -> Plan.t -> Standoff_relalg.Table.t

@@ -1,0 +1,318 @@
+(* The rule-based plan optimizer.  One bottom-up pass applies:
+
+   - constant folding (arithmetic, comparisons, unary minus, constant
+     conditionals, singleton-sequence flattening), using the same
+     {!Atomic} semantics the evaluator applies at run time — rules
+     whose runtime behaviour is an error (division by zero,
+     incomparable types) are left in place so the error still occurs;
+
+   - step/filter fusion: a literal positional predicate on an axis
+     step or StandOff join becomes the operator's fused [position]
+     ([$b/select-narrow::bidder[1]] executes as one step), and a
+     [self::name] predicate on an unnamed step becomes its name test;
+
+   - node-test pushdown (paper §4.3): a name test on a StandOff join
+     restricts the candidate region index before the merge sweep
+     instead of post-filtering the join result — unless collection
+     statistics say the name covers nearly all annotations, in which
+     case restricting the index costs more than it saves;
+
+   - strategy pinning: an engine-wide strategy override (prolog
+     [declare option standoff-strategy], CLI [--strategy], benchmark
+     sweeps) pins every StandOff operator; otherwise operators stay
+     [S_auto] and resolve per call site from {!Standoff.Annots}
+     statistics. *)
+
+module Node_test = Standoff_xpath.Node_test
+module Axes = Standoff_xpath.Axes
+module Config = Standoff.Config
+module Catalog = Standoff.Catalog
+module Annots = Standoff.Annots
+module Collection = Standoff_store.Collection
+module Doc = Standoff_store.Doc
+
+type stats = {
+  st_annotations : unit -> int;
+      (** total area-annotations across the collection *)
+  st_named : string -> int;  (** total elements with this name *)
+}
+
+let no_stats = { st_annotations = (fun () -> 0); st_named = (fun _ -> 0) }
+
+let collection_stats coll catalog config =
+  let annots =
+    lazy
+      (Collection.fold_docs
+         (fun acc _ doc ->
+           (* Documents whose region markup is invalid under this
+              configuration simply contribute no statistics; touching
+              them in a query still reports the error. *)
+           match Catalog.annots catalog config doc with
+           | a -> Annots.annotation_count a + acc
+           | exception Annots.Invalid_region _ -> acc)
+         0 coll)
+  in
+  {
+    st_annotations = (fun () -> Lazy.force annots);
+    st_named =
+      (fun name ->
+        Collection.fold_docs
+          (fun acc _ doc -> acc + Array.length (Doc.elements_named doc name))
+          0 coll);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding helpers                                           *)
+
+let atomic_of_literal = function
+  | Ast.Lit_int i -> Atomic.A_int i
+  | Ast.Lit_float f -> Atomic.A_float f
+  | Ast.Lit_string s -> Atomic.A_str s
+
+let literal_of_atomic = function
+  | Atomic.A_int i -> Some (Ast.Lit_int i)
+  | Atomic.A_float f -> Some (Ast.Lit_float f)
+  | Atomic.A_str s -> Some (Ast.Lit_string s)
+  | Atomic.A_bool _ | Atomic.A_untyped _ -> None
+
+let bool_call b = Plan.make (Plan.Call { name = (if b then "true" else "false"); args = [] })
+
+let arith_of_binop = function
+  | Ast.Op_add -> Some Atomic.Add
+  | Ast.Op_sub -> Some Atomic.Sub
+  | Ast.Op_mul -> Some Atomic.Mul
+  | Ast.Op_div -> Some Atomic.Div
+  | Ast.Op_idiv -> Some Atomic.Idiv
+  | Ast.Op_mod -> Some Atomic.Mod
+  | _ -> None
+
+let cmp_of_binop = function
+  | Ast.Op_eq -> Some Atomic.Ceq
+  | Ast.Op_ne -> Some Atomic.Cne
+  | Ast.Op_lt -> Some Atomic.Clt
+  | Ast.Op_le -> Some Atomic.Cle
+  | Ast.Op_gt -> Some Atomic.Cgt
+  | Ast.Op_ge -> Some Atomic.Cge
+  | _ -> None
+
+(* The effective boolean value of a plan whose verdict is static:
+   literals, true()/false(), and the empty sequence. *)
+let static_ebv (p : Plan.t) =
+  match p.Plan.desc with
+  | Plan.Literal (Ast.Lit_int i) -> Some (not (Int64.equal i 0L))
+  | Plan.Literal (Ast.Lit_float f) -> Some (not (f = 0.0 || Float.is_nan f))
+  | Plan.Literal (Ast.Lit_string s) -> Some (String.length s > 0)
+  | Plan.Call { name = "true"; args = [] } -> Some true
+  | Plan.Call { name = "false"; args = [] } -> Some false
+  | Plan.Sequence [] -> Some false
+  | _ -> None
+
+let fold_binop op (a : Plan.t) (b : Plan.t) =
+  match (a.Plan.desc, b.Plan.desc) with
+  | Plan.Literal la, Plan.Literal lb -> (
+      let xa = atomic_of_literal la and xb = atomic_of_literal lb in
+      match arith_of_binop op with
+      | Some arith -> (
+          match Atomic.arithmetic arith xa xb with
+          | v -> Option.map (fun l -> Plan.make (Plan.Literal l)) (literal_of_atomic v)
+          | exception Err.Error _ -> None)
+      | None -> (
+          match cmp_of_binop op with
+          | Some cmp -> (
+              match Atomic.compare_atomics cmp xa xb with
+              | v -> Some (bool_call v)
+              | exception Err.Error _ -> None)
+          | None -> None))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fusion helpers                                                     *)
+
+let positional_literal (p : Plan.t) =
+  match p.Plan.desc with
+  | Plan.Literal (Ast.Lit_int k)
+    when Int64.compare k 1L >= 0 && Int64.compare k (Int64.of_int max_int) <= 0
+    ->
+      Some (Int64.to_int k)
+  | _ -> None
+
+(* [self::n] as a predicate: keeps exactly the context elements named
+   [n]. *)
+let self_name_test (p : Plan.t) =
+  match p.Plan.desc with
+  | Plan.Axis_step
+      {
+        input = { Plan.desc = Plan.Context_item; _ };
+        axis = Axes.Self;
+        test = Node_test.Name n;
+        position = None;
+      } ->
+      Some n
+  | _ -> None
+
+let unnamed_test = function
+  | Node_test.Any | Node_test.Kind_node | Node_test.Kind_element None -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The rewriter                                                       *)
+
+let optimize ?pin_strategy ?(stats = no_stats) plan =
+  let pushdown_pays name =
+    let total = stats.st_annotations () in
+    (* With no statistics (empty collection) restricting is the safe
+       default — it can only shrink the index.  Skip it only when the
+       name demonstrably covers nearly all annotations (>80%), where
+       building the restricted index costs about as much as the scan
+       it saves. *)
+    total = 0 || stats.st_named name * 5 < total * 4
+  in
+  let rec go (p : Plan.t) : Plan.t =
+    let p = descend p in
+    rewrite p
+  and descend (p : Plan.t) =
+    let mk desc = Plan.make desc in
+    match p.Plan.desc with
+    | Plan.Literal _ | Plan.Var _ | Plan.Context_item -> p
+    | Plan.Sequence es -> mk (Plan.Sequence (List.map go es))
+    | Plan.For { var; pos_var; source; order_by; body } ->
+        mk
+          (Plan.For
+             {
+               var;
+               pos_var;
+               source = go source;
+               order_by =
+                 List.map
+                   (fun s -> { s with Plan.key = go s.Plan.key })
+                   order_by;
+               body = go body;
+             })
+    | Plan.Let { var; value; body } ->
+        mk (Plan.Let { var; value = go value; body = go body })
+    | Plan.Where { cond; body } ->
+        mk (Plan.Where { cond = go cond; body = go body })
+    | Plan.Quantified { universal; var; source; satisfies } ->
+        mk
+          (Plan.Quantified
+             { universal; var; source = go source; satisfies = go satisfies })
+    | Plan.If { cond; then_; else_ } ->
+        mk (Plan.If { cond = go cond; then_ = go then_; else_ = go else_ })
+    | Plan.Binop (op, a, b) -> mk (Plan.Binop (op, go a, go b))
+    | Plan.Unary_minus e -> mk (Plan.Unary_minus (go e))
+    | Plan.Axis_step s -> mk (Plan.Axis_step { s with input = go s.input })
+    | Plan.Attribute_step s ->
+        mk (Plan.Attribute_step { s with input = go s.input })
+    | Plan.Standoff_join j ->
+        mk
+          (Plan.Standoff_join
+             {
+               j with
+               input = go j.input;
+               candidates = Option.map go j.candidates;
+             })
+    | Plan.Filter { input; predicate } ->
+        mk (Plan.Filter { input = go input; predicate = go predicate })
+    | Plan.Path_map { input; body } ->
+        mk (Plan.Path_map { input = go input; body = go body })
+    | Plan.Call { name; args } ->
+        mk (Plan.Call { name; args = List.map go args })
+    | Plan.Elem_ctor { tag; attrs; content } ->
+        let part = function
+          | Plan.Fixed s -> Plan.Fixed s
+          | Plan.Enclosed e -> Plan.Enclosed (go e)
+        in
+        mk
+          (Plan.Elem_ctor
+             {
+               tag;
+               attrs = List.map (fun (n, ps) -> (n, List.map part ps)) attrs;
+               content = List.map part content;
+             })
+  and rewrite (p : Plan.t) : Plan.t =
+    match p.Plan.desc with
+    (* -------- constant folding -------- *)
+    | Plan.Sequence [ e ] -> e
+    | Plan.Binop (op, a, b) -> (
+        match fold_binop op a b with Some folded -> folded | None -> p)
+    | Plan.Unary_minus { Plan.desc = Plan.Literal l; _ } -> (
+        match literal_of_atomic (Atomic.negate (atomic_of_literal l)) with
+        | Some l' -> Plan.make (Plan.Literal l')
+        | None -> p)
+    | Plan.If { cond; then_; else_ } -> (
+        match static_ebv cond with
+        | Some true -> then_
+        | Some false -> else_
+        | None -> p)
+    | Plan.Where { cond; body } -> (
+        match static_ebv cond with
+        | Some true -> body
+        | Some false -> Plan.make (Plan.Sequence [])
+        | None -> p)
+    (* -------- step/filter fusion -------- *)
+    | Plan.Filter
+        {
+          input = { Plan.desc = Plan.Axis_step ({ position = None; _ } as s); _ };
+          predicate;
+        }
+      when Option.is_some (positional_literal predicate) ->
+        Plan.make
+          (Plan.Axis_step { s with position = positional_literal predicate })
+    | Plan.Filter
+        {
+          input =
+            { Plan.desc = Plan.Standoff_join ({ position = None; _ } as j); _ };
+          predicate;
+        }
+      when Option.is_some (positional_literal predicate) ->
+        rewrite
+          (Plan.make
+             (Plan.Standoff_join
+                { j with position = positional_literal predicate }))
+    | Plan.Filter
+        {
+          input = { Plan.desc = Plan.Axis_step ({ position = None; _ } as s); _ };
+          predicate;
+        }
+      when unnamed_test s.test && Option.is_some (self_name_test predicate)
+      ->
+        Plan.make
+          (Plan.Axis_step
+             { s with test = Node_test.Name (Option.get (self_name_test predicate)) })
+    | Plan.Filter
+        {
+          input =
+            {
+              Plan.desc =
+                Plan.Standoff_join
+                  ({ position = None; candidates = None; _ } as j);
+              _;
+            };
+          predicate;
+        }
+      when unnamed_test j.test && Option.is_some (self_name_test predicate)
+      ->
+        rewrite
+          (Plan.make
+             (Plan.Standoff_join
+                {
+                  j with
+                  test = Node_test.Name (Option.get (self_name_test predicate));
+                }))
+    (* -------- node-test pushdown + strategy pinning -------- *)
+    | Plan.Standoff_join j ->
+        let pushdown =
+          match (j.candidates, Node_test.name_filter j.test) with
+          | None, Some name -> pushdown_pays name
+          | _ -> j.pushdown
+        in
+        let strategy =
+          match pin_strategy with
+          | Some s -> Plan.S_fixed s
+          | None -> j.strategy
+        in
+        if pushdown = j.pushdown && strategy = j.strategy then p
+        else Plan.make (Plan.Standoff_join { j with pushdown; strategy })
+    | _ -> p
+  in
+  go plan

@@ -1,0 +1,31 @@
+(** Rule-based rewriter over {!Plan.t}.
+
+    A single bottom-up pass applies constant folding, step/filter
+    fusion (positional and [self::name] predicates), node-test
+    pushdown into StandOff-join candidate sets (paper §4.3), and
+    strategy pinning.  All rewrites are result-preserving. *)
+
+(** Collection statistics consulted by the pushdown rule. *)
+type stats = {
+  st_annotations : unit -> int;
+      (** total area-annotations across the collection *)
+  st_named : string -> int;  (** total elements with this name *)
+}
+
+(** Statistics that report zero everywhere; pushdown then always
+    fires (restricting a candidate index can only shrink it). *)
+val no_stats : stats
+
+(** [collection_stats coll catalog config] derives lazy statistics
+    from the collection's cached {!Standoff.Annots} tables.  Documents
+    whose region markup is invalid under [config] contribute nothing
+    (the error still surfaces when a query touches them). *)
+val collection_stats :
+  Standoff_store.Collection.t -> Standoff.Catalog.t -> Standoff.Config.t -> stats
+
+(** [optimize ?pin_strategy ?stats p] is the rewritten plan.
+    [pin_strategy] forces every StandOff operator to that strategy
+    (engine-wide override); absent, operators keep their
+    {!Plan.strategy_choice}. *)
+val optimize :
+  ?pin_strategy:Standoff.Config.strategy -> ?stats:stats -> Plan.t -> Plan.t

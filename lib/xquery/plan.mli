@@ -1,0 +1,105 @@
+(** The logical/physical query-plan IR between parsing and evaluation.
+
+    {!lower} turns an {!Ast.expr} into a plan tree in which the path
+    operators are explicit physical operators: axis steps with an
+    optionally fused positional predicate, and the paper's four
+    StandOff joins as {!desc.Standoff_join} nodes carrying the
+    candidate-pushdown decision (§4.3) and a per-operator evaluation
+    strategy.  {!Optimize} rewrites plans; {!Eval} executes them.
+
+    Every node owns a mutable {!counters} record filled by an
+    instrumented run (EXPLAIN ANALYZE): call count, input/output row
+    cardinalities, inclusive wall time, and region-index rows
+    scanned. *)
+
+type strategy_choice =
+  | S_auto  (** resolve per call site from annotation statistics *)
+  | S_fixed of Standoff.Config.strategy
+
+type counters = {
+  mutable c_calls : int;
+  mutable c_rows_in : int;
+  mutable c_rows_out : int;
+  mutable c_seconds : float;  (** inclusive wall time *)
+  mutable c_index_rows : int;
+  mutable c_strategy : Standoff.Config.strategy option;
+      (** last strategy an auto operator resolved to *)
+}
+
+type t = { desc : desc; meta : counters }
+
+and desc =
+  | Literal of Ast.literal
+  | Var of string
+  | Context_item
+  | Sequence of t list
+  | For of {
+      var : string;
+      pos_var : string option;
+      source : t;
+      order_by : order_spec list;
+      body : t;
+    }
+  | Let of { var : string; value : t; body : t }
+  | Where of { cond : t; body : t }
+  | Quantified of { universal : bool; var : string; source : t; satisfies : t }
+  | If of { cond : t; then_ : t; else_ : t }
+  | Binop of Ast.binop * t * t
+  | Unary_minus of t
+  | Axis_step of {
+      input : t;
+      axis : Standoff_xpath.Axes.axis;
+      test : Standoff_xpath.Node_test.t;
+      position : int option;  (** fused positional predicate *)
+    }
+  | Attribute_step of { input : t; test : Standoff_xpath.Node_test.t }
+  | Standoff_join of {
+      input : t;
+      op : Standoff.Op.t;
+      test : Standoff_xpath.Node_test.t;
+      position : int option;
+      pushdown : bool;
+          (** [true]: the name test restricts the candidate region
+              index before the join; [false]: post-filter *)
+      strategy : strategy_choice;
+      candidates : t option;  (** explicit candidates (function form) *)
+    }
+  | Filter of { input : t; predicate : t }
+  | Path_map of { input : t; body : t }
+  | Call of { name : string; args : t list }
+  | Elem_ctor of {
+      tag : string;
+      attrs : (string * attr_part list) list;
+      content : attr_part list;
+    }
+
+and attr_part = Fixed of string | Enclosed of t
+
+and order_spec = { key : t; descending : bool }
+
+type function_def = { fn_name : string; fn_params : string list; fn_body : t }
+
+(** [make desc] wraps [desc] with fresh counters. *)
+val make : desc -> t
+
+(** [lower ?is_udf e] is the structural lowering of [e].  [is_udf]
+    names user-declared functions, which shadow the builtin function
+    form of the StandOff operators. *)
+val lower : ?is_udf:(string -> bool) -> Ast.expr -> t
+
+(** [free_vars p] is the set of variables [p] references but does not
+    bind, as {!Ast.free_vars}. *)
+val free_vars : t -> string list
+
+(** [render ?analyze p] draws the plan tree; with [analyze:true] each
+    operator line carries its counters ([(not executed)] for dead
+    branches). *)
+val render : ?analyze:bool -> t -> string
+
+(** [reset_counters p] zeroes the whole tree's counters, so a prepared
+    query can be re-profiled. *)
+val reset_counters : t -> unit
+
+(** [label p] is the one-line operator description {!render} uses for
+    the root of [p] (exposed for tests). *)
+val label : t -> string

@@ -9,5 +9,9 @@ val pp_expr : Format.formatter -> Ast.expr -> unit
 
 val expr_to_string : Ast.expr -> string
 
+(** [decl_to_string d] renders one prolog declaration (used by
+    [Engine.explain] above the plan tree). *)
+val decl_to_string : Ast.prolog_decl -> string
+
 (** [query_to_string q] includes the prolog declarations. *)
 val query_to_string : Ast.query -> string
