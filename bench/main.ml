@@ -7,13 +7,26 @@
      main.exe figure-4                 the Listing 1 execution trace
      main.exe figure-6 [options]       the XMark sweep (3 strategies + DNF)
      main.exe staircase-vs-standoff    §4.6 claim: select-narrow vs descendant
-     main.exe planner [--scale S]      optimized plan vs direct lowering
+     main.exe planner [--scale S] [--jobs N]   optimized plan vs direct lowering
+     main.exe scaling [--jobs N]       merge-join throughput vs annotation count
+     main.exe parallel-scaling [opts]  jobs sweep: speedup curves (CSV/JSON)
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
      --scales s1,s2,...   XMark scale factors     (default 0.002,0.01,0.02,0.1,0.2)
      --timeout SECONDS    per-point DNF budget    (default 10)
      --queries Q1,Q2,...  subset of Q1 Q2 Q6 Q7   (default all)
+     --jobs N             parallelism of every engine (default STANDOFF_JOBS or 1)
+
+   parallel-scaling options:
+     --scale S            single-document XMark scale    (default 0.1)
+     --shards N           documents in the sharded run   (default 6)
+     --shard-scale S      XMark scale of each shard      (default 0.02)
+     --jobs j1,j2,...     jobs counts to sweep           (default 1,2,4,8)
+     --repeats N          timed runs per point (median)  (default 5)
+     --queries Q1,...     subset of Q1 Q2 Q6 Q7          (default all)
+     --csv FILE           write per-point rows as CSV
+     --json FILE          write the sweep as JSON (BENCH_parallel.json shape)
 
    The paper benchmarked 11MB-1100MB documents (scale 0.1-10) with a
    one-hour DNF budget on 2006 hardware; the default sweep uses the
@@ -22,7 +35,9 @@
 
 module Timing = Standoff_util.Timing
 module Vec = Standoff_util.Vec
+module Pool = Standoff_util.Pool
 module Doc = Standoff_store.Doc
+module Blob = Standoff_store.Blob
 module Collection = Standoff_store.Collection
 module Region = Standoff_interval.Region
 module Area = Standoff_interval.Area
@@ -36,6 +51,7 @@ module Node_test = Standoff_xpath.Node_test
 module Engine = Standoff_xquery.Engine
 module Gen = Standoff_xmark.Gen
 module Setup = Standoff_xmark.Setup
+module Standoffify = Standoff_xmark.Standoffify
 module Queries = Standoff_xmark.Queries
 
 let section title =
@@ -161,17 +177,19 @@ let strategies_for_figure6 =
     (Config.Loop_lifted, "Loop-Lifted StandOff MergeJoin");
   ]
 
-let figure_6_body ~record ~scales ~timeout ~queries () =
+let figure_6_body ~record ~scales ~timeout ~queries ~jobs () =
   section "Figure 6: StandOff XMark queries (seconds; DNF = did not finish)";
   Printf.printf
     "timeout per point: %gs; paper sizes 11MB-1100MB map to these scale\n\
      factors at 1/50 size (same 1:5:10:50:100 ratios)\n"
     timeout;
+  if jobs > 1 then Printf.printf "parallelism: %d jobs per engine\n" jobs;
   let setups =
     List.map
       (fun scale ->
         let (setup, t) =
-          Timing.time (fun () -> Setup.build ~scale ~with_standard:false ())
+          Timing.time (fun () ->
+              Setup.build ~scale ~with_standard:false ~jobs ())
         in
         Printf.printf "built xmark scale %g (%s serialized) in %.2fs\n%!" scale
           (Setup.size_label setup.Setup.serialized_size) t;
@@ -222,7 +240,7 @@ let figure_6_body ~record ~scales ~timeout ~queries () =
         strategies_for_figure6)
     queries
 
-let figure_6 ?csv ~scales ~timeout ~queries () =
+let figure_6 ?csv ~scales ~timeout ~queries ~jobs () =
   let csv_oc = Option.map open_out csv in
   Option.iter
     (fun oc -> output_string oc "query,strategy,scale,size_bytes,seconds,dnf\n")
@@ -240,7 +258,7 @@ let figure_6 ?csv ~scales ~timeout ~queries () =
     ~finally:(fun () ->
       Option.iter close_out_noerr csv_oc;
       Option.iter (Printf.printf "\nwrote %s\n") csv)
-    (fun () -> figure_6_body ~record ~scales ~timeout ~queries ())
+    (fun () -> figure_6_body ~record ~scales ~timeout ~queries ~jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Experiment E4: select-narrow vs descendant Staircase Join           *)
@@ -317,11 +335,14 @@ let staircase_vs_standoff () =
 (* Scaling: raw loop-lifted merge-join throughput vs annotation count
    (supports the ">GB interactive querying" claim of §4.6)             *)
 
-let scaling () =
+let scaling ?(jobs = 1) () =
   section "Scaling: loop-lifted StandOff MergeJoin throughput";
+  let pool = if jobs > 1 then Some (Pool.shared ~jobs) else None in
   Printf.printf
     "nested annotation forests (XMark-like shape); context = every 10th\n\
-     annotation, its own iteration; candidates = all annotations\n\n";
+     annotation, its own iteration; candidates = all annotations\n";
+  Printf.printf "jobs: %d%s\n\n" jobs
+    (if jobs > 1 then " (parallel index build and chunked sweeps)" else "");
   Printf.printf "%12s %14s %14s %16s\n" "annotations" "sweep" "total query"
     "rows/sec";
   List.iter
@@ -353,7 +374,7 @@ let scaling () =
       done;
       Buffer.add_string buf "</t>";
       let d = Doc.parse ~name:(Printf.sprintf "scale%d" n) (Buffer.contents buf) in
-      let annots = Annots.extract Config.default d in
+      let annots = Annots.extract ?pool Config.default d in
       let ids = annots.Annots.ids in
       let m = Array.length ids in
       let ctx = Array.init (m / 10) (fun i -> ids.(i * 10)) in
@@ -365,7 +386,7 @@ let scaling () =
       in
       let (_, t_total) =
         Timing.time (fun () ->
-            Join.run_lifted Op.Select_narrow Config.Loop_lifted annots
+            Join.run_lifted Op.Select_narrow Config.Loop_lifted annots ?pool
               ~loop:iters ~context_iters:iters ~context_pres:ctx
               ~candidates:None ())
       in
@@ -468,11 +489,11 @@ let active_set_ablation () =
 (* ------------------------------------------------------------------ *)
 (* Planner: optimized plan vs direct (unoptimized) lowering            *)
 
-let planner ?(scale = 0.01) () =
+let planner ?(scale = 0.01) ?(jobs = 1) () =
   section "Planner: optimized plan vs direct lowering (XMark queries)";
-  let setup = Setup.build ~scale ~with_standard:false () in
-  Printf.printf "xmark scale %g (%s serialized)\n\n" scale
-    (Setup.size_label setup.Setup.serialized_size);
+  let setup = Setup.build ~scale ~with_standard:false ~jobs () in
+  Printf.printf "xmark scale %g (%s serialized), %d jobs\n\n" scale
+    (Setup.size_label setup.Setup.serialized_size) jobs;
   let engine = setup.Setup.engine in
   (* Warm the region index outside the measurements. *)
   ignore
@@ -510,6 +531,235 @@ let planner ?(scale = 0.01) () =
   Printf.printf
     "\n(direct = structural lowering evaluated as-is; planned = after\n\
     \ candidate pushdown, step fusion, and per-operator strategy selection)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: the jobs sweep of the multicore execution layer.
+   Two shapes, matching the two levels of parallelism:
+
+   - single document: one XMark instance, chunked merge sweeps inside
+     each loop-lifted StandOff join (parallelism bounded by the number
+     of loop iterations of the dominant join);
+   - sharded collection: N XMark instances, the engine fans the
+     prepared query out one shard per document
+     ([Engine.run_prepared_sharded]), which parallelizes the whole
+     evaluation, not just the sweeps.
+
+   Every point re-checks that its serialized result is byte-identical
+   to the jobs=1 run of the same shape. *)
+
+let replace_all ~needle ~by s =
+  let nl = String.length needle in
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + nl <= n && String.equal (String.sub s !i nl) needle then begin
+      Buffer.add_string buf by;
+      i := !i + nl
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* The stock queries address their document as [doc("name")]; a shard
+   is addressed by its context item instead, so drop the doc() call
+   and let the leading path resolve from the shard root. *)
+let sharded_query_text q =
+  replace_all ~needle:"doc(\"@SHARD@\")" ~by:"" (q.Queries.standoff "@SHARD@")
+
+let build_shard_collection ~shards ~shard_scale =
+  let coll = Collection.create () in
+  for i = 1 to shards do
+    let dom =
+      Gen.generate { Gen.scale = shard_scale; seed = Int64.of_int (1000 + i) }
+    in
+    let transformed = Standoffify.transform dom in
+    ignore
+      (Collection.add coll
+         (Doc.of_dom
+            ~name:(Printf.sprintf "shard%d.xml" i)
+            transformed.Standoffify.doc));
+    Collection.add_blob coll
+      (Blob.of_string
+         ~name:(Printf.sprintf "shard%d.blob" i)
+         transformed.Standoffify.blob)
+  done;
+  coll
+
+type ps_row = {
+  ps_mode : string;  (* "single-doc" | "sharded" *)
+  ps_query : string;
+  ps_jobs : int;
+  ps_seconds : float;
+  ps_speedup : float;  (* jobs=1 median over this median *)
+  ps_identical : bool;  (* serialized result = jobs=1 result *)
+}
+
+let parallel_scaling ?(scale = 0.1) ?(shards = 6) ?(shard_scale = 0.02)
+    ?(jobs_list = [ 1; 2; 4; 8 ]) ?(repeats = 5) ?csv ?json ~queries () =
+  section "Parallel scaling: StandOff XMark queries, jobs sweep";
+  let median times =
+    let b = Array.copy times in
+    Array.sort compare b;
+    b.(Array.length b / 2)
+  in
+  let rows = ref [] in
+  (* One sweep line: set the engine's jobs, one warm-up run, then the
+     median of [repeats] timed runs.  The pool is torn down between
+     points so a point never inherits the previous point's workers. *)
+  let sweep ~mode ~engine ~run_once label =
+    Printf.printf "%-8s" label;
+    let baseline = ref nan in
+    let base_out = ref "" in
+    List.iter
+      (fun jobs ->
+        Engine.set_jobs engine jobs;
+        let out = run_once () in
+        let times = Array.init repeats (fun _ -> snd (Timing.time run_once)) in
+        Engine.shutdown engine;
+        let t = median times in
+        if Float.is_nan !baseline then begin
+          baseline := t;
+          base_out := out
+        end;
+        let row =
+          {
+            ps_mode = mode;
+            ps_query = label;
+            ps_jobs = jobs;
+            ps_seconds = t;
+            ps_speedup = !baseline /. t;
+            ps_identical = String.equal out !base_out;
+          }
+        in
+        rows := row :: !rows;
+        Printf.printf "%10.1fms" (t *. 1000.0);
+        flush stdout)
+      jobs_list;
+    let mine =
+      List.filter
+        (fun r -> r.ps_mode = mode && r.ps_query = label)
+        !rows
+    in
+    let best =
+      List.fold_left (fun acc r -> max acc r.ps_speedup) 1.0 mine
+    in
+    Printf.printf "%8.2fx %9b\n" best (List.for_all (fun r -> r.ps_identical) mine)
+  in
+  let header () =
+    Printf.printf "%-8s" "query";
+    List.iter (fun j -> Printf.printf "%12s" (Printf.sprintf "jobs=%d" j)) jobs_list;
+    Printf.printf "%9s %9s\n" "best" "identical";
+    Printf.printf "%s\n"
+      (String.make (8 + (12 * List.length jobs_list) + 19) '-')
+  in
+  (* --- single document: chunked merge sweeps ---------------------- *)
+  let setup = Setup.build ~scale ~with_standard:false ~jobs:1 () in
+  Printf.printf
+    "\nsingle document: xmark scale %g (%s), loop-lifted, chunked sweeps\n"
+    scale
+    (Setup.size_label setup.Setup.serialized_size);
+  header ();
+  let engine = setup.Setup.engine in
+  (* Build the region index outside the measurements (§4.3: the index
+     is part of the stored document). *)
+  ignore
+    (Engine.run engine ~rollback_constructed:true
+       (Printf.sprintf "count(doc(\"%s\")//site/select-narrow::people)"
+          setup.Setup.standoff_doc));
+  List.iter
+    (fun q ->
+      let prepared =
+        Engine.prepare engine ~strategy:Config.Loop_lifted
+          (q.Queries.standoff setup.Setup.standoff_doc)
+      in
+      let run_once () =
+        (Engine.run_prepared engine ~rollback_constructed:true prepared)
+          .Engine.serialized
+      in
+      sweep ~mode:"single-doc" ~engine ~run_once q.Queries.id)
+    queries;
+  (* --- sharded collection: per-document fan-out ------------------- *)
+  let coll = build_shard_collection ~shards ~shard_scale in
+  Printf.printf
+    "\nsharded collection: %d x xmark scale %g, one shard per document\n"
+    shards shard_scale;
+  header ();
+  let engine2 = Engine.create ~jobs:1 coll in
+  List.iter
+    (fun q ->
+      let prepared =
+        Engine.prepare engine2 ~strategy:Config.Loop_lifted
+          (sharded_query_text q)
+      in
+      let run_once () =
+        (Engine.run_prepared_sharded engine2 ~rollback_constructed:true
+           prepared)
+          .Engine.serialized
+      in
+      sweep ~mode:"sharded" ~engine:engine2 ~run_once q.Queries.id)
+    queries;
+  let rows = List.rev !rows in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some b when b.ps_speedup >= r.ps_speedup -> acc
+        | _ -> Some r)
+      None rows
+  in
+  Option.iter
+    (fun b ->
+      Printf.printf "\nbest speedup: %.2fx (%s %s at jobs=%d)\n" b.ps_speedup
+        b.ps_mode b.ps_query b.ps_jobs)
+    best;
+  let all_identical = List.for_all (fun r -> r.ps_identical) rows in
+  Printf.printf "all results identical to jobs=1: %b\n" all_identical;
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc "mode,query,jobs,seconds,speedup,identical\n";
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "%s,%s,%d,%.6f,%.3f,%b\n" r.ps_mode r.ps_query
+            r.ps_jobs r.ps_seconds r.ps_speedup r.ps_identical)
+        rows;
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    csv;
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n  \"scale\": %g,\n  \"shards\": %d,\n  \"shard_scale\": %g,\n\
+        \  \"jobs\": [%s],\n  \"repeats\": %d,\n  \"all_identical\": %b,\n"
+        scale shards shard_scale
+        (String.concat ", " (List.map string_of_int jobs_list))
+        repeats all_identical;
+      Option.iter
+        (fun b ->
+          Printf.fprintf oc
+            "  \"best\": {\"mode\": \"%s\", \"query\": \"%s\", \"jobs\": %d, \
+             \"speedup\": %.3f},\n"
+            b.ps_mode b.ps_query b.ps_jobs b.ps_speedup)
+        best;
+      Printf.fprintf oc "  \"rows\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"mode\": \"%s\", \"query\": \"%s\", \"jobs\": %d, \
+             \"seconds\": %.6f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+            r.ps_mode r.ps_query r.ps_jobs r.ps_seconds r.ps_speedup
+            r.ps_identical
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family    *)
@@ -632,6 +882,7 @@ let parse_figure6_args args =
   let timeout = ref 10.0 in
   let queries = ref Queries.all in
   let csv = ref None in
+  let jobs = ref (Config.default_jobs ()) in
   let rec go = function
     | [] -> ()
     | "--scales" :: v :: rest ->
@@ -647,43 +898,112 @@ let parse_figure6_args args =
     | "--csv" :: v :: rest ->
         csv := Some v;
         go rest
+    | "--jobs" :: v :: rest ->
+        jobs := max 1 (int_of_string v);
+        go rest
     | arg :: _ -> failwith (Printf.sprintf "figure-6: unknown argument %s" arg)
   in
   go args;
-  (!scales, !timeout, !queries, !csv)
+  (!scales, !timeout, !queries, !csv, !jobs)
+
+let parse_parallel_scaling_args args =
+  let scale = ref 0.1 in
+  let shards = ref 6 in
+  let shard_scale = ref 0.02 in
+  let jobs_list = ref [ 1; 2; 4; 8 ] in
+  let repeats = ref 5 in
+  let queries = ref Queries.all in
+  let csv = ref None in
+  let json = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        go rest
+    | "--shards" :: v :: rest ->
+        shards := int_of_string v;
+        go rest
+    | "--shard-scale" :: v :: rest ->
+        shard_scale := float_of_string v;
+        go rest
+    | "--jobs" :: v :: rest ->
+        jobs_list :=
+          List.map (fun s -> max 1 (int_of_string s))
+            (String.split_on_char ',' v);
+        go rest
+    | "--repeats" :: v :: rest ->
+        repeats := max 1 (int_of_string v);
+        go rest
+    | "--queries" :: v :: rest ->
+        queries := List.map Queries.find (String.split_on_char ',' v);
+        go rest
+    | "--csv" :: v :: rest ->
+        csv := Some v;
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | arg :: _ ->
+        failwith (Printf.sprintf "parallel-scaling: unknown argument %s" arg)
+  in
+  go args;
+  (!scale, !shards, !shard_scale, !jobs_list, !repeats, !queries, !csv, !json)
+
+let parse_scale_jobs_args ~cmd ~default_scale args =
+  let scale = ref default_scale in
+  let jobs = ref (Config.default_jobs ()) in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        go rest
+    | "--jobs" :: v :: rest ->
+        jobs := max 1 (int_of_string v);
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "%s: unknown argument %s" cmd arg)
+  in
+  go args;
+  (!scale, !jobs)
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "table-3-1" :: _ -> table_3_1 ()
   | _ :: "figure-4" :: _ -> figure_4 ()
   | _ :: "figure-6" :: rest ->
-      let scales, timeout, queries, csv = parse_figure6_args rest in
-      figure_6 ?csv ~scales ~timeout ~queries ()
+      let scales, timeout, queries, csv, jobs = parse_figure6_args rest in
+      figure_6 ?csv ~scales ~timeout ~queries ~jobs ()
   | _ :: "staircase-vs-standoff" :: _ -> staircase_vs_standoff ()
   | _ :: "active-set" :: _ -> active_set_ablation ()
-  | _ :: "scaling" :: _ -> scaling ()
+  | _ :: "scaling" :: rest ->
+      let _, jobs = parse_scale_jobs_args ~cmd:"scaling" ~default_scale:0.0 rest in
+      scaling ~jobs ()
   | _ :: "planner" :: rest ->
-      let scale =
-        match rest with
-        | "--scale" :: v :: _ -> float_of_string v
-        | _ -> 0.01
+      let scale, jobs =
+        parse_scale_jobs_args ~cmd:"planner" ~default_scale:0.01 rest
       in
-      planner ~scale ()
+      planner ~scale ~jobs ()
+  | _ :: "parallel-scaling" :: rest ->
+      let scale, shards, shard_scale, jobs_list, repeats, queries, csv, json =
+        parse_parallel_scaling_args rest
+      in
+      parallel_scaling ~scale ~shards ~shard_scale ~jobs_list ~repeats ?csv
+        ?json ~queries ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
       figure_4 ();
-      figure_6 ~scales:default_scales ~timeout:10.0 ~queries:Queries.all ();
+      figure_6 ~scales:default_scales ~timeout:10.0 ~queries:Queries.all
+        ~jobs:(Config.default_jobs ()) ();
       staircase_vs_standoff ();
       active_set_ablation ();
-      scaling ();
-      planner ();
+      scaling ~jobs:(Config.default_jobs ()) ();
+      planner ~jobs:(Config.default_jobs ()) ();
       micro ()
   | _ :: cmd :: _ ->
       Printf.eprintf
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
-         staircase-vs-standoff | active-set | scaling | planner | micro | \
-         all)\n"
+         staircase-vs-standoff | active-set | scaling | planner | \
+         parallel-scaling | micro | all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -108,6 +108,16 @@ let strategy_arg =
            loop-lifted.  Default: pick per operator from annotation \
            statistics.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Config.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate with N domains in parallel (merge sweeps, index \
+           builds, per-document shards).  1 = fully sequential.  \
+           Defaults to \\$(b,STANDOFF_JOBS) or 1.")
+
 (* ---------------- query ---------------- *)
 
 let query_cmd =
@@ -146,8 +156,8 @@ let query_cmd =
             "Run the query and print the plan annotated with per-operator \
              row counts, index rows scanned, and timings.")
   in
-  let run docs blobs db strategy context timeout explain explain_analyze query
-      =
+  let run docs blobs db strategy jobs context timeout explain explain_analyze
+      query =
     handle_errors (fun () ->
         let query =
           if String.length query > 0 && query.[0] = '@' then (
@@ -168,7 +178,7 @@ let query_cmd =
             with _ -> Collection.create ()
           else load_collection ?db docs blobs
         in
-        let engine = Engine.create ?strategy coll in
+        let engine = Engine.create ?strategy ~jobs coll in
         if explain then begin
           print_endline (Engine.explain engine query);
           exit 0
@@ -205,8 +215,9 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XQuery with StandOff axis support")
     Term.(
-      const run $ docs_arg $ blobs_arg $ db_arg $ strategy_arg $ context_arg
-      $ timeout_arg $ explain_arg $ explain_analyze_arg $ query_arg)
+      const run $ docs_arg $ blobs_arg $ db_arg $ strategy_arg $ jobs_arg
+      $ context_arg $ timeout_arg $ explain_arg $ explain_analyze_arg
+      $ query_arg)
 
 (* ---------------- shred ---------------- *)
 

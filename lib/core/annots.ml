@@ -6,13 +6,56 @@ module Area = Standoff_interval.Area
 
 exception Invalid_region of { pre : int; msg : string }
 
+(* Restricted-index cache: keyed structurally on the candidate array
+   (hash first, full compare on hash hit), kept in most-recently-used
+   order and bounded, so structurally equal candidate sets from
+   separate [prepare] calls hit and the cache cannot grow without
+   limit.  The mutex makes lookups/inserts safe when several domains
+   share one [Annots.t]. *)
+type restricted_cache = {
+  rc_lock : Mutex.t;
+  mutable rc_entries : (int * int array * Region_index.t) list;
+      (* (hash, key, index), most recently used first *)
+}
+
+let restricted_cache_capacity = 8
+
+let key_hash (ids : int array) = Hashtbl.hash ids
+
+let cache_create () = { rc_lock = Mutex.create (); rc_entries = [] }
+
+let cache_find cache h ids =
+  Mutex.lock cache.rc_lock;
+  let found =
+    List.find_opt (fun (h', key, _) -> h' = h && key = ids) cache.rc_entries
+  in
+  (match found with
+  | Some ((_, _, _) as entry) when not (entry == List.hd cache.rc_entries) ->
+      (* Move-to-front keeps the list in recency order. *)
+      cache.rc_entries <-
+        entry :: List.filter (fun e -> not (e == entry)) cache.rc_entries
+  | _ -> ());
+  Mutex.unlock cache.rc_lock;
+  Option.map (fun (_, _, idx) -> idx) found
+
+let cache_add cache h ids idx =
+  Mutex.lock cache.rc_lock;
+  (* A racing domain may have inserted the same key meanwhile; keeping
+     both entries is harmless (same contents), the bound still holds. *)
+  let entries = (h, ids, idx) :: cache.rc_entries in
+  cache.rc_entries <-
+    (if List.length entries > restricted_cache_capacity then
+       List.filteri (fun i _ -> i < restricted_cache_capacity) entries
+     else entries);
+  Mutex.unlock cache.rc_lock
+
 type t = {
   doc : Doc.t;
   ids : int array;
   areas : Area.t array;
   index : Region_index.t;
   max_regions_per_area : int;
-  mutable restricted_cache : (int array * Region_index.t) list;
+  restricted_cache : restricted_cache;
 }
 
 let fail pre fmt = Printf.ksprintf (fun msg -> raise (Invalid_region { pre; msg })) fmt
@@ -68,7 +111,7 @@ let area_from_region_elements config doc region_name pre =
       end);
   match !regions with [] -> None | rs -> Some (Area.make (List.rev rs))
 
-let extract config doc =
+let extract ?pool config doc =
   let area_of_pre =
     match config.Config.region_name with
     | None -> area_from_attributes config doc
@@ -91,9 +134,9 @@ let extract config doc =
     doc;
     ids;
     areas;
-    index = Region_index.build annots;
+    index = Region_index.build ?pool annots;
     max_regions_per_area = !max_regions;
-    restricted_cache = [];
+    restricted_cache = cache_create ();
   }
 
 let annotation_count t = Array.length t.ids
@@ -112,17 +155,18 @@ let restrict_ids t ~candidates =
     candidates;
   Vec.to_array out
 
-let candidate_index_scan t ~candidates =
+let candidate_index_scan ?pool t ~candidates =
   match candidates with
   | None -> t.index
-  | Some ids -> Region_index.restrict t.index ~ids
+  | Some ids -> Region_index.restrict ?pool t.index ~ids
 
-let candidate_index t ~candidates =
+let candidate_index ?pool t ~candidates =
   match candidates with
   | None -> t.index
   | Some ids -> (
-      match List.find_opt (fun (key, _) -> key == ids) t.restricted_cache with
-      | Some (_, idx) -> idx
+      let h = key_hash ids in
+      match cache_find t.restricted_cache h ids with
+      | Some idx -> idx
       | None ->
           (* §4.3 index intersection on node-id, done from the
              candidate side: each candidate's regions are already
@@ -136,9 +180,6 @@ let candidate_index t ~candidates =
               | Some slot -> pairs := (pre, t.areas.(slot)) :: !pairs
               | None -> ())
             ids;
-          let idx = Region_index.build !pairs in
-          let cache = (ids, idx) :: t.restricted_cache in
-          t.restricted_cache <-
-            (if List.length cache > 8 then List.filteri (fun i _ -> i < 8) cache
-             else cache);
+          let idx = Region_index.build ?pool !pairs in
+          cache_add t.restricted_cache h ids idx;
           idx)

@@ -12,6 +12,13 @@ exception Invalid_region of { pre : int; msg : string }
     interpreted — one of the two names missing, a position that is not
     an integer, or [start > end]. *)
 
+type restricted_cache
+(** A small mutex-protected LRU of candidate restrictions, keyed
+    structurally on the candidate id array — structurally equal
+    candidate sets from separate [prepare] calls hit, and the bound
+    keeps it from growing without limit.  Safe to share across
+    domains. *)
+
 type t = private {
   doc : Standoff_store.Doc.t;
   ids : int array;  (** area-annotation pres, sorted *)
@@ -19,16 +26,13 @@ type t = private {
   index : Region_index.t;
   max_regions_per_area : int;
       (** [1] enables the single-region fast paths of the joins *)
-  mutable restricted_cache : (int array * Region_index.t) list;
-      (** recently used candidate restrictions, keyed by physical
-          identity of the candidate array (the element index hands out
-          stable arrays, so repeated queries over the same name test
-          reuse the restricted index) *)
+  restricted_cache : restricted_cache;
 }
 
-(** [extract config doc] scans the document once and builds the
-    annotation table and region index. *)
-val extract : Config.t -> Standoff_store.Doc.t -> t
+(** [extract ?pool config doc] scans the document once and builds the
+    annotation table and region index (index sort parallelised when a
+    [pool] is given). *)
+val extract : ?pool:Standoff_util.Pool.t -> Config.t -> Standoff_store.Doc.t -> t
 
 (** [annotation_count t] is the number of area-annotations. *)
 val annotation_count : t -> int
@@ -49,9 +53,10 @@ val restrict_ids : t -> candidates:int array -> int array
 (** [candidate_index t ~candidates] is the §4.3 candidate sequence: the
     region index restricted to [candidates] ([None] means the entire
     index).  Built from the candidate side in O(|candidates| log
-    |candidates|) and cached per candidate array, so a loop-lifted
-    query pays for it once. *)
-val candidate_index : t -> candidates:int array option -> Region_index.t
+    |candidates|) and cached per candidate set (structural key, small
+    LRU), so a loop-lifted query pays for it once. *)
+val candidate_index :
+  ?pool:Standoff_util.Pool.t -> t -> candidates:int array option -> Region_index.t
 
 (** [candidate_index_scan t ~candidates] is the same restriction
     computed the way the paper's pre-loop-lifting engine computes it on
@@ -59,4 +64,5 @@ val candidate_index : t -> candidates:int array option -> Region_index.t
     intersecting on node id (§4.3).  The per-iteration strategies use
     this — "repeated full scans of the region index" is precisely why
     Basic StandOff MergeJoin does not finish XMark Q2 (§4.6). *)
-val candidate_index_scan : t -> candidates:int array option -> Region_index.t
+val candidate_index_scan :
+  ?pool:Standoff_util.Pool.t -> t -> candidates:int array option -> Region_index.t

@@ -3,31 +3,62 @@ type entry = {
   annots : Annots.t;
 }
 
-type t = (string, entry list ref) Hashtbl.t
-(* Keyed on document name, which collections keep unique; the handful
-   of configurations per document live in a short list. *)
+type t = {
+  lock : Mutex.t;
+  table : (string, entry list ref) Hashtbl.t;
+      (* Keyed on document name, which collections keep unique; the
+         handful of configurations per document live in a short
+         list. *)
+}
 
-let create () : t = Hashtbl.create 8
+let create () = { lock = Mutex.create (); table = Hashtbl.create 8 }
 
-let annots cat config doc =
+let find_entry cat key config doc =
+  match Hashtbl.find_opt cat.table key with
+  | None -> None
+  | Some entries ->
+      Option.map
+        (fun e -> e.annots)
+        (List.find_opt
+           (fun e ->
+             Config.equal e.config config && e.annots.Annots.doc == doc)
+           !entries)
+
+let annots ?pool cat config doc =
   let key = doc.Standoff_store.Doc.doc_name in
-  let entries =
-    match Hashtbl.find_opt cat key with
-    | Some r -> r
-    | None ->
-        let r = ref [] in
-        Hashtbl.add cat key r;
-        r
-  in
-  match
-    List.find_opt
-      (fun e -> Config.equal e.config config && e.annots.Annots.doc == doc)
-      !entries
-  with
-  | Some e -> e.annots
+  Mutex.lock cat.lock;
+  let hit = find_entry cat key config doc in
+  Mutex.unlock cat.lock;
+  match hit with
+  | Some a -> a
   | None ->
-      let a = Annots.extract config doc in
-      entries := { config; annots = a } :: !entries;
-      a
+      (* Extraction runs outside the lock: it may itself use the pool,
+         and holding a lock across pool tasks could deadlock.  Two
+         domains racing on the same (doc, config) at worst both
+         extract; the second insert wins the check below and the loser
+         result is dropped. *)
+      let a = Annots.extract ?pool config doc in
+      Mutex.lock cat.lock;
+      let result =
+        match find_entry cat key config doc with
+        | Some other ->
+            other (* someone beat us to it; keep theirs for stability *)
+        | None ->
+            let entries =
+              match Hashtbl.find_opt cat.table key with
+              | Some r -> r
+              | None ->
+                  let r = ref [] in
+                  Hashtbl.add cat.table key r;
+                  r
+            in
+            entries := { config; annots = a } :: !entries;
+            a
+      in
+      Mutex.unlock cat.lock;
+      result
 
-let invalidate cat doc = Hashtbl.remove cat doc.Standoff_store.Doc.doc_name
+let invalidate cat doc =
+  Mutex.lock cat.lock;
+  Hashtbl.remove cat.table doc.Standoff_store.Doc.doc_name;
+  Mutex.unlock cat.lock

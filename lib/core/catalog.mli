@@ -11,9 +11,12 @@ type t
 (** [create ()] is an empty catalogue. *)
 val create : unit -> t
 
-(** [annots cat config doc] is the cached annotation table of [doc]
-    under [config], extracting it on first request. *)
-val annots : t -> Config.t -> Standoff_store.Doc.t -> Annots.t
+(** [annots ?pool cat config doc] is the cached annotation table of
+    [doc] under [config], extracting it on first request.  Lookups and
+    inserts are mutex-protected (extraction itself runs outside the
+    lock), so the catalogue may be shared across pool domains. *)
+val annots :
+  ?pool:Standoff_util.Pool.t -> t -> Config.t -> Standoff_store.Doc.t -> Annots.t
 
 (** [invalidate cat doc] drops cached entries for [doc] (all
     configurations) — for callers that rebuild documents. *)

@@ -79,3 +79,8 @@ val strategy_to_string : strategy -> string
 
 (** [all_strategies] in the order of the paper's comparison. *)
 val all_strategies : strategy list
+
+(** [default_jobs ()] is the default parallelism for query execution:
+    the [STANDOFF_JOBS] environment variable when set to an integer
+    >= 1, else [1] (fully sequential). *)
+val default_jobs : unit -> int

@@ -1,6 +1,7 @@
 module Vec = Standoff_util.Vec
 module Timing = Standoff_util.Timing
 module Search = Standoff_util.Search
+module Pool = Standoff_util.Pool
 module Area = Standoff_interval.Area
 
 (* ------------------------------------------------------------------ *)
@@ -127,7 +128,8 @@ let complement ~loop ~candidate_ids (matched_iters, matched_pres) =
 (* ------------------------------------------------------------------ *)
 (* Merge-join execution for one already-built context.                *)
 
-let merge_join_lifted op annots ~active_set ~deadline ~loop ctx cand_index =
+let merge_join_lifted op annots ~active_set ~deadline ~loop ?candidate_ids ctx
+    cand_index =
   let single_region = annots.Annots.max_regions_per_area = 1 in
   let sweep =
     match Op.select_of op with
@@ -141,9 +143,12 @@ let merge_join_lifted op annots ~active_set ~deadline ~loop ctx cand_index =
   in
   if Op.is_select op then selected
   else
-    complement ~loop
-      ~candidate_ids:(Region_index.annotation_ids cand_index)
-      selected
+    let candidate_ids =
+      match candidate_ids with
+      | Some ids -> ids
+      | None -> Region_index.annotation_ids cand_index
+    in
+    complement ~loop ~candidate_ids selected
 
 (* ------------------------------------------------------------------ *)
 (* Sorted-array intersection, for the post-join name-test filtering
@@ -160,16 +165,21 @@ let intersect_sorted a b =
 type stats = {
   mutable s_invocations : int;
   mutable s_index_rows : int;
+  mutable s_chunks : int;
 }
 
-let fresh_stats () = { s_invocations = 0; s_index_rows = 0 }
+let fresh_stats () = { s_invocations = 0; s_index_rows = 0; s_chunks = 0 }
 
-let record stats ~index_rows =
+(* [chunks] counts parallel sweep chunks only: the per-iteration and
+   UDF paths contribute 0, a sequential loop-lifted sweep 1, so the
+   counter is > 1 exactly when a join actually fanned out. *)
+let record ?(chunks = 0) stats ~index_rows =
   match stats with
   | None -> ()
   | Some s ->
       s.s_invocations <- s.s_invocations + 1;
-      s.s_index_rows <- s.s_index_rows + index_rows
+      s.s_index_rows <- s.s_index_rows + index_rows;
+      s.s_chunks <- s.s_chunks + chunks
 
 (* The strategies are result-equivalent, so picking one per operator
    is purely a cost decision: for tiny context x candidate products
@@ -216,18 +226,72 @@ let run_sequence op strategy annots ?(active_set = Active_set.Sorted_list)
       in
       pres
 
-let run_lifted op strategy annots ?(active_set = Active_set.Sorted_list)
+let run_lifted op strategy annots ?pool ?(active_set = Active_set.Sorted_list)
     ?(deadline = Timing.no_deadline) ?stats ~loop ~context_iters ~context_pres
     ~candidates () =
   match strategy with
-  | Config.Loop_lifted ->
-      let ctx =
-        Merge_join_ll.context_of_annotations annots ~iters:context_iters
-          ~pres:context_pres
+  | Config.Loop_lifted -> (
+      let cand_index = Annots.candidate_index ?pool annots ~candidates in
+      let n_loop = Array.length loop in
+      let chunks =
+        match pool with
+        | Some p when Pool.jobs p > 1 && n_loop > 1 ->
+            Pool.chunk_count p ~n:n_loop ()
+        | _ -> 1
       in
-      let cand_index = Annots.candidate_index annots ~candidates in
-      record stats ~index_rows:(Region_index.row_count cand_index);
-      merge_join_lifted op annots ~active_set ~deadline ~loop ctx cand_index
+      record stats ~chunks ~index_rows:(Region_index.row_count cand_index);
+      if chunks = 1 then
+        let ctx =
+          Merge_join_ll.context_of_annotations annots ~iters:context_iters
+            ~pres:context_pres
+        in
+        merge_join_lifted op annots ~active_set ~deadline ~loop ctx cand_index
+      else begin
+        (* Iterations are independent by construction (§4 Listing 1),
+           so the loop relation is split on iteration boundaries and
+           one sweep runs per chunk against the shared immutable
+           candidate index.  Each chunk's output is per-iteration
+           duplicate-free and sorted by (iter, pre); chunks cover
+           ascending disjoint iteration ranges, so concatenating them
+           in chunk order reproduces the sequential output exactly. *)
+        let pool = Option.get pool in
+        let candidate_ids =
+          if Op.is_select op then [||]
+          else Region_index.annotation_ids cand_index
+        in
+        let pieces =
+          Pool.parallel_chunks pool ~n:n_loop (fun ~chunk:_ ~lo ~hi ->
+              let loop_slice = Array.sub loop lo (hi - lo) in
+              (* Context rows are sorted by iter: the rows of this
+                 chunk's iterations form a contiguous slice. *)
+              let clo = Search.lower_bound_int context_iters loop_slice.(0) in
+              let chi =
+                Search.lower_bound_int context_iters
+                  (loop_slice.(Array.length loop_slice - 1) + 1)
+              in
+              let ctx =
+                Merge_join_ll.context_of_annotations annots
+                  ~iters:(Array.sub context_iters clo (chi - clo))
+                  ~pres:(Array.sub context_pres clo (chi - clo))
+              in
+              merge_join_lifted op annots ~active_set ~deadline
+                ~loop:loop_slice ~candidate_ids ctx cand_index)
+        in
+        let total =
+          Array.fold_left
+            (fun acc (it, _) -> acc + Array.length it)
+            0 pieces
+        in
+        let iters = Array.make total 0 and pres = Array.make total 0 in
+        let off = ref 0 in
+        Array.iter
+          (fun (it, pr) ->
+            Array.blit it 0 iters !off (Array.length it);
+            Array.blit pr 0 pres !off (Array.length pr);
+            off := !off + Array.length it)
+          pieces;
+        (iters, pres)
+      end)
   | Config.Udf_no_candidates | Config.Udf_candidates | Config.Basic_merge ->
       (* The paper's pre-loop-lifting behaviour: the single-sequence
          algorithm runs once per iteration, re-scanning the candidate

@@ -23,6 +23,11 @@
 type stats = {
   mutable s_invocations : int;
   mutable s_index_rows : int;
+  mutable s_chunks : int;
+      (** parallel sweep chunks across invocations: loop-lifted sweeps
+          contribute their chunk count (1 when sequential), the
+          per-iteration and UDF paths 0 — so [> 1] means a join really
+          fanned out *)
 }
 
 val fresh_stats : unit -> stats
@@ -59,11 +64,20 @@ val run_sequence :
     (iterations without context rows matter to the reject operators,
     which return {e all} candidates for them).  The result is parallel
     [(iters, pres)] arrays, per-iteration duplicate-free and in
-    document order. *)
+    document order.
+
+    With a [pool] of more than one job, the {!Config.Loop_lifted}
+    strategy partitions the loop relation on iteration boundaries
+    (iterations are independent by construction, §4 Listing 1) and
+    runs one merge sweep per chunk against the shared immutable
+    candidate index; chunk outputs are concatenated in chunk order, so
+    the result is identical to the sequential sweep.  The [deadline]
+    is honoured inside every chunk. *)
 val run_lifted :
   Op.t ->
   Config.strategy ->
   Annots.t ->
+  ?pool:Standoff_util.Pool.t ->
   ?active_set:Active_set.kind ->
   ?deadline:Standoff_util.Timing.deadline ->
   ?stats:stats ->

@@ -12,10 +12,15 @@ type t = private {
   ids : int array;          (** annotation node ids (pre ranks) *)
   region_ranks : int array; (** index of the region within its area *)
 }
-(** Invariant: rows sorted on [(start asc, end desc, id asc)]. *)
+(** Invariant: rows sorted on [(start asc, end desc, id asc, rank asc)]
+    — a total order, so the sorted form of a given row multiset is
+    unique regardless of how (or how parallel) it was sorted. *)
 
-(** [build annots] indexes [(id, area)] pairs. *)
-val build : (int * Standoff_interval.Area.t) list -> t
+(** [build ?pool annots] indexes [(id, area)] pairs.  With a [pool] of
+    more than one job and enough rows, the sort runs as parallel chunk
+    sorts followed by a pairwise merge; the result is identical to the
+    sequential build. *)
+val build : ?pool:Standoff_util.Pool.t -> (int * Standoff_interval.Area.t) list -> t
 
 (** [row_count idx] is the number of region rows. *)
 val row_count : t -> int
@@ -24,10 +29,13 @@ val row_count : t -> int
     ids appearing in the index. *)
 val annotation_ids : t -> int array
 
-(** [restrict idx ~ids] performs the index intersection of §4.3:
+(** [restrict ?pool idx ~ids] performs the index intersection of §4.3:
     keeps only rows whose id occurs in the sorted array [ids],
-    preserving the [start] clustering. *)
-val restrict : t -> ids:int array -> t
+    preserving the [start] clustering.  Membership tests use a bitmap
+    over the candidate ids (one sweep, O(1) per row); with a [pool] the
+    sweep is partitioned and chunk outputs land in contiguous slices,
+    so the result is identical to the sequential sweep. *)
+val restrict : ?pool:Standoff_util.Pool.t -> t -> ids:int array -> t
 
 (** [region idx row] is the region of row [row]. *)
 val region : t -> int -> Standoff_interval.Region.t

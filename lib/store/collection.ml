@@ -1,10 +1,25 @@
 module Vec = Standoff_util.Vec
 
+(* The lock serialises every access to the document Vec and the name
+   tables: parallel query shards read documents (and register
+   constructed ones) concurrently, and Vec growth swaps the backing
+   array, so even reads must not race a push. *)
 type t = {
+  lock : Mutex.t;
   docs : Doc.t Vec.t;
   by_name : (string, int) Hashtbl.t;
   blobs : (string, Blob.t) Hashtbl.t;
 }
+
+let locked coll f =
+  Mutex.lock coll.lock;
+  match f () with
+  | v ->
+      Mutex.unlock coll.lock;
+      v
+  | exception e ->
+      Mutex.unlock coll.lock;
+      raise e
 
 type node = {
   doc_id : int;
@@ -16,49 +31,69 @@ let compare_node a b =
   if c <> 0 then c else compare a.pre b.pre
 
 let create () =
-  { docs = Vec.create (); by_name = Hashtbl.create 8; blobs = Hashtbl.create 8 }
+  {
+    lock = Mutex.create ();
+    docs = Vec.create ();
+    by_name = Hashtbl.create 8;
+    blobs = Hashtbl.create 8;
+  }
 
 let add coll d =
-  let name = d.Doc.doc_name in
-  if Hashtbl.mem coll.by_name name then
-    invalid_arg (Printf.sprintf "Collection.add: duplicate document %S" name);
-  let id = Vec.length coll.docs in
-  Vec.push coll.docs d;
-  Hashtbl.add coll.by_name name id;
-  id
+  locked coll (fun () ->
+      let name = d.Doc.doc_name in
+      if Hashtbl.mem coll.by_name name then
+        invalid_arg
+          (Printf.sprintf "Collection.add: duplicate document %S" name);
+      let id = Vec.length coll.docs in
+      Vec.push coll.docs d;
+      Hashtbl.add coll.by_name name id;
+      id)
 
 let add_blob coll b =
-  let name = Blob.name b in
-  if Hashtbl.mem coll.blobs name then
-    invalid_arg (Printf.sprintf "Collection.add_blob: duplicate blob %S" name);
-  Hashtbl.add coll.blobs name b
+  locked coll (fun () ->
+      let name = Blob.name b in
+      if Hashtbl.mem coll.blobs name then
+        invalid_arg
+          (Printf.sprintf "Collection.add_blob: duplicate blob %S" name);
+      Hashtbl.add coll.blobs name b)
 
 let doc coll id =
-  if id < 0 || id >= Vec.length coll.docs then
-    invalid_arg (Printf.sprintf "Collection.doc: unknown id %d" id);
-  Vec.get coll.docs id
+  locked coll (fun () ->
+      if id < 0 || id >= Vec.length coll.docs then
+        invalid_arg (Printf.sprintf "Collection.doc: unknown id %d" id);
+      Vec.get coll.docs id)
 
-let doc_id_of_name coll name = Hashtbl.find_opt coll.by_name name
-let blob coll name = Hashtbl.find_opt coll.blobs name
-let doc_count coll = Vec.length coll.docs
+let doc_id_of_name coll name =
+  locked coll (fun () -> Hashtbl.find_opt coll.by_name name)
+
+let blob coll name = locked coll (fun () -> Hashtbl.find_opt coll.blobs name)
+let doc_count coll = locked coll (fun () -> Vec.length coll.docs)
 let root_node _coll id = { doc_id = id; pre = 0 }
 
 let load_string coll ~name s = add coll (Doc.parse ~name s)
 
 let fold_docs f acc coll =
+  (* Snapshot under the lock, fold outside it — [f] may be arbitrary
+     user code (and may itself take the lock via [add]). *)
+  let snapshot = locked coll (fun () -> Vec.to_array coll.docs) in
   let acc = ref acc in
-  Vec.iteri (fun id d -> acc := f !acc id d) coll.docs;
+  Array.iteri (fun id d -> acc := f !acc id d) snapshot;
   !acc
 
-let checkpoint coll = Vec.length coll.docs
+let checkpoint coll = locked coll (fun () -> Vec.length coll.docs)
 
 let rollback coll mark =
-  if mark < 0 || mark > Vec.length coll.docs then
-    invalid_arg "Collection.rollback: invalid checkpoint";
-  for id = mark to Vec.length coll.docs - 1 do
-    Hashtbl.remove coll.by_name (Vec.get coll.docs id).Doc.doc_name
-  done;
-  Vec.truncate coll.docs mark
+  locked coll (fun () ->
+      if mark < 0 || mark > Vec.length coll.docs then
+        invalid_arg "Collection.rollback: invalid checkpoint";
+      for id = mark to Vec.length coll.docs - 1 do
+        Hashtbl.remove coll.by_name (Vec.get coll.docs id).Doc.doc_name
+      done;
+      Vec.truncate coll.docs mark)
 
 let fold_blobs f acc coll =
-  Hashtbl.fold (fun _ blob acc -> f acc blob) coll.blobs acc
+  let blobs =
+    locked coll (fun () ->
+        Hashtbl.fold (fun _ blob acc -> blob :: acc) coll.blobs [])
+  in
+  List.fold_left f acc blobs

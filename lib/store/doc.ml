@@ -225,29 +225,45 @@ let string_value d pre =
       done;
       Buffer.contents buf
 
+(* One process-wide lock for lazy index builds: the build happens once
+   per document, so contention is negligible, and serialising the
+   [elem_index <- Some idx] publication keeps concurrent domains from
+   ever observing a partially built table. *)
+let elem_index_lock = Mutex.create ()
+
 let build_elem_index d =
   match d.elem_index with
   | Some idx -> idx
   | None ->
-      let tmp : (int, int Vec.t) Hashtbl.t = Hashtbl.create 64 in
-      Array.iteri
-        (fun pre k ->
-          if k = Element then begin
-            let nid = d.name.(pre) in
-            let v =
-              match Hashtbl.find_opt tmp nid with
-              | Some v -> v
-              | None ->
-                  let v = Vec.create () in
-                  Hashtbl.add tmp nid v;
-                  v
-            in
-            Vec.push v pre
-          end)
-        d.kind;
-      let idx = Hashtbl.create (Hashtbl.length tmp) in
-      Hashtbl.iter (fun nid v -> Hashtbl.add idx nid (Vec.to_array v)) tmp;
-      d.elem_index <- Some idx;
+      Mutex.lock elem_index_lock;
+      let idx =
+        match d.elem_index with
+        | Some idx -> idx (* another domain built it meanwhile *)
+        | None ->
+            let tmp : (int, int Vec.t) Hashtbl.t = Hashtbl.create 64 in
+            Array.iteri
+              (fun pre k ->
+                if k = Element then begin
+                  let nid = d.name.(pre) in
+                  let v =
+                    match Hashtbl.find_opt tmp nid with
+                    | Some v -> v
+                    | None ->
+                        let v = Vec.create () in
+                        Hashtbl.add tmp nid v;
+                        v
+                  in
+                  Vec.push v pre
+                end)
+              d.kind;
+            let idx = Hashtbl.create (Hashtbl.length tmp) in
+            Hashtbl.iter
+              (fun nid v -> Hashtbl.add idx nid (Vec.to_array v))
+              tmp;
+            d.elem_index <- Some idx;
+            idx
+      in
+      Mutex.unlock elem_index_lock;
       idx
 
 let elements_named d name =

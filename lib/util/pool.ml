@@ -1,0 +1,175 @@
+(* A work-queue domain pool.  One mutex guards the queue and the
+   worker list; workers block on [has_work] and exit when [closing].
+   Batches track their own completion count, so concurrent and nested
+   batches on the same pool are independent: a domain waiting for its
+   batch keeps draining the shared queue instead of sleeping while
+   runnable tasks exist, which is what makes nesting deadlock-free. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  batch_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  {
+    jobs;
+    mutex = Mutex.create ();
+    has_work = Condition.create ();
+    batch_done = Condition.create ();
+    queue = Queue.create ();
+    closing = false;
+    workers = [];
+  }
+
+let jobs t = t.jobs
+
+let default_jobs () =
+  match Sys.getenv_opt "STANDOFF_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        loop ()
+    | None ->
+        if t.closing then Mutex.unlock t.mutex
+        else begin
+          Condition.wait t.has_work t.mutex;
+          loop ()
+        end
+  in
+  loop ()
+
+(* Workers spawn on first use, so a pool created with [jobs > 1] but
+   only ever used sequentially costs nothing. *)
+let ensure_workers t =
+  if t.workers = [] && t.jobs > 1 then begin
+    t.closing <- false;
+    t.workers <-
+      List.init (t.jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  end
+
+let run_all t tasks =
+  let n = Array.length tasks in
+  if t.jobs = 1 || n <= 1 then Array.iter (fun f -> f ()) tasks
+  else begin
+    let remaining = ref n in
+    let errors = Array.make n None in
+    let wrap i f () =
+      (try f () with e -> errors.(i) <- Some e);
+      Mutex.lock t.mutex;
+      decr remaining;
+      (* Waiters of every batch share the condition; each re-checks its
+         own counter. *)
+      if !remaining = 0 then Condition.broadcast t.batch_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    ensure_workers t;
+    Array.iteri (fun i f -> Queue.add (wrap i f) t.queue) tasks;
+    Condition.broadcast t.has_work;
+    (* The submitting domain helps: run queued tasks (this batch's or a
+       concurrent one's) until this batch has fully drained. *)
+    let rec drive () =
+      if !remaining > 0 then
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            task ();
+            Mutex.lock t.mutex;
+            drive ()
+        | None ->
+            Condition.wait t.batch_done t.mutex;
+            drive ()
+    in
+    drive ();
+    Mutex.unlock t.mutex;
+    Array.iter (function Some e -> raise e | None -> ()) errors
+  end
+
+let chunk_count t ?(min_chunk = 1) ~n () =
+  if n <= 0 then 1 else max 1 (min t.jobs (n / max 1 min_chunk))
+
+let chunk_bounds ~n ~chunks k =
+  (* Near-equal contiguous chunks: the first [n mod chunks] get one
+     extra element. *)
+  let base = n / chunks and extra = n mod chunks in
+  let lo = (k * base) + min k extra in
+  let hi = lo + base + (if k < extra then 1 else 0) in
+  (lo, hi)
+
+let parallel_chunks t ?min_chunk ~n f =
+  let chunks = chunk_count t ?min_chunk ~n () in
+  if chunks = 1 then [| f ~chunk:0 ~lo:0 ~hi:n |]
+  else begin
+    let results = Array.make chunks None in
+    run_all t
+      (Array.init chunks (fun k () ->
+           let lo, hi = chunk_bounds ~n ~chunks k in
+           results.(k) <- Some (f ~chunk:k ~lo ~hi)));
+    Array.map
+      (function Some r -> r | None -> assert false (* run_all raised *))
+      results
+  end
+
+let map_reduce t ?min_chunk ~n ~map ~reduce init =
+  let pieces = parallel_chunks t ?min_chunk ~n (fun ~chunk:_ ~lo ~hi -> map ~lo ~hi) in
+  Array.fold_left reduce init pieces
+
+let map_array t f a =
+  let n = Array.length a in
+  if t.jobs = 1 || n <= 1 then Array.map f a
+  else begin
+    let results = Array.make n None in
+    run_all t (Array.init n (fun i () -> results.(i) <- Some (f a.(i))));
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+(* Domains are a bounded OS resource (the runtime caps live domains at
+   ~128), so callers that create engines freely must not each own a
+   worker set.  [shared] memoizes one pool per jobs count for the whole
+   process; tearing a shared pool down is safe — workers respawn on the
+   next parallel call. *)
+let shared_lock = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~jobs =
+  if jobs < 1 then invalid_arg "Pool.shared: jobs must be >= 1";
+  Mutex.lock shared_lock;
+  let p =
+    match Hashtbl.find_opt shared_pools jobs with
+    | Some p -> p
+    | None ->
+        let p = create ~jobs in
+        Hashtbl.add shared_pools jobs p;
+        p
+  in
+  Mutex.unlock shared_lock;
+  p
+
+let teardown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.has_work;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers;
+  Mutex.lock t.mutex;
+  t.closing <- false;
+  Mutex.unlock t.mutex

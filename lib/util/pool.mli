@@ -1,0 +1,83 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel execution.
+
+    The pool owns [jobs - 1] worker domains (spawned lazily on the
+    first parallel call) plus the calling domain, which always
+    participates in draining the task queue — so a pool with [jobs = n]
+    runs at most [n] tasks concurrently and [jobs = 1] never spawns a
+    domain at all: every entry point degenerates to a plain sequential
+    loop on the caller's domain, making the sequential behaviour
+    bit-identical to code that never heard of the pool.
+
+    Nested parallelism is safe: a task may itself submit a batch to the
+    same pool.  While a batch waits for its own tasks, the waiting
+    domain keeps executing queued tasks (its own or other batches'), so
+    the pool cannot deadlock on nesting.
+
+    Exceptions raised by tasks are caught per task and re-raised on the
+    submitting domain once the batch has drained, lowest task index
+    first — a [Timing.Deadline_exceeded] escaping a chunk therefore
+    surfaces to the caller exactly like in sequential code. *)
+
+type t
+
+(** [create ~jobs] makes a pool running at most [jobs] tasks
+    concurrently ([jobs >= 1]; worker domains are spawned lazily).
+    @raise Invalid_argument if [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** [jobs t] is the configured parallelism. *)
+val jobs : t -> int
+
+(** [shared ~jobs] is the process-wide pool for this jobs count,
+    created on first request.  Prefer this over {!create} when pools
+    are made per engine or per test: live domains are capped at ~128
+    by the runtime, and sharing keeps the worker count bounded no
+    matter how many engines exist.
+    @raise Invalid_argument if [jobs < 1]. *)
+val shared : jobs:int -> t
+
+(** [default_jobs ()] reads the [STANDOFF_JOBS] environment variable
+    (an integer >= 1); unset or unparsable means [1]. *)
+val default_jobs : unit -> int
+
+(** [run_all t tasks] runs every task to completion, at most
+    [jobs t] concurrently.  The calling domain participates.  The
+    first exception (by task index) is re-raised after all tasks have
+    finished or failed. *)
+val run_all : t -> (unit -> unit) array -> unit
+
+(** [chunk_count t ?min_chunk ~n ()] is the number of contiguous
+    chunks [parallel_chunks] would split a length-[n] input into:
+    [min jobs (n / min_chunk)], at least 1.  [min_chunk] defaults to
+    [1]. *)
+val chunk_count : t -> ?min_chunk:int -> n:int -> unit -> int
+
+(** [parallel_chunks t ?min_chunk ~n f] partitions the index range
+    [0, n) into {!chunk_count} near-equal contiguous chunks, applies
+    [f ~chunk ~lo ~hi] to each (in parallel when more than one chunk),
+    and returns the results {e in chunk order} — callers that
+    concatenate them preserve any order the input had.  With one chunk
+    the call runs directly on the caller's domain. *)
+val parallel_chunks :
+  t -> ?min_chunk:int -> n:int -> (chunk:int -> lo:int -> hi:int -> 'a) -> 'a array
+
+(** [map_reduce t ?min_chunk ~n ~map ~reduce init] maps chunks of
+    [0, n) in parallel and folds the chunk results left-to-right in
+    chunk order: [reduce (... (reduce init r0) ...) rk]. *)
+val map_reduce :
+  t ->
+  ?min_chunk:int ->
+  n:int ->
+  map:(lo:int -> hi:int -> 'a) ->
+  reduce:('b -> 'a -> 'b) ->
+  'b ->
+  'b
+
+(** [map_array t f a] applies [f] to every element of [a] (one task per
+    element) and returns the results in input order. *)
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [teardown t] asks the worker domains to exit and joins them.  The
+    pool is reusable afterwards (workers respawn on the next parallel
+    call).  Must not run concurrently with a batch.  Idempotent. *)
+val teardown : t -> unit

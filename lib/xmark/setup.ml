@@ -13,7 +13,7 @@ type t = {
   serialized_size : int;
 }
 
-let build ?(seed = 20060630L) ?permute ?(with_standard = true) ~scale () =
+let build ?(seed = 20060630L) ?permute ?(with_standard = true) ?jobs ~scale () =
   let dom = Gen.generate { Gen.scale; seed } in
   let serialized_size =
     String.length (Standoff_xml.Serializer.to_string dom)
@@ -29,7 +29,7 @@ let build ?(seed = 20060630L) ?permute ?(with_standard = true) ~scale () =
     (Collection.add coll (Doc.of_dom ~name:standoff_doc transformed.Standoffify.doc));
   Collection.add_blob coll (Blob.of_string ~name:blob_name transformed.Standoffify.blob);
   {
-    engine = Engine.create coll;
+    engine = Engine.create ?jobs coll;
     coll;
     standard_doc;
     standoff_doc;

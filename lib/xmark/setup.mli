@@ -13,12 +13,19 @@ type t = {
   serialized_size : int;  (** bytes of the standard serialized form *)
 }
 
-(** [build ?seed ?permute ?with_standard ~scale ()] generates and loads
-    everything.  [with_standard] (default [true]) also shreds the
+(** [build ?seed ?permute ?with_standard ?jobs ~scale ()] generates and
+    loads everything.  [with_standard] (default [true]) also shreds the
     untransformed document (needed for the Staircase-Join comparison
-    benchmark, not for Figure 6). *)
+    benchmark, not for Figure 6).  [jobs] is passed to
+    {!Standoff_xquery.Engine.create}. *)
 val build :
-  ?seed:int64 -> ?permute:bool -> ?with_standard:bool -> scale:float -> unit -> t
+  ?seed:int64 ->
+  ?permute:bool ->
+  ?with_standard:bool ->
+  ?jobs:int ->
+  scale:float ->
+  unit ->
+  t
 
 (** [size_label bytes] renders a Figure 6 style size label, e.g.
     ["11MB"]. *)

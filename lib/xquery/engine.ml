@@ -1,4 +1,5 @@
 module Timing = Standoff_util.Timing
+module Pool = Standoff_util.Pool
 module Collection = Standoff_store.Collection
 module Item = Standoff_relalg.Item
 module Table = Standoff_relalg.Table
@@ -11,14 +12,29 @@ type t = {
   mutable strategy : Config.strategy option;
       (* engine-wide override; [None] lets the planner/evaluator pick a
          strategy per operator *)
+  mutable jobs : int;
 }
 
-let create ?strategy coll = { coll; cat = Catalog.create (); strategy }
+let create ?strategy ?jobs coll =
+  let jobs =
+    match jobs with Some n -> max 1 n | None -> Config.default_jobs ()
+  in
+  { coll; cat = Catalog.create (); strategy; jobs }
 
 let collection t = t.coll
 let catalog t = t.cat
 let set_strategy t s = t.strategy <- Some s
 let set_auto_strategy t = t.strategy <- None
+let jobs t = t.jobs
+let set_jobs t n = t.jobs <- max 1 n
+
+let shutdown t =
+  if t.jobs > 1 then Pool.teardown (Pool.shared ~jobs:t.jobs)
+
+(* Engines with the same jobs count share one process-wide pool (live
+   domains are a bounded resource); [None] when sequential, so jobs=1
+   never even consults it. *)
+let pool_of t = if t.jobs <= 1 then None else Some (Pool.shared ~jobs:t.jobs)
 
 type result = {
   items : Item.t list;
@@ -147,8 +163,8 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
     (fun () ->
       let env =
         Eval.initial_env ~coll:t.coll ~catalog:t.cat ~config:prepared.p_config
-          ~strategy:prepared.p_strategy ~instrument ~deadline
-          ~functions:prepared.p_functions ~context ()
+          ~strategy:prepared.p_strategy ~instrument ?pool:(pool_of t)
+          ~deadline ~functions:prepared.p_functions ~context ()
       in
       let env =
         List.fold_left
@@ -165,6 +181,48 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
 let run t ?strategy ?deadline ?context_doc ?rollback_constructed query_text =
   let prepared = prepare t ?strategy query_text in
   run_prepared t ?deadline ?context_doc ?rollback_constructed prepared
+
+(* Per-document sharding: the paper's StandOff steps match only nodes
+   from the same XML fragment (§3.3), so a query whose leading [/]
+   refers to "the" document can be fanned out across every document of
+   the collection, one shard per document, and the shard results
+   concatenated in collection order.  One checkpoint brackets the whole
+   fan-out — the shards themselves never roll back, or they would
+   truncate each other's constructed documents. *)
+let run_prepared_sharded t ?(deadline = Timing.no_deadline)
+    ?(rollback_constructed = false) prepared =
+  let n_docs = Collection.doc_count t.coll in
+  let mark = Collection.checkpoint t.coll in
+  Fun.protect
+    ~finally:(fun () ->
+      if rollback_constructed then Collection.rollback t.coll mark)
+    (fun () ->
+      let pool = pool_of t in
+      let run_one doc_id =
+        let context = Some (Item.Node { Collection.doc_id; pre = 0 }) in
+        let env =
+          Eval.initial_env ~coll:t.coll ~catalog:t.cat
+            ~config:prepared.p_config ~strategy:prepared.p_strategy ?pool
+            ~deadline ~functions:prepared.p_functions ~context ()
+        in
+        let env =
+          List.fold_left
+            (fun env (var, value) ->
+              { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
+            env prepared.p_globals
+        in
+        Table.to_sequence (Eval.eval env prepared.p_plan)
+      in
+      let doc_ids = Array.init n_docs Fun.id in
+      let per_doc =
+        match pool with
+        | Some p when Pool.jobs p > 1 && n_docs > 1 ->
+            Pool.map_array p run_one doc_ids
+        | _ -> Array.map run_one doc_ids
+      in
+      let items = List.concat (Array.to_list per_doc) in
+      let serialized = Serialize.sequence t.coll items in
+      { items; serialized; config = prepared.p_config })
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN / EXPLAIN ANALYZE                                          *)

@@ -23,10 +23,33 @@
 
 type t
 
-(** [create ?strategy coll] wraps a collection.  Without [strategy],
-    each StandOff operator picks its own strategy from annotation
-    statistics ({!Standoff.Join.auto_strategy}). *)
-val create : ?strategy:Standoff.Config.strategy -> Standoff_store.Collection.t -> t
+(** [create ?strategy ?jobs coll] wraps a collection.  Without
+    [strategy], each StandOff operator picks its own strategy from
+    annotation statistics ({!Standoff.Join.auto_strategy}).  [jobs]
+    (default {!Standoff.Config.default_jobs}, i.e. [STANDOFF_JOBS] or
+    1) is the parallelism of query execution: with [jobs = 1] every
+    run takes the exact sequential code path; with more, runs share a
+    lazily created domain pool driving parallel merge sweeps, index
+    builds, and per-document sharding. *)
+val create :
+  ?strategy:Standoff.Config.strategy ->
+  ?jobs:int ->
+  Standoff_store.Collection.t ->
+  t
+
+(** [jobs t] is the configured parallelism. *)
+val jobs : t -> int
+
+(** [set_jobs t n] reconfigures the parallelism (clamped to >= 1). *)
+val set_jobs : t -> int -> unit
+
+(** [shutdown t] joins the worker domains of the engine's pool, if
+    running.  Engines with the same jobs count share one process-wide
+    pool ({!Standoff_util.Pool.shared}), so this affects them too —
+    harmlessly: workers respawn on the next parallel run.  Call it
+    when going quiet (domains are a bounded OS resource); never while
+    another engine is mid-run. *)
+val shutdown : t -> unit
 
 (** [collection t] is the underlying collection. *)
 val collection : t -> Standoff_store.Collection.t
@@ -100,6 +123,23 @@ val run :
   ?context_doc:string ->
   ?rollback_constructed:bool ->
   string ->
+  result
+
+(** [run_prepared_sharded t ?deadline ?rollback_constructed prepared]
+    fans a prepared query out across every document of the collection
+    — one shard per document, the shard's document root as context
+    item — and concatenates the shard results in collection order.
+    Shards run in parallel on the engine's pool when [jobs > 1].
+    StandOff steps match only nodes from the same fragment (§3.3), so
+    for document-scoped queries this is semantics-preserving.  A
+    single checkpoint brackets the fan-out; with
+    [rollback_constructed:true] all shards' constructed documents are
+    dropped together at the end. *)
+val run_prepared_sharded :
+  t ->
+  ?deadline:Standoff_util.Timing.deadline ->
+  ?rollback_constructed:bool ->
+  prepared ->
   result
 
 (** [explain t query] renders the optimized physical plan: prolog

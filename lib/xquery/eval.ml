@@ -1,6 +1,7 @@
 module Vec = Standoff_util.Vec
 module Search = Standoff_util.Search
 module Timing = Standoff_util.Timing
+module Pool = Standoff_util.Pool
 module Dom = Standoff_xml.Dom
 module Doc = Standoff_store.Doc
 module Collection = Standoff_store.Collection
@@ -28,7 +29,8 @@ type env = {
   focus : focus option;
   functions : (string, Plan.function_def) Hashtbl.t;
   depth : int;
-  ctor_counter : int ref;
+  pool : Pool.t option;
+      (* parallel execution; [None] is the sequential code path *)
 }
 
 and focus = {
@@ -37,7 +39,7 @@ and focus = {
   f_last : Table.t;
 }
 
-let initial_env ~coll ~catalog ~config ~strategy ?(instrument = false)
+let initial_env ~coll ~catalog ~config ~strategy ?(instrument = false) ?pool
     ~deadline ~functions ~context () =
   let loop = [| 0 |] in
   let focus =
@@ -62,7 +64,7 @@ let initial_env ~coll ~catalog ~config ~strategy ?(instrument = false)
     focus;
     functions;
     depth = 0;
-    ctor_counter = ref 0;
+    pool;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -198,67 +200,102 @@ let standoff_step env ?meta ~strategy_choice ~pushdown op test context =
   done;
   let ids = Vec.to_array doc_ids in
   Array.sort compare ids;
-  let tables =
-    Array.to_list ids
-    |> List.map (fun doc_id ->
-           let iters_v, pres_v = Hashtbl.find by_doc doc_id in
-           let context_iters = Vec.to_array iters_v in
-           let context_pres = Vec.to_array pres_v in
-           let doc = Collection.doc env.coll doc_id in
-           let annots = Catalog.annots env.catalog env.config doc in
-           let candidates =
-             if pushdown then
-               Option.map (Doc.elements_named doc) (Node_test.name_filter test)
-             else None
-           in
-           let strategy =
-             match strategy_choice with
-             | Plan.S_fixed s -> s
-             | Plan.S_auto -> (
-                 match env.strategy with
-                 | Some s -> s
-                 | None ->
-                     Join.auto_strategy annots
-                       ~context_rows:(Array.length context_pres)
-                       ~candidate_rows:(Option.map Array.length candidates))
-           in
-           let stats =
-             match meta with Some _ -> Some (Join.fresh_stats ()) | None -> None
-           in
-           let loop =
-             (* Distinct iters present in this document's context. *)
-             let v = Vec.create () in
-             Array.iteri
-               (fun i it ->
-                 if i = 0 || context_iters.(i - 1) <> it then Vec.push v it)
-               context_iters;
-             Vec.to_array v
-           in
-           let iters, pres =
-             Join.run_lifted op strategy annots ~deadline:env.deadline ?stats
-               ~loop ~context_iters ~context_pres ~candidates ()
-           in
-           (match (meta, stats) with
-           | Some m, Some s ->
-               m.Plan.c_index_rows <- m.Plan.c_index_rows + s.Join.s_index_rows;
-               m.Plan.c_strategy <- Some strategy
-           | _ -> ());
-           let keep = Vec.create () in
-           Array.iteri
-             (fun r pre ->
-               (* Whether or not the name test was pushed into the
-                  candidate index, the node test filters here (kind
-                  tests cannot be pushed at all). *)
-               if Node_test.matches doc test pre then
-                 Vec.push keep (iters.(r), Item.Node { Collection.doc_id; pre }))
-             pres;
-           let rows = Vec.to_array keep in
-           Table.make (Array.map fst rows) (Array.map snd rows))
+  (* Per-document shards: annotation tables, candidate indexes and
+     strategies resolve sequentially (they touch lazily built shared
+     state), then the joins — the expensive part — run one shard per
+     document, in parallel when a pool is available.  StandOff steps
+     match only nodes from the same fragment (§3.3), so sharding on
+     the document is semantics-preserving, and concatenating shard
+     tables in ascending doc-id order restores global document
+     order. *)
+  let prepped =
+    Array.map
+      (fun doc_id ->
+        let iters_v, pres_v = Hashtbl.find by_doc doc_id in
+        let context_iters = Vec.to_array iters_v in
+        let context_pres = Vec.to_array pres_v in
+        let doc = Collection.doc env.coll doc_id in
+        let annots = Catalog.annots ?pool:env.pool env.catalog env.config doc in
+        let candidates =
+          if pushdown then
+            Option.map (Doc.elements_named doc) (Node_test.name_filter test)
+          else None
+        in
+        let strategy =
+          match strategy_choice with
+          | Plan.S_fixed s -> s
+          | Plan.S_auto -> (
+              match env.strategy with
+              | Some s -> s
+              | None ->
+                  Join.auto_strategy annots
+                    ~context_rows:(Array.length context_pres)
+                    ~candidate_rows:(Option.map Array.length candidates))
+        in
+        let stats =
+          match meta with Some _ -> Some (Join.fresh_stats ()) | None -> None
+        in
+        (doc_id, doc, annots, context_iters, context_pres, candidates,
+         strategy, stats))
+      ids
   in
-  Table.concat tables
+  let run_shard
+      (doc_id, doc, annots, context_iters, context_pres, candidates, strategy,
+       stats) =
+    let loop =
+      (* Distinct iters present in this document's context. *)
+      let v = Vec.create () in
+      Array.iteri
+        (fun i it ->
+          if i = 0 || context_iters.(i - 1) <> it then Vec.push v it)
+        context_iters;
+      Vec.to_array v
+    in
+    let iters, pres =
+      Join.run_lifted op strategy annots ?pool:env.pool ~deadline:env.deadline
+        ?stats ~loop ~context_iters ~context_pres ~candidates ()
+    in
+    let keep = Vec.create () in
+    Array.iteri
+      (fun r pre ->
+        (* Whether or not the name test was pushed into the
+           candidate index, the node test filters here (kind
+           tests cannot be pushed at all). *)
+        if Node_test.matches doc test pre then
+          Vec.push keep (iters.(r), Item.Node { Collection.doc_id; pre }))
+      pres;
+    let rows = Vec.to_array keep in
+    Table.make (Array.map fst rows) (Array.map snd rows)
+  in
+  let tables =
+    match env.pool with
+    | Some p when Pool.jobs p > 1 && Array.length prepped > 1 ->
+        Pool.map_array p run_shard prepped
+    | _ -> Array.map run_shard prepped
+  in
+  (* Instrumentation folds in after the (possibly parallel) shards so
+     the plan counters are only ever mutated from this domain. *)
+  (match meta with
+  | Some m ->
+      Array.iter
+        (fun (_, _, _, _, _, _, strategy, stats) ->
+          match stats with
+          | Some s ->
+              m.Plan.c_index_rows <- m.Plan.c_index_rows + s.Join.s_index_rows;
+              m.Plan.c_chunks <- m.Plan.c_chunks + s.Join.s_chunks;
+              m.Plan.c_strategy <- Some strategy
+          | None -> ())
+        prepped
+  | None -> ());
+  Table.concat (Array.to_list tables)
 
 (* ------------------------------------------------------------------ *)
 (* Element construction                                               *)
+
+(* Names for constructed-node documents, unique across the process so
+   parallel shards and repeated runs never collide in the
+   collection. *)
+let ctor_counter = Stdlib.Atomic.make 0
 
 let rec dom_of_items env items =
   (* Adjacent atomic values merge into one text node separated by
@@ -317,8 +354,11 @@ and construct_element env ~tag ~attr_tables ~content_tables iter =
       content_tables
   in
   let el = Dom.element ~attrs:(attrs @ !content_attrs) tag children in
-  incr env.ctor_counter;
-  let name = Printf.sprintf "#constructed-%d" !(env.ctor_counter) in
+  (* Process-wide counter: parallel query shards construct elements
+     concurrently into the shared collection, and [Collection.add]
+     rejects duplicate names. *)
+  let n = Stdlib.Atomic.fetch_and_add ctor_counter 1 in
+  let name = Printf.sprintf "#constructed-%d" (n + 1) in
   let doc = Doc.of_dom ~name (Dom.document el) in
   let doc_id = Collection.add env.coll doc in
   Item.Node { Collection.doc_id; pre = 1 }
@@ -738,7 +778,7 @@ and area_of_item env item =
   match item with
   | Item.Node n ->
       let doc = Collection.doc env.coll n.Collection.doc_id in
-      let annots = Catalog.annots env.catalog env.config doc in
+      let annots = Catalog.annots ?pool:env.pool env.catalog env.config doc in
       Option.map
         (fun area -> (n, area))
         (Standoff.Annots.area_of annots n.Collection.pre)
@@ -1323,7 +1363,7 @@ and standoff_function env ?meta ~strategy_choice op test ctx cand_table =
               | Item.Node n ->
                   let doc = Collection.doc env.coll n.Collection.doc_id in
                   let annots =
-                    Catalog.annots env.catalog env.config doc
+                    Catalog.annots ?pool:env.pool env.catalog env.config doc
                   in
                   if
                     Standoff.Annots.is_annotation annots n.Collection.pre

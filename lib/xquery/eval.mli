@@ -31,7 +31,9 @@ type env = {
   focus : focus option;
   functions : (string, Plan.function_def) Hashtbl.t;
   depth : int;  (** user-function inlining depth (recursion guard) *)
-  ctor_counter : int ref;  (** names for constructed-node documents *)
+  pool : Standoff_util.Pool.t option;
+      (** domain pool for parallel joins, index builds and per-document
+          sharding; [None] is the (bit-identical) sequential path *)
 }
 
 and focus = {
@@ -50,6 +52,7 @@ val initial_env :
   config:Standoff.Config.t ->
   strategy:Standoff.Config.strategy option ->
   ?instrument:bool ->
+  ?pool:Standoff_util.Pool.t ->
   deadline:Standoff_util.Timing.deadline ->
   functions:(string, Plan.function_def) Hashtbl.t ->
   context:Standoff_relalg.Item.t option ->

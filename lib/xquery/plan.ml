@@ -33,6 +33,7 @@ type counters = {
   mutable c_rows_out : int;
   mutable c_seconds : float;  (** inclusive wall time *)
   mutable c_index_rows : int;  (** region-index rows the joins scanned *)
+  mutable c_chunks : int;  (** parallel sweep chunks the joins ran *)
   mutable c_strategy : Config.strategy option;
       (** last strategy an auto operator resolved to *)
 }
@@ -44,6 +45,7 @@ let fresh_counters () =
     c_rows_out = 0;
     c_seconds = 0.0;
     c_index_rows = 0;
+    c_chunks = 0;
     c_strategy = None;
   }
 
@@ -404,6 +406,8 @@ let analyze_suffix plan =
     (match plan.desc with
     | Standoff_join _ ->
         Buffer.add_string buf (Printf.sprintf " index_rows=%d" m.c_index_rows);
+        if m.c_chunks > 1 then
+          Buffer.add_string buf (Printf.sprintf " chunks=%d" m.c_chunks);
         Option.iter
           (fun s ->
             Buffer.add_string buf
@@ -451,5 +455,6 @@ let rec reset_counters plan =
   m.c_rows_out <- 0;
   m.c_seconds <- 0.0;
   m.c_index_rows <- 0;
+  m.c_chunks <- 0;
   m.c_strategy <- None;
   List.iter (fun (_, kid) -> reset_counters kid) (children plan)

@@ -22,6 +22,9 @@ type counters = {
   mutable c_rows_out : int;
   mutable c_seconds : float;  (** inclusive wall time *)
   mutable c_index_rows : int;
+  mutable c_chunks : int;
+      (** parallel sweep chunks the joins ran (equals [c_calls] when
+          sequential) *)
   mutable c_strategy : Standoff.Config.strategy option;
       (** last strategy an auto operator resolved to *)
 }
