@@ -10,6 +10,7 @@
      main.exe planner [--scale S] [--jobs N]   optimized plan vs direct lowering
      main.exe scaling [--jobs N]       merge-join throughput vs annotation count
      main.exe parallel-scaling [opts]  jobs sweep: speedup curves (CSV/JSON)
+     main.exe obs-overhead [opts]      metrics-enabled vs disabled latency
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
@@ -27,6 +28,13 @@
      --queries Q1,...     subset of Q1 Q2 Q6 Q7          (default all)
      --csv FILE           write per-point rows as CSV
      --json FILE          write the sweep as JSON (BENCH_parallel.json shape)
+
+   obs-overhead options:
+     --scale S            XMark scale factor            (default 0.02)
+     --repeats N          ~50ms samples per mode (min)  (default 15)
+     --queries Q1,...     subset of Q1 Q2 Q6 Q7         (default all)
+     --json FILE          output file                   (default BENCH_obs.json)
+     --no-json            skip the JSON file
 
    The paper benchmarked 11MB-1100MB documents (scale 0.1-10) with a
    one-hour DNF budget on 2006 hardware; the default sweep uses the
@@ -49,6 +57,8 @@ module MJ = Standoff.Merge_join_ll
 module Axes = Standoff_xpath.Axes
 module Node_test = Standoff_xpath.Node_test
 module Engine = Standoff_xquery.Engine
+module Metrics = Standoff_obs.Metrics
+module Trace = Standoff_obs.Trace
 module Gen = Standoff_xmark.Gen
 module Setup = Standoff_xmark.Setup
 module Standoffify = Standoff_xmark.Standoffify
@@ -762,6 +772,150 @@ let parallel_scaling ?(scale = 0.1) ?(shards = 6) ?(shard_scale = 0.02)
     json
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: metrics armed vs disabled                   *)
+
+type obs_row = {
+  ob_query : string;
+  ob_off_ms : float;  (* metrics disabled *)
+  ob_on_ms : float;  (* metrics enabled, no trace, no sink *)
+  ob_traced_ms : float;  (* metrics enabled + span collector *)
+  ob_overhead_pct : float;  (* (on - off) / off *)
+}
+
+(* The instrumentation contract: with no trace collector and no sink
+   attached, the always-on metrics must cost < 2% on the XMark queries.
+   Each timing sample is a batch of runs sized to ~50ms (so clock
+   granularity, GC pauses and scheduler preemption amortise away), the
+   disabled/enabled/traced samples interleave (so drift hits all three
+   equally), and each mode reports its fastest sample — the noise-free
+   estimate of intrinsic cost. *)
+let obs_overhead ?(scale = 0.02) ?(repeats = 15) ?json ~queries () =
+  section "Observability overhead: metrics enabled vs disabled";
+  let setup = Setup.build ~scale ~with_standard:false ~jobs:1 () in
+  Printf.printf "xmark scale %g (%s), loop-lifted, jobs=1, %d samples/mode\n\n"
+    scale
+    (Setup.size_label setup.Setup.serialized_size)
+    repeats;
+  let engine = setup.Setup.engine in
+  (* Region index built outside the measurements (§4.3: part of the
+     stored document). *)
+  ignore
+    (Engine.run engine ~rollback_constructed:true
+       (Printf.sprintf "count(doc(\"%s\")//site/select-narrow::people)"
+          setup.Setup.standoff_doc));
+  Printf.printf "%-8s%12s%12s%12s%10s\n" "query" "off" "on" "traced"
+    "overhead";
+  Printf.printf "%s\n" (String.make 54 '-');
+  let all_ratios = ref [] in
+  let rows =
+    List.map
+      (fun q ->
+        let prepared =
+          Engine.prepare engine ~strategy:Config.Loop_lifted
+            (q.Queries.standoff setup.Setup.standoff_doc)
+        in
+        let run_once () =
+          ignore (Engine.run_prepared engine ~rollback_constructed:true prepared)
+        in
+        let run_traced () =
+          ignore
+            (Engine.run_prepared engine ~rollback_constructed:true
+               ~trace:(Trace.create ()) prepared)
+        in
+        (* Warm every mode once, and size batches off the warm run. *)
+        Metrics.set_enabled false;
+        let _, single = Timing.time run_once in
+        Metrics.set_enabled true;
+        run_once ();
+        run_traced ();
+        let batch = max 1 (int_of_float (0.1 /. Float.max 1e-6 single)) in
+        let sample f =
+          Gc.full_major ();
+          let _, t = Timing.time (fun () -> for _ = 1 to batch do f () done) in
+          t /. float_of_int batch
+        in
+        let best_off = ref infinity
+        and best_on = ref infinity
+        and best_traced = ref infinity in
+        (* The off and on samples of one iteration run back-to-back, so
+           slow environment drift (CPU throttling, noisy neighbours)
+           hits both; their ratio isolates the instrumentation cost.
+           The pair order alternates between iterations so that
+           whichever side runs second inherits no systematic warm-up or
+           boost-decay advantage.  The median ratio is the overhead
+           estimate; the mins are reported for scale. *)
+        let ratios = Array.make repeats nan in
+        for i = 0 to repeats - 1 do
+          let timed enabled =
+            Metrics.set_enabled enabled;
+            sample run_once
+          in
+          let off, on_ =
+            if i land 1 = 0 then
+              let off = timed false in
+              (off, timed true)
+            else
+              let on_ = timed true in
+              (timed false, on_)
+          in
+          ratios.(i) <- on_ /. off;
+          best_off := Float.min !best_off off;
+          best_on := Float.min !best_on on_;
+          Metrics.set_enabled true;
+          best_traced := Float.min !best_traced (sample run_traced)
+        done;
+        all_ratios := Array.to_list ratios @ !all_ratios;
+        Array.sort compare ratios;
+        let median_ratio = ratios.(repeats / 2) in
+        let row =
+          {
+            ob_query = q.Queries.id;
+            ob_off_ms = !best_off *. 1e3;
+            ob_on_ms = !best_on *. 1e3;
+            ob_traced_ms = !best_traced *. 1e3;
+            ob_overhead_pct = (median_ratio -. 1.0) *. 100.0;
+          }
+        in
+        Printf.printf "%-8s%10.3fms%10.3fms%10.3fms%9.2f%%\n" row.ob_query
+          row.ob_off_ms row.ob_on_ms row.ob_traced_ms row.ob_overhead_pct;
+        flush stdout;
+        row)
+      queries
+  in
+  Metrics.set_enabled true;
+  (* Per-query medians over a dozen samples still carry a couple of
+     percent of environment noise; the headline number pools every
+     iteration's back-to-back ratio across all queries, which is the
+     tightest drift-free estimate this harness can produce. *)
+  let pooled = Array.of_list !all_ratios in
+  Array.sort compare pooled;
+  let overhead = (pooled.(Array.length pooled / 2) -. 1.0) *. 100.0 in
+  let pass = overhead < 2.0 in
+  Printf.printf "\npooled overhead (median over %d paired samples): %.2f%% \
+                 (budget 2%%) -> %s\n"
+    (Array.length pooled) overhead
+    (if pass then "PASS" else "FAIL");
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n  \"scale\": %g,\n  \"repeats\": %d,\n  \"overhead_pct\": \
+         %.3f,\n  \"budget_pct\": 2.0,\n  \"pass\": %b,\n  \"rows\": [\n"
+        scale repeats overhead pass;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"query\": \"%s\", \"off_ms\": %.4f, \"on_ms\": %.4f, \
+             \"traced_ms\": %.4f, \"overhead_pct\": %.3f}%s\n"
+            r.ob_query r.ob_off_ms r.ob_on_ms r.ob_traced_ms r.ob_overhead_pct
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family    *)
 
 let micro () =
@@ -949,6 +1103,34 @@ let parse_parallel_scaling_args args =
   go args;
   (!scale, !shards, !shard_scale, !jobs_list, !repeats, !queries, !csv, !json)
 
+let parse_obs_overhead_args args =
+  let scale = ref 0.02 in
+  let repeats = ref 15 in
+  let queries = ref Queries.all in
+  let json = ref (Some "BENCH_obs.json") in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        go rest
+    | "--repeats" :: v :: rest ->
+        repeats := max 3 (int_of_string v);
+        go rest
+    | "--queries" :: v :: rest ->
+        queries := List.map Queries.find (String.split_on_char ',' v);
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | "--no-json" :: rest ->
+        json := None;
+        go rest
+    | arg :: _ ->
+        failwith (Printf.sprintf "obs-overhead: unknown argument %s" arg)
+  in
+  go args;
+  (!scale, !repeats, !queries, !json)
+
 let parse_scale_jobs_args ~cmd ~default_scale args =
   let scale = ref default_scale in
   let jobs = ref (Config.default_jobs ()) in
@@ -988,6 +1170,9 @@ let () =
       in
       parallel_scaling ~scale ~shards ~shard_scale ~jobs_list ~repeats ?csv
         ?json ~queries ()
+  | _ :: "obs-overhead" :: rest ->
+      let scale, repeats, queries, json = parse_obs_overhead_args rest in
+      obs_overhead ~scale ~repeats ?json ~queries ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
@@ -1003,7 +1188,7 @@ let () =
       Printf.eprintf
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
          staircase-vs-standoff | active-set | scaling | planner | \
-         parallel-scaling | micro | all)\n"
+         parallel-scaling | obs-overhead | micro | all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -156,8 +156,37 @@ let query_cmd =
             "Run the query and print the plan annotated with per-operator \
              row counts, index rows scanned, and timings.")
   in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "After the query, print the engine metrics (joins by strategy, \
+             index probes, cache hits, pool queue stats, query latency \
+             histogram) in Prometheus text format on stderr.")
+  in
+  let trace_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "Collect a structured trace of the run (parse, optimize, one \
+             span per plan operator with row counts) and write it to FILE \
+             as JSON.  On timeout the partial trace is still written.")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold in milliseconds: runs at least this slow \
+             are reported on stderr.  Defaults to \\$(b,STANDOFF_SLOW_MS), \
+             else disabled.")
+  in
   let run docs blobs db strategy jobs context timeout explain explain_analyze
-      query =
+      metrics trace_json slow_ms query =
     handle_errors (fun () ->
         let query =
           if String.length query > 0 && query.[0] = '@' then (
@@ -178,7 +207,15 @@ let query_cmd =
             with _ -> Collection.create ()
           else load_collection ?db docs blobs
         in
-        let engine = Engine.create ?strategy ~jobs coll in
+        let engine = Engine.create ?strategy ~jobs ?slow_ms coll in
+        (* Slow queries (threshold from --slow-ms or STANDOFF_SLOW_MS)
+           are reported on stderr as they happen. *)
+        if Engine.slow_ms engine <> None then
+          Standoff_obs.Slow_log.set_sink
+            (Some
+               (fun e ->
+                 Printf.eprintf "slow query: %s\n%!"
+                   (Standoff_obs.Slow_log.entry_to_string e)));
         if explain then begin
           print_endline (Engine.explain engine query);
           exit 0
@@ -192,23 +229,47 @@ let query_cmd =
           print_endline
             (Engine.explain_analyze engine ~deadline ?context_doc:context
                query);
+          if metrics then prerr_string (Standoff_obs.Metrics.expose ());
           exit 0
         end;
+        let trace =
+          Option.map (fun _ -> Standoff_obs.Trace.create ()) trace_json
+        in
+        (* Emitted on the DNF path too: the collector is finished by the
+           run's own cleanup, so the partial trace is well-formed. *)
+        let finish () =
+          (match (trace_json, trace) with
+          | Some path, Some tr ->
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () ->
+                  output_string oc (Standoff_obs.Trace.to_json tr);
+                  output_char oc '\n')
+          | _ -> ());
+          if metrics then prerr_string (Standoff_obs.Metrics.expose ())
+        in
         match timeout with
         | None ->
             (* Parse/lower/optimize once, then evaluate the prepared
                plan (the query text is not parsed a second time). *)
-            let prepared = Engine.prepare engine query in
-            let r = Engine.run_prepared engine ?context_doc:context prepared in
-            print_endline r.Engine.serialized
+            let prepared = Engine.prepare engine ?trace query in
+            let r =
+              Engine.run_prepared engine ?context_doc:context ?trace prepared
+            in
+            print_endline r.Engine.serialized;
+            finish ()
         | Some seconds -> (
             match
-              Engine.run_with_timeout engine ?context_doc:context ~seconds query
+              Engine.run_with_timeout engine ?context_doc:context ?trace
+                ~seconds query
             with
             | Standoff_util.Timing.Finished (r, t) ->
                 print_endline r.Engine.serialized;
-                Printf.eprintf "(%.3fs)\n" t
+                Printf.eprintf "(%.3fs)\n" t;
+                finish ()
             | Standoff_util.Timing.Timed_out t ->
+                finish ();
                 Printf.eprintf "DNF: gave up after %.1fs\n" t;
                 exit 2))
   in
@@ -217,7 +278,7 @@ let query_cmd =
     Term.(
       const run $ docs_arg $ blobs_arg $ db_arg $ strategy_arg $ jobs_arg
       $ context_arg $ timeout_arg $ explain_arg $ explain_analyze_arg
-      $ query_arg)
+      $ metrics_arg $ trace_json_arg $ slow_ms_arg $ query_arg)
 
 (* ---------------- shred ---------------- *)
 

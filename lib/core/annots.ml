@@ -6,6 +6,16 @@ module Area = Standoff_interval.Area
 
 exception Invalid_region of { pre : int; msg : string }
 
+module Metrics = Standoff_obs.Metrics
+
+let m_cache_hits =
+  Metrics.counter "standoff_annots_cache_hits_total"
+    ~help:"Restricted-index LRU cache hits"
+
+let m_cache_misses =
+  Metrics.counter "standoff_annots_cache_misses_total"
+    ~help:"Restricted-index LRU cache misses"
+
 (* Restricted-index cache: keyed structurally on the candidate array
    (hash first, full compare on hash hit), kept in most-recently-used
    order and bounded, so structurally equal candidate sets from
@@ -166,8 +176,11 @@ let candidate_index ?pool t ~candidates =
   | Some ids -> (
       let h = key_hash ids in
       match cache_find t.restricted_cache h ids with
-      | Some idx -> idx
+      | Some idx ->
+          Metrics.incr m_cache_hits;
+          idx
       | None ->
+          Metrics.incr m_cache_misses;
           (* §4.3 index intersection on node-id, done from the
              candidate side: each candidate's regions are already
              known, so the restricted index is built in

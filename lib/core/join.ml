@@ -162,6 +162,29 @@ let intersect_sorted a b =
 (* ------------------------------------------------------------------ *)
 (* Instrumentation and per-call strategy resolution.                  *)
 
+module Metrics = Standoff_obs.Metrics
+
+(* Per-strategy join counters, registered at module init so exposition
+   lists every strategy from the start (at zero). *)
+let m_joins_by_strategy =
+  List.map
+    (fun s ->
+      ( s,
+        Metrics.counter "standoff_joins_total"
+          ~labels:[ ("strategy", Config.strategy_to_string s) ]
+          ~help:"StandOff join invocations, by resolved strategy" ))
+    Config.all_strategies
+
+let m_join_of_strategy s = List.assoc s m_joins_by_strategy
+
+let m_index_rows_total =
+  Metrics.counter "standoff_join_index_rows_total"
+    ~help:"Region-index rows handed to join sweeps"
+
+let m_sweep_chunks_total =
+  Metrics.counter "standoff_join_sweep_chunks_total"
+    ~help:"Parallel merge-sweep chunks joins fanned out"
+
 type stats = {
   mutable s_invocations : int;
   mutable s_index_rows : int;
@@ -172,8 +195,13 @@ let fresh_stats () = { s_invocations = 0; s_index_rows = 0; s_chunks = 0 }
 
 (* [chunks] counts parallel sweep chunks only: the per-iteration and
    UDF paths contribute 0, a sequential loop-lifted sweep 1, so the
-   counter is > 1 exactly when a join actually fanned out. *)
-let record ?(chunks = 0) stats ~index_rows =
+   counter is > 1 exactly when a join actually fanned out.  The
+   process-wide metrics bump on every call; [stats] feeds per-query
+   tracing and is only threaded when a trace is attached. *)
+let record ?(chunks = 0) stats ~strategy ~index_rows =
+  Metrics.incr (m_join_of_strategy strategy);
+  Metrics.add m_index_rows_total index_rows;
+  Metrics.add m_sweep_chunks_total chunks;
   match stats with
   | None -> ()
   | Some s ->
@@ -201,12 +229,12 @@ let run_sequence op strategy annots ?(active_set = Active_set.Sorted_list)
       (* Figure 2: join against everything, then apply the node test to
          the join result. *)
       let joined = Udf_join.join op annots ~deadline ~context ~candidates:None in
-      record stats ~index_rows:0;
+      record stats ~strategy ~index_rows:0;
       (match candidates with
       | None -> joined
       | Some ids -> intersect_sorted joined ids)
   | Config.Udf_candidates ->
-      record stats ~index_rows:0;
+      record stats ~strategy ~index_rows:0;
       Udf_join.join op annots ~deadline ~context ~candidates
   | Config.Basic_merge | Config.Loop_lifted ->
       let ctx =
@@ -219,7 +247,7 @@ let run_sequence op strategy annots ?(active_set = Active_set.Sorted_list)
          the loop-lifted entry point amortises this across iterations
          (§4.6). *)
       let cand_index = Annots.candidate_index_scan annots ~candidates in
-      record stats ~index_rows:(Region_index.row_count cand_index);
+      record stats ~strategy ~index_rows:(Region_index.row_count cand_index);
       let _, pres =
         merge_join_lifted op annots ~active_set ~deadline ~loop:[| 0 |] ctx
           cand_index
@@ -239,7 +267,7 @@ let run_lifted op strategy annots ?pool ?(active_set = Active_set.Sorted_list)
             Pool.chunk_count p ~n:n_loop ()
         | _ -> 1
       in
-      record stats ~chunks ~index_rows:(Region_index.row_count cand_index);
+      record stats ~chunks ~strategy ~index_rows:(Region_index.row_count cand_index);
       if chunks = 1 then
         let ctx =
           Merge_join_ll.context_of_annotations annots ~iters:context_iters

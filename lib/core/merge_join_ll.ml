@@ -2,6 +2,22 @@ module Vec = Standoff_util.Vec
 module Timing = Standoff_util.Timing
 module Area = Standoff_interval.Area
 module Region = Standoff_interval.Region
+module Metrics = Standoff_obs.Metrics
+
+(* Per-sweep totals, bumped once per sweep (never per row). *)
+let m_sweeps_narrow =
+  Metrics.counter "standoff_merge_sweeps_total"
+    ~labels:[ ("kind", "narrow") ]
+    ~help:"Merge-join sweeps executed"
+
+let m_sweeps_wide =
+  Metrics.counter "standoff_merge_sweeps_total"
+    ~labels:[ ("kind", "wide") ]
+    ~help:"Merge-join sweeps executed"
+
+let m_sweep_matches =
+  Metrics.counter "standoff_merge_match_rows_total"
+    ~help:"Match rows emitted by merge-join sweeps"
 
 type context = {
   iters : int array;
@@ -143,6 +159,8 @@ let select_narrow ?(active_set = Active_set.Sorted_list) ?(trace = no_trace)
       incr j
     end
   done;
+  Metrics.incr m_sweeps_narrow;
+  Metrics.add m_sweep_matches (Vec.length out);
   out
 
 let select_wide ?(active_set = Active_set.Sorted_list) ?(trace = no_trace)
@@ -233,4 +251,6 @@ let select_wide ?(active_set = Active_set.Sorted_list) ?(trace = no_trace)
       end
     end
   done;
+  Metrics.incr m_sweeps_wide;
+  Metrics.add m_sweep_matches (Vec.length out);
   out

@@ -2,6 +2,19 @@ module Vec = Standoff_util.Vec
 module Pool = Standoff_util.Pool
 module Region = Standoff_interval.Region
 module Area = Standoff_interval.Area
+module Metrics = Standoff_obs.Metrics
+
+let m_builds_total =
+  Metrics.counter "standoff_index_builds_total"
+    ~help:"Region indexes built (full and restricted)"
+
+let m_rows_built_total =
+  Metrics.counter "standoff_index_rows_built_total"
+    ~help:"Rows written into region indexes"
+
+let m_restricts_total =
+  Metrics.counter "standoff_index_restricts_total"
+    ~help:"Candidate restrictions applied to a region index"
 
 type t = {
   starts : int64 array;
@@ -88,6 +101,8 @@ let build ?pool annots =
         (Area.regions area))
     annots;
   let n = Vec.length rows_vec in
+  Metrics.incr m_builds_total;
+  Metrics.add m_rows_built_total n;
   if n = 0 then
     { starts = [||]; ends = [||]; ids = [||]; region_ranks = [||] }
   else begin
@@ -170,6 +185,7 @@ let annotation_ids idx =
   end
 
 let restrict ?pool idx ~ids =
+  Metrics.incr m_restricts_total;
   let n_rows = Array.length idx.ids in
   let n_ids = Array.length ids in
   if n_rows = 0 || n_ids = 0 then

@@ -1,0 +1,379 @@
+(* A process-wide, domain-safe metrics registry.
+
+   Counters and histogram buckets are sharded over a small power-of-two
+   number of atomic cells indexed by the calling domain's id, so hot
+   paths running under a pool ([--jobs > 1]) do not serialize on one
+   cache line; a read sums the shards, which is exact because counter
+   updates are [fetch_and_add] (no torn reads on an int cell, no lost
+   increments).  Registration is memoized and mutex-guarded: calling
+   [counter] twice with the same name and labels returns the same
+   handle, so instrumented modules can register at module-init time and
+   keep the handle in a top-level binding, off the hot path.
+
+   Exposition follows the Prometheus text format: one [# HELP]/[# TYPE]
+   pair per metric name, then one line per labelled instance; histogram
+   buckets are cumulative with an [+Inf] bucket equal to [_count].  A
+   JSON dump of the same data serves structured consumers.
+
+   The whole registry can be switched off ([set_enabled false]): update
+   handles become no-ops (one atomic load on the hot path), which is
+   what the [obs-overhead] bench measures against. *)
+
+(* ------------------------------------------------------------------ *)
+(* Sharding                                                            *)
+
+let shard_count = 16 (* power of two *)
+let shard () = (Domain.self () :> int) land (shard_count - 1)
+let make_cells () = Array.init shard_count (fun _ -> Atomic.make 0)
+let sum_cells cells = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+let zero_cells cells = Array.iter (fun c -> Atomic.set c 0) cells
+
+(* ------------------------------------------------------------------ *)
+(* Enable switch                                                       *)
+
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Metric kinds                                                        *)
+
+type counter = { c_cells : int Atomic.t array }
+
+type gauge = { g_cell : int Atomic.t }
+
+(* Histogram observations are in abstract units (callers observing
+   durations pass seconds); the running sum is kept in integer
+   nano-units so it can live in sharded atomic int cells. *)
+type histogram = {
+  h_bounds : float array;  (** ascending upper bounds (inclusive) *)
+  h_counts : int Atomic.t array array;
+      (** per-bound shard cells, plus one overflow row: non-cumulative
+          internally, made cumulative at exposition *)
+  h_sum_nanos : int Atomic.t array;
+}
+
+type kind = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type metric = {
+  m_name : string;
+  m_labels : (string * string) list;  (** sorted by label name *)
+  m_help : string;
+  m_kind : kind;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let registry_lock = Mutex.create ()
+
+let registry : (string * (string * string) list, metric) Hashtbl.t =
+  Hashtbl.create 64
+
+(* Registration order, for stable exposition. *)
+let order : (string * (string * string) list) list ref = ref []
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let valid_name name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let register name labels help make_kind =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S" k))
+    labels;
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let key = (name, labels) in
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt registry key with
+    | Some m -> m
+    | None ->
+        let m = { m_name = name; m_labels = labels; m_help = help; m_kind = make_kind () } in
+        (* One name must keep one kind and one help across instances,
+           or exposition would emit contradictory TYPE lines. *)
+        List.iter
+          (fun k ->
+            let other = Hashtbl.find registry k in
+            if other.m_name = name && kind_name other.m_kind <> kind_name m.m_kind
+            then begin
+              Mutex.unlock registry_lock;
+              invalid_arg
+                (Printf.sprintf "Metrics: %s re-registered as a different kind"
+                   name)
+            end)
+          !order;
+        Hashtbl.add registry key m;
+        order := !order @ [ key ];
+        m
+  in
+  Mutex.unlock registry_lock;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+let counter ?(labels = []) ?(help = "") name =
+  let m = register name labels help (fun () -> Counter { c_cells = make_cells () }) in
+  match m.m_kind with
+  | Counter c -> c
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a counter" name)
+
+let incr c = if enabled () then ignore (Atomic.fetch_and_add c.c_cells.(shard ()) 1)
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  if n > 0 && enabled () then ignore (Atomic.fetch_and_add c.c_cells.(shard ()) n)
+
+let counter_value c = sum_cells c.c_cells
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+
+let gauge ?(labels = []) ?(help = "") name =
+  let m = register name labels help (fun () -> Gauge { g_cell = Atomic.make 0 }) in
+  match m.m_kind with
+  | Gauge g -> g
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a gauge" name)
+
+let gauge_set g v = if enabled () then Atomic.set g.g_cell v
+let gauge_add g n = if enabled () then ignore (Atomic.fetch_and_add g.g_cell n)
+let gauge_value g = Atomic.get g.g_cell
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+(* Fixed log-scale bucket bounds: [start, start*factor, ...], [count]
+   of them.  Callers share bound arrays freely; the registry copies
+   nothing. *)
+let log_buckets ~start ~factor ~count =
+  if start <= 0.0 || factor <= 1.0 || count < 1 then
+    invalid_arg "Metrics.log_buckets";
+  Array.init count (fun i -> start *. (factor ** float_of_int i))
+
+(* 10us .. ~20s, doubling: covers pool task waits and whole queries. *)
+let duration_buckets = log_buckets ~start:1e-5 ~factor:2.0 ~count:22
+
+let histogram ?(labels = []) ?(help = "") ~buckets name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly ascending")
+    buckets;
+  let m =
+    register name labels help (fun () ->
+        Histogram
+          {
+            h_bounds = Array.copy buckets;
+            h_counts =
+              Array.init (Array.length buckets + 1) (fun _ -> make_cells ());
+            h_sum_nanos = make_cells ();
+          })
+  in
+  match m.m_kind with
+  | Histogram h -> h
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a histogram" name)
+
+(* First bucket whose bound is >= v ([le] semantics), else overflow. *)
+let bucket_index h v =
+  let n = Array.length h.h_bounds in
+  let i = ref 0 in
+  while !i < n && h.h_bounds.(!i) < v do
+    i := !i + 1
+  done;
+  !i
+
+let observe h v =
+  if enabled () then begin
+    let s = shard () in
+    ignore (Atomic.fetch_and_add h.h_counts.(bucket_index h v).(s) 1);
+    ignore (Atomic.fetch_and_add h.h_sum_nanos.(s) (int_of_float (v *. 1e9)))
+  end
+
+let histogram_count h =
+  Array.fold_left (fun acc cells -> acc + sum_cells cells) 0 h.h_counts
+
+let histogram_sum h = float_of_int (sum_cells h.h_sum_nanos) *. 1e-9
+
+(* Cumulative per-bound counts, Prometheus style (the +Inf bucket is
+   [histogram_count]). *)
+let histogram_cumulative h =
+  let n = Array.length h.h_bounds in
+  let out = Array.make (n + 1) 0 in
+  let acc = ref 0 in
+  for i = 0 to n do
+    acc := !acc + sum_cells h.h_counts.(i);
+    out.(i) <- !acc
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Reset (tests and the overhead bench re-measure from zero)           *)
+
+let reset_all () =
+  Mutex.lock registry_lock;
+  let metrics = List.map (Hashtbl.find registry) !order in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun m ->
+      match m.m_kind with
+      | Counter c -> zero_cells c.c_cells
+      | Gauge g -> Atomic.set g.g_cell 0
+      | Histogram h ->
+          Array.iter zero_cells h.h_counts;
+          zero_cells h.h_sum_nanos)
+    metrics
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+(* [le] values print like Prometheus clients do: shortest float that
+   round-trips. *)
+let float_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let metrics = List.map (Hashtbl.find registry) !order in
+  Mutex.unlock registry_lock;
+  metrics
+
+let expose () =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem seen_header m.m_name) then begin
+        Hashtbl.add seen_header m.m_name ();
+        if m.m_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" m.m_name m.m_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_name m.m_kind))
+      end;
+      let ls = label_string m.m_labels in
+      match m.m_kind with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" m.m_name ls (counter_value c))
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" m.m_name ls (gauge_value g))
+      | Histogram h ->
+          let cumulative = histogram_cumulative h in
+          let with_le le =
+            let extra = ("le", le) :: m.m_labels in
+            label_string
+              (List.sort (fun (a, _) (b, _) -> compare a b) extra)
+          in
+          Array.iteri
+            (fun i bound ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+                   (with_le (float_string bound))
+                   cumulative.(i)))
+            h.h_bounds;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" m.m_name (with_le "+Inf")
+               cumulative.(Array.length h.h_bounds));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %.9g\n" m.m_name ls (histogram_sum h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.m_name ls
+               cumulative.(Array.length h.h_bounds)))
+    (snapshot ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON dump                                                           *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"kind\":\"%s\",\"labels\":{"
+           (json_escape m.m_name) (kind_name m.m_kind));
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        m.m_labels;
+      Buffer.add_string buf "},";
+      (match m.m_kind with
+      | Counter c ->
+          Buffer.add_string buf (Printf.sprintf "\"value\":%d" (counter_value c))
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "\"value\":%d" (gauge_value g))
+      | Histogram h ->
+          let cumulative = histogram_cumulative h in
+          Buffer.add_string buf "\"buckets\":[";
+          Array.iteri
+            (fun j bound ->
+              if j > 0 then Buffer.add_string buf ",";
+              Buffer.add_string buf
+                (Printf.sprintf "{\"le\":%.9g,\"count\":%d}" bound
+                   cumulative.(j)))
+            h.h_bounds;
+          Buffer.add_string buf
+            (Printf.sprintf "],\"sum\":%.9g,\"count\":%d" (histogram_sum h)
+               (histogram_count h)));
+      Buffer.add_string buf "}")
+    (snapshot ());
+  Buffer.add_string buf "]";
+  Buffer.contents buf

@@ -1,4 +1,13 @@
 module Vec = Standoff_util.Vec
+module Metrics = Standoff_obs.Metrics
+
+let m_docs =
+  Metrics.gauge "standoff_collection_docs"
+    ~help:"Documents currently registered in the collection"
+
+let m_doc_reads =
+  Metrics.counter "standoff_collection_doc_reads_total"
+    ~help:"Document handle lookups by id"
 
 (* The lock serialises every access to the document Vec and the name
    tables: parallel query shards read documents (and register
@@ -47,6 +56,7 @@ let add coll d =
       let id = Vec.length coll.docs in
       Vec.push coll.docs d;
       Hashtbl.add coll.by_name name id;
+      Metrics.gauge_add m_docs 1;
       id)
 
 let add_blob coll b =
@@ -58,6 +68,7 @@ let add_blob coll b =
       Hashtbl.add coll.blobs name b)
 
 let doc coll id =
+  Metrics.incr m_doc_reads;
   locked coll (fun () ->
       if id < 0 || id >= Vec.length coll.docs then
         invalid_arg (Printf.sprintf "Collection.doc: unknown id %d" id);
@@ -86,6 +97,7 @@ let rollback coll mark =
   locked coll (fun () ->
       if mark < 0 || mark > Vec.length coll.docs then
         invalid_arg "Collection.rollback: invalid checkpoint";
+      Metrics.gauge_add m_docs (mark - Vec.length coll.docs);
       for id = mark to Vec.length coll.docs - 1 do
         Hashtbl.remove coll.by_name (Vec.get coll.docs id).Doc.doc_name
       done;

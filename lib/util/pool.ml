@@ -5,6 +5,23 @@
    batch keeps draining the shared queue instead of sleeping while
    runnable tasks exist, which is what makes nesting deadlock-free. *)
 
+module Metrics = Standoff_obs.Metrics
+
+(* Registered at module init, so the pool metrics appear in exposition
+   (at zero) even in a process that never runs parallel work. *)
+let m_tasks_total =
+  Metrics.counter "standoff_pool_tasks_total"
+    ~help:"Tasks drained from the pool work queue"
+
+let m_queue_depth =
+  Metrics.gauge "standoff_pool_queue_depth"
+    ~help:"Tasks currently waiting in the pool work queue"
+
+let m_queue_wait =
+  Metrics.histogram "standoff_pool_queue_wait_seconds"
+    ~buckets:Metrics.duration_buckets
+    ~help:"Time tasks spent queued before a domain picked them up"
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -42,6 +59,7 @@ let worker_loop t =
   let rec loop () =
     match Queue.take_opt t.queue with
     | Some task ->
+        Metrics.gauge_set m_queue_depth (Queue.length t.queue);
         Mutex.unlock t.mutex;
         task ();
         Mutex.lock t.mutex;
@@ -70,18 +88,28 @@ let run_all t tasks =
   else begin
     let remaining = ref n in
     let errors = Array.make n None in
-    let wrap i f () =
-      (try f () with e -> errors.(i) <- Some e);
-      Mutex.lock t.mutex;
-      decr remaining;
-      (* Waiters of every batch share the condition; each re-checks its
-         own counter. *)
-      if !remaining = 0 then Condition.broadcast t.batch_done;
-      Mutex.unlock t.mutex
+    let wrap i f =
+      (* Timestamp at enqueue, observed at execution: the queue-wait
+         histogram.  Skipped entirely when the registry is disabled so
+         the no-sink hot path pays one atomic load, not two clock
+         reads. *)
+      let enqueued = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+      fun () ->
+        if enqueued > 0.0 then
+          Metrics.observe m_queue_wait (Unix.gettimeofday () -. enqueued);
+        Metrics.incr m_tasks_total;
+        (try f () with e -> errors.(i) <- Some e);
+        Mutex.lock t.mutex;
+        decr remaining;
+        (* Waiters of every batch share the condition; each re-checks its
+           own counter. *)
+        if !remaining = 0 then Condition.broadcast t.batch_done;
+        Mutex.unlock t.mutex
     in
     Mutex.lock t.mutex;
     ensure_workers t;
     Array.iteri (fun i f -> Queue.add (wrap i f) t.queue) tasks;
+    Metrics.gauge_set m_queue_depth (Queue.length t.queue);
     Condition.broadcast t.has_work;
     (* The submitting domain helps: run queued tasks (this batch's or a
        concurrent one's) until this batch has fully drained. *)
@@ -89,6 +117,7 @@ let run_all t tasks =
       if !remaining > 0 then
         match Queue.take_opt t.queue with
         | Some task ->
+            Metrics.gauge_set m_queue_depth (Queue.length t.queue);
             Mutex.unlock t.mutex;
             task ();
             Mutex.lock t.mutex;

@@ -5,6 +5,20 @@ module Item = Standoff_relalg.Item
 module Table = Standoff_relalg.Table
 module Config = Standoff.Config
 module Catalog = Standoff.Catalog
+module Metrics = Standoff_obs.Metrics
+module Trace = Standoff_obs.Trace
+module Slow_log = Standoff_obs.Slow_log
+
+let m_queries_total =
+  Metrics.counter "standoff_queries_total" ~help:"Queries executed"
+
+let m_query_errors_total =
+  Metrics.counter "standoff_query_errors_total"
+    ~help:"Queries that raised (including deadline kills)"
+
+let m_query_seconds =
+  Metrics.histogram "standoff_query_seconds"
+    ~buckets:Metrics.duration_buckets ~help:"Wall-clock query latency"
 
 type t = {
   coll : Collection.t;
@@ -13,13 +27,18 @@ type t = {
       (* engine-wide override; [None] lets the planner/evaluator pick a
          strategy per operator *)
   mutable jobs : int;
+  mutable slow_ms : float option;
+      (* slow-query log threshold; [None] disables logging *)
 }
 
-let create ?strategy ?jobs coll =
+let create ?strategy ?jobs ?slow_ms coll =
   let jobs =
     match jobs with Some n -> max 1 n | None -> Config.default_jobs ()
   in
-  { coll; cat = Catalog.create (); strategy; jobs }
+  let slow_ms =
+    match slow_ms with Some _ -> slow_ms | None -> Slow_log.env_threshold_ms ()
+  in
+  { coll; cat = Catalog.create (); strategy; jobs; slow_ms }
 
 let collection t = t.coll
 let catalog t = t.cat
@@ -27,6 +46,16 @@ let set_strategy t s = t.strategy <- Some s
 let set_auto_strategy t = t.strategy <- None
 let jobs t = t.jobs
 let set_jobs t n = t.jobs <- max 1 n
+let slow_ms t = t.slow_ms
+let set_slow_ms t ms = t.slow_ms <- ms
+
+(* STANDOFF_TRACE=1 forces a trace collector onto every run that was
+   not handed one explicitly (CI uses this to catch
+   instrumentation-only crashes). *)
+let trace_forced () =
+  match Sys.getenv_opt "STANDOFF_TRACE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
 
 let shutdown t =
   if t.jobs > 1 then Pool.teardown (Pool.shared ~jobs:t.jobs)
@@ -40,6 +69,8 @@ type result = {
   items : Item.t list;
   serialized : string;
   config : Config.t;
+  trace : Trace.span option;
+      (* the closed root span of the run, when tracing was on *)
 }
 
 (* Prolog processing: fold the standoff-* options into a configuration,
@@ -83,6 +114,7 @@ let process_prolog (q : Ast.query) =
 (* Prepared queries: parse -> lower -> optimize, once.                *)
 
 type prepared = {
+  p_text : string;  (** original query text, for the slow-query log *)
   p_prolog : Ast.prolog_decl list;
   p_plan : Plan.t;
   p_functions : (string, Plan.function_def) Hashtbl.t;
@@ -94,8 +126,16 @@ type prepared = {
 let prepared_plan p = p.p_plan
 let prepared_config p = p.p_config
 
-let prepare t ?strategy ?(optimize = true) query_text =
-  let q = Parse.parse_query query_text in
+(* Run [f] under a fresh child span of [trace], when tracing. *)
+let phase_span trace name f =
+  match trace with
+  | None -> f ()
+  | Some tr ->
+      let sp = Trace.enter tr name in
+      Fun.protect ~finally:(fun () -> Trace.exit tr sp) f
+
+let prepare t ?strategy ?(optimize = true) ?trace query_text =
+  let q = phase_span trace "parse" (fun () -> Parse.parse_query query_text) in
   let ast_functions, config, strategy_override, ast_globals =
     process_prolog q
   in
@@ -117,27 +157,59 @@ let prepare t ?strategy ?(optimize = true) query_text =
     else Fun.id
   in
   let lower e = rewrite (Plan.lower ~is_udf e) in
-  let functions = Hashtbl.create (Hashtbl.length ast_functions) in
-  Hashtbl.iter
-    (fun name fn ->
-      Hashtbl.add functions name
+  phase_span trace "optimize" (fun () ->
+      let functions = Hashtbl.create (Hashtbl.length ast_functions) in
+      Hashtbl.iter
+        (fun name fn ->
+          Hashtbl.add functions name
+            {
+              Plan.fn_name = fn.Ast.fn_name;
+              fn_params = fn.Ast.fn_params;
+              fn_body = lower fn.Ast.fn_body;
+            })
+        ast_functions;
+      {
+        p_text = query_text;
+        p_prolog = q.Ast.prolog;
+        p_plan = lower q.Ast.body;
+        p_functions = functions;
+        p_globals =
+          List.map (fun (var, value) -> (var, lower value)) ast_globals;
+        p_config = config;
+        p_strategy = resolved;
+      })
+
+(* Record a finished run in the engine metrics and, past the
+   threshold, the slow-query log.  Runs on success and on error alike
+   (the finally of [run_prepared]). *)
+let account t prepared trace ~seconds ~failed =
+  Metrics.incr m_queries_total;
+  if failed then Metrics.incr m_query_errors_total;
+  Metrics.observe m_query_seconds seconds;
+  match t.slow_ms with
+  | Some ms when seconds *. 1e3 >= ms ->
+      Slow_log.record
         {
-          Plan.fn_name = fn.Ast.fn_name;
-          fn_params = fn.Ast.fn_params;
-          fn_body = lower fn.Ast.fn_body;
-        })
-    ast_functions;
-  {
-    p_prolog = q.Ast.prolog;
-    p_plan = lower q.Ast.body;
-    p_functions = functions;
-    p_globals = List.map (fun (var, value) -> (var, lower value)) ast_globals;
-    p_config = config;
-    p_strategy = resolved;
-  }
+          Slow_log.e_at = Timing.now ();
+          e_query = prepared.p_text;
+          e_seconds = seconds;
+          e_strategy =
+            (match prepared.p_strategy with
+            | Some s -> Config.strategy_to_string s
+            | None -> "auto");
+          e_jobs = t.jobs;
+          e_summary =
+            (match trace with Some tr -> Trace.summary tr | None -> "");
+        }
+  | _ -> ()
 
 let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
-    ?(rollback_constructed = false) ?(instrument = false) prepared =
+    ?(rollback_constructed = false) ?trace prepared =
+  let trace =
+    match trace with
+    | Some _ -> trace
+    | None -> if trace_forced () then Some (Trace.create ()) else None
+  in
   let context =
     Option.map
       (fun name ->
@@ -146,24 +218,33 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
         | None -> Err.raisef "context document %S not found" name)
       context_doc
   in
-  if instrument then begin
-    Plan.reset_counters prepared.p_plan;
-    Hashtbl.iter
-      (fun _ fn -> Plan.reset_counters fn.Plan.fn_body)
-      prepared.p_functions;
-    List.iter (fun (_, p) -> Plan.reset_counters p) prepared.p_globals
-  end;
   let mark = Collection.checkpoint t.coll in
+  let t0 = Timing.now () in
+  let failed = ref true in
   Fun.protect
     ~finally:(fun () ->
+      (* Closing every span that is still open is what keeps a trace
+         killed by [Deadline_exceeded] (or any evaluation error)
+         well-formed. *)
+      Option.iter (fun tr -> ignore (Trace.finish tr)) trace;
+      account t prepared trace ~seconds:(Timing.now () -. t0) ~failed:!failed;
       (* Constructed-node scratch documents are dropped when the caller
          does not need the node handles (benchmark loops), and always
          on error. *)
       if rollback_constructed then Collection.rollback t.coll mark)
     (fun () ->
+      (match trace with
+      | Some tr ->
+          let root = Trace.root tr in
+          Trace.set_str root "strategy"
+            (match prepared.p_strategy with
+            | Some s -> Config.strategy_to_string s
+            | None -> "auto");
+          Trace.set_int root "jobs" t.jobs
+      | None -> ());
       let env =
         Eval.initial_env ~coll:t.coll ~catalog:t.cat ~config:prepared.p_config
-          ~strategy:prepared.p_strategy ~instrument ?pool:(pool_of t)
+          ~strategy:prepared.p_strategy ?trace ?pool:(pool_of t)
           ~deadline ~functions:prepared.p_functions ~context ()
       in
       let env =
@@ -172,15 +253,31 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
             { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
           env prepared.p_globals
       in
-      let table = Eval.eval env prepared.p_plan in
+      let table =
+        phase_span trace "eval" (fun () -> Eval.eval env prepared.p_plan)
+      in
       let items = Table.to_sequence table in
       (* Serialize before constructed documents are rolled back. *)
-      let serialized = Serialize.sequence t.coll items in
-      { items; serialized; config = prepared.p_config })
+      let serialized =
+        phase_span trace "serialize" (fun () -> Serialize.sequence t.coll items)
+      in
+      failed := false;
+      {
+        items;
+        serialized;
+        config = prepared.p_config;
+        trace = Option.map Trace.root trace;
+      })
 
-let run t ?strategy ?deadline ?context_doc ?rollback_constructed query_text =
-  let prepared = prepare t ?strategy query_text in
-  run_prepared t ?deadline ?context_doc ?rollback_constructed prepared
+let run t ?strategy ?deadline ?context_doc ?rollback_constructed ?trace
+    query_text =
+  let trace =
+    match trace with
+    | Some _ -> trace
+    | None -> if trace_forced () then Some (Trace.create ()) else None
+  in
+  let prepared = prepare t ?strategy ?trace query_text in
+  run_prepared t ?deadline ?context_doc ?rollback_constructed ?trace prepared
 
 (* Per-document sharding: the paper's StandOff steps match only nodes
    from the same XML fragment (§3.3), so a query whose leading [/]
@@ -222,12 +319,15 @@ let run_prepared_sharded t ?(deadline = Timing.no_deadline)
       in
       let items = List.concat (Array.to_list per_doc) in
       let serialized = Serialize.sequence t.coll items in
-      { items; serialized; config = prepared.p_config })
+      (* Sharded evaluation runs [eval] inside pool workers, and the
+         trace collector is single-domain — so sharded runs are
+         untraced. *)
+      { items; serialized; config = prepared.p_config; trace = None })
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN / EXPLAIN ANALYZE                                          *)
 
-let render_prepared ?analyze prepared =
+let render_prepared ?annotate prepared =
   let decls = List.map Pp_ast.decl_to_string prepared.p_prolog in
   let fn_plans =
     (* Deterministic order for display. *)
@@ -237,33 +337,87 @@ let render_prepared ?analyze prepared =
            Printf.sprintf "function %s(%s):\n%s" fn.Plan.fn_name
              (String.concat ", "
                 (List.map (fun p -> "$" ^ p) fn.Plan.fn_params))
-             (Plan.render ?analyze fn.Plan.fn_body))
+             (Plan.render ?annotate fn.Plan.fn_body))
   in
   let global_plans =
     List.map
       (fun (var, p) ->
-        Printf.sprintf "variable $%s:\n%s" var (Plan.render ?analyze p))
+        Printf.sprintf "variable $%s:\n%s" var (Plan.render ?annotate p))
       prepared.p_globals
   in
   String.concat "\n"
-    (decls @ fn_plans @ global_plans @ [ Plan.render ?analyze prepared.p_plan ])
+    (decls @ fn_plans @ global_plans
+    @ [ Plan.render ?annotate prepared.p_plan ])
 
 let explain t ?strategy ?optimize query_text =
   render_prepared (prepare t ?strategy ?optimize query_text)
 
+(* Fold the span tree of one traced run into a per-plan-node table.
+   A node can be evaluated many times (loop bodies, function bodies):
+   counts sum, [a_strategy] keeps the last strategy seen, and nodes
+   with no span at all render as "(not executed)". *)
+let analysis_of_trace root =
+  let tbl : (int, Plan.analysis) Hashtbl.t = Hashtbl.create 64 in
+  Trace.iter
+    (fun sp ->
+      let node = Trace.node sp in
+      if node >= 0 then begin
+        let a =
+          match Hashtbl.find_opt tbl node with
+          | Some a -> a
+          | None ->
+              let a = Plan.fresh_analysis () in
+              Hashtbl.add tbl node a;
+              a
+        in
+        a.Plan.a_calls <- a.Plan.a_calls + 1;
+        let d = Trace.duration sp in
+        if not (Float.is_nan d) then a.Plan.a_seconds <- a.Plan.a_seconds +. d;
+        let add get set key =
+          match Trace.int_attr sp key with
+          | Some n -> set a (get a + n)
+          | None -> ()
+        in
+        add
+          (fun a -> a.Plan.a_rows_out)
+          (fun a n -> a.Plan.a_rows_out <- n)
+          "rows_out";
+        add
+          (fun a -> a.Plan.a_rows_in)
+          (fun a n -> a.Plan.a_rows_in <- n)
+          "rows_in";
+        add
+          (fun a -> a.Plan.a_index_rows)
+          (fun a n -> a.Plan.a_index_rows <- n)
+          "index_rows";
+        add
+          (fun a -> a.Plan.a_chunks)
+          (fun a n -> a.Plan.a_chunks <- n)
+          "chunks";
+        match Trace.str_attr sp "strategy" with
+        | Some s -> a.Plan.a_strategy <- Some (Config.strategy_of_string s)
+        | None -> ()
+      end)
+    root;
+  tbl
+
 let explain_analyze t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
     query_text =
-  let prepared = prepare t ?strategy query_text in
+  let trace = Trace.create () in
+  let prepared = prepare t ?strategy ~trace query_text in
   let _ =
-    run_prepared t ~deadline ?context_doc ~rollback_constructed:true
-      ~instrument:true prepared
+    run_prepared t ~deadline ?context_doc ~rollback_constructed:true ~trace
+      prepared
   in
-  render_prepared ~analyze:true prepared
+  let tbl = analysis_of_trace (Trace.root trace) in
+  render_prepared
+    ~annotate:(fun p -> Plan.analyze_suffix p (Hashtbl.find_opt tbl p.Plan.id))
+    prepared
 
-let run_with_timeout t ?strategy ?context_doc ~seconds query_text =
+let run_with_timeout t ?strategy ?context_doc ?trace ~seconds query_text =
   let mark = Collection.checkpoint t.coll in
   Fun.protect
     ~finally:(fun () -> Collection.rollback t.coll mark)
     (fun () ->
       Timing.run_with_timeout ~seconds (fun deadline ->
-          run t ?strategy ~deadline ?context_doc query_text))
+          run t ?strategy ~deadline ?context_doc ?trace query_text))

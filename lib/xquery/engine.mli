@@ -23,17 +23,21 @@
 
 type t
 
-(** [create ?strategy ?jobs coll] wraps a collection.  Without
+(** [create ?strategy ?jobs ?slow_ms coll] wraps a collection.  Without
     [strategy], each StandOff operator picks its own strategy from
     annotation statistics ({!Standoff.Join.auto_strategy}).  [jobs]
     (default {!Standoff.Config.default_jobs}, i.e. [STANDOFF_JOBS] or
     1) is the parallelism of query execution: with [jobs = 1] every
     run takes the exact sequential code path; with more, runs share a
     lazily created domain pool driving parallel merge sweeps, index
-    builds, and per-document sharding. *)
+    builds, and per-document sharding.  [slow_ms] is the slow-query-log
+    threshold in milliseconds (default: [STANDOFF_SLOW_MS], else
+    disabled); runs at least that slow are recorded in
+    {!Standoff_obs.Slow_log}. *)
 val create :
   ?strategy:Standoff.Config.strategy ->
   ?jobs:int ->
+  ?slow_ms:float ->
   Standoff_store.Collection.t ->
   t
 
@@ -42,6 +46,13 @@ val jobs : t -> int
 
 (** [set_jobs t n] reconfigures the parallelism (clamped to >= 1). *)
 val set_jobs : t -> int -> unit
+
+(** [slow_ms t] is the slow-query-log threshold, if any. *)
+val slow_ms : t -> float option
+
+(** [set_slow_ms t ms] reconfigures the slow-query-log threshold;
+    [None] disables logging. *)
+val set_slow_ms : t -> float option -> unit
 
 (** [shutdown t] joins the worker domains of the engine's pool, if
     running.  Engines with the same jobs count share one process-wide
@@ -70,6 +81,8 @@ type result = {
   serialized : string;  (** materialized before constructed nodes are
                             rolled back *)
   config : Standoff.Config.t;  (** the configuration after the prolog *)
+  trace : Standoff_obs.Trace.span option;
+      (** the closed root span of the run, when tracing was on *)
 }
 
 (** A parsed, lowered, optimized query, ready to evaluate any number
@@ -82,24 +95,32 @@ val prepared_plan : prepared -> Plan.t
 (** The configuration the prolog produced. *)
 val prepared_config : prepared -> Standoff.Config.t
 
-(** [prepare t ?strategy ?optimize query] parses [query] and lowers it
-    to a plan.  With [optimize:false] (default [true]) the optimizer
-    pass is skipped and the structural lowering is evaluated as-is —
-    the direct path, used to validate rewrites.
+(** [prepare t ?strategy ?optimize ?trace query] parses [query] and
+    lowers it to a plan.  With [optimize:false] (default [true]) the
+    optimizer pass is skipped and the structural lowering is evaluated
+    as-is — the direct path, used to validate rewrites.  With [trace],
+    the parse and lowering/optimize phases are recorded as ["parse"]
+    and ["optimize"] spans.
     @raise Err.Error on static errors
     @raise Lexer.Syntax_error on parse errors. *)
 val prepare :
   t ->
   ?strategy:Standoff.Config.strategy ->
   ?optimize:bool ->
+  ?trace:Standoff_obs.Trace.t ->
   string ->
   prepared
 
 (** [run_prepared t ?deadline ?context_doc ?rollback_constructed
-    ?instrument prepared] evaluates a prepared query.  [context_doc]
-    names the document that leading [/] paths refer to.  With
-    [instrument:true] the plan's {!Plan.counters} are reset and filled
-    during the run (see {!explain_analyze}).
+    ?trace prepared] evaluates a prepared query.  [context_doc]
+    names the document that leading [/] paths refer to.  With [trace]
+    (or [STANDOFF_TRACE=1] in the environment) the run produces a span
+    tree — ["eval"] and ["serialize"] phase spans, one span per plan
+    operator evaluated — returned closed as [result.trace]; a run
+    killed by {!Standoff_util.Timing.Deadline_exceeded} still leaves
+    the collector holding a well-formed partial trace.  Every run
+    updates the engine metrics and, past the [slow_ms] threshold, the
+    slow-query log.
     @raise Err.Error on dynamic errors
     @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
 val run_prepared :
@@ -107,7 +128,7 @@ val run_prepared :
   ?deadline:Standoff_util.Timing.deadline ->
   ?context_doc:string ->
   ?rollback_constructed:bool ->
-  ?instrument:bool ->
+  ?trace:Standoff_obs.Trace.t ->
   prepared ->
   result
 
@@ -122,6 +143,7 @@ val run :
   ?deadline:Standoff_util.Timing.deadline ->
   ?context_doc:string ->
   ?rollback_constructed:bool ->
+  ?trace:Standoff_obs.Trace.t ->
   string ->
   result
 
@@ -134,7 +156,8 @@ val run :
     for document-scoped queries this is semantics-preserving.  A
     single checkpoint brackets the fan-out; with
     [rollback_constructed:true] all shards' constructed documents are
-    dropped together at the end. *)
+    dropped together at the end.  Sharded runs evaluate inside pool
+    workers and are therefore never traced ([result.trace = None]). *)
 val run_prepared_sharded :
   t ->
   ?deadline:Standoff_util.Timing.deadline ->
@@ -150,8 +173,9 @@ val run_prepared_sharded :
 val explain :
   t -> ?strategy:Standoff.Config.strategy -> ?optimize:bool -> string -> string
 
-(** [explain_analyze t query] runs the query with instrumentation and
-    renders the plan annotated with per-operator call counts, row
+(** [explain_analyze t query] runs the query under a trace collector,
+    aggregates the span tree into per-node {!Plan.analysis} records,
+    and renders the plan annotated with per-operator call counts, row
     cardinalities, region-index rows scanned, resolved strategies, and
     inclusive wall times.  Constructed nodes are rolled back. *)
 val explain_analyze :
@@ -169,6 +193,7 @@ val run_with_timeout :
   t ->
   ?strategy:Standoff.Config.strategy ->
   ?context_doc:string ->
+  ?trace:Standoff_obs.Trace.t ->
   seconds:float ->
   string ->
   result Standoff_util.Timing.outcome

@@ -14,6 +14,7 @@ module Config = Standoff.Config
 module Op = Standoff.Op
 module Catalog = Standoff.Catalog
 module Join = Standoff.Join
+module Trace = Standoff_obs.Trace
 
 type env = {
   coll : Collection.t;
@@ -23,7 +24,15 @@ type env = {
       (* engine-wide override; [None] lets each operator resolve its
          own strategy from annotation statistics *)
   deadline : Timing.deadline;
-  instrument : bool;
+  trace : Trace.t option;
+      (* span collector; [None] is the uninstrumented hot path.  The
+         collector is single-domain: [eval]'s recursion stays on the
+         calling domain (pool workers run join sweeps and index builds,
+         not [eval]), so span mutation needs no locking.  The sharded
+         entry point [Engine.run_prepared_sharded], which does eval in
+         workers, runs untraced. *)
+  span : Trace.span option;
+      (* the span of the plan node currently being evaluated *)
   loop : int array;
   vars : (string * Table.t) list;
   focus : focus option;
@@ -39,7 +48,7 @@ and focus = {
   f_last : Table.t;
 }
 
-let initial_env ~coll ~catalog ~config ~strategy ?(instrument = false) ?pool
+let initial_env ~coll ~catalog ~config ~strategy ?trace ?pool
     ~deadline ~functions ~context () =
   let loop = [| 0 |] in
   let focus =
@@ -58,7 +67,8 @@ let initial_env ~coll ~catalog ~config ~strategy ?(instrument = false) ?pool
     config;
     strategy;
     deadline;
-    instrument;
+    trace;
+    span = None;
     loop;
     vars = [];
     focus;
@@ -174,8 +184,8 @@ let singleton_of what items =
    - [strategy]: [S_fixed] uses that algorithm; [S_auto] defers to the
      engine-wide override if any, else picks per document from the
      context and candidate sizes.
-   [meta] collects EXPLAIN ANALYZE instrumentation. *)
-let standoff_step env ?meta ~strategy_choice ~pushdown op test context =
+   [span] receives the join statistics as trace attributes. *)
+let standoff_step env ?span ~strategy_choice ~pushdown op test context =
   let by_doc : (int, int Vec.t * int Vec.t) Hashtbl.t = Hashtbl.create 4 in
   let doc_ids = Vec.create () in
   for r = 0 to Table.row_count context - 1 do
@@ -233,7 +243,7 @@ let standoff_step env ?meta ~strategy_choice ~pushdown op test context =
                     ~candidate_rows:(Option.map Array.length candidates))
         in
         let stats =
-          match meta with Some _ -> Some (Join.fresh_stats ()) | None -> None
+          match span with Some _ -> Some (Join.fresh_stats ()) | None -> None
         in
         (doc_id, doc, annots, context_iters, context_pres, candidates,
          strategy, stats))
@@ -274,16 +284,16 @@ let standoff_step env ?meta ~strategy_choice ~pushdown op test context =
     | _ -> Array.map run_shard prepped
   in
   (* Instrumentation folds in after the (possibly parallel) shards so
-     the plan counters are only ever mutated from this domain. *)
-  (match meta with
-  | Some m ->
+     the trace span is only ever mutated from this domain. *)
+  (match span with
+  | Some sp ->
       Array.iter
         (fun (_, _, _, _, _, _, strategy, stats) ->
           match stats with
           | Some s ->
-              m.Plan.c_index_rows <- m.Plan.c_index_rows + s.Join.s_index_rows;
-              m.Plan.c_chunks <- m.Plan.c_chunks + s.Join.s_chunks;
-              m.Plan.c_strategy <- Some strategy
+              Trace.add_int sp "index_rows" s.Join.s_index_rows;
+              Trace.add_int sp "chunks" s.Join.s_chunks;
+              Trace.set_str sp "strategy" (Config.strategy_to_string strategy)
           | None -> ())
         prepped
   | None -> ());
@@ -375,22 +385,27 @@ let rec eval env (plan : Plan.t) =
      eventually is empty.  Instrumentation skips them too, so EXPLAIN
      ANALYZE reports dead branches as not executed. *)
   if Array.length env.loop = 0 then Table.empty
-  else if not env.instrument then eval_live env plan
-  else begin
-    let t0 = Timing.now () in
-    let out = eval_live env plan in
-    let m = plan.Plan.meta in
-    m.Plan.c_calls <- m.Plan.c_calls + 1;
-    m.Plan.c_rows_out <- m.Plan.c_rows_out + Table.row_count out;
-    m.Plan.c_seconds <- m.Plan.c_seconds +. (Timing.now () -. t0);
-    out
-  end
+  else
+    match env.trace with
+    | None -> eval_live env plan
+    | Some tr ->
+        (* One span per operator evaluation, tagged with the plan-node
+           id for EXPLAIN ANALYZE aggregation.  [Fun.protect] closes
+           the span on the way out even when the evaluation dies
+           (deadline, evaluation error), so partial traces stay
+           well-formed. *)
+        let span = Trace.enter tr ~node:plan.Plan.id (Plan.label plan) in
+        Fun.protect
+          ~finally:(fun () -> Trace.exit tr span)
+          (fun () ->
+            let out = eval_live { env with span = Some span } plan in
+            Trace.set_int span "rows_out" (Table.row_count out);
+            out)
 
-and record_rows_in env (plan : Plan.t) input =
-  if env.instrument then begin
-    let m = plan.Plan.meta in
-    m.Plan.c_rows_in <- m.Plan.c_rows_in + Table.row_count input
-  end
+and record_rows_in env input =
+  match env.span with
+  | Some sp -> Trace.set_int sp "rows_in" (Table.row_count input)
+  | None -> ()
 
 and eval_live env (plan : Plan.t) =
   match plan.Plan.desc with
@@ -473,33 +488,33 @@ and eval_live env (plan : Plan.t) =
       Table.of_rows (List.rev !rows)
   | Plan.Axis_step { input; axis; test; position } -> (
       let ctx = eval env input in
-      record_rows_in env plan ctx;
+      record_rows_in env ctx;
       try Step.axis_step env.coll axis ?position ~test ctx
       with Step.Not_a_node item ->
         Err.raisef "axis step applied to non-node %s" (Item.to_string item))
   | Plan.Attribute_step { input; test } ->
       let ctx = eval env input in
-      record_rows_in env plan ctx;
+      record_rows_in env ctx;
       Step.attribute_step env.coll ~test ctx
   | Plan.Standoff_join
       { input; op; test; position; pushdown; strategy; candidates } ->
       let ctx = eval env input in
-      record_rows_in env plan ctx;
-      let meta = if env.instrument then Some plan.Plan.meta else None in
+      record_rows_in env ctx;
+      let span = env.span in
       let joined =
         match candidates with
         | None ->
-            standoff_step env ?meta ~strategy_choice:strategy ~pushdown op test
+            standoff_step env ?span ~strategy_choice:strategy ~pushdown op test
               ctx
         | Some cand_plan ->
             let cand = eval env cand_plan in
-            standoff_function env ?meta ~strategy_choice:strategy op test ctx
+            standoff_function env ?span ~strategy_choice:strategy op test ctx
               cand
       in
       (match position with
       | None -> joined
       | Some k -> Step.positional joined k)
-  | Plan.Filter { input; predicate } -> eval_filter env plan input predicate
+  | Plan.Filter { input; predicate } -> eval_filter env input predicate
   | Plan.Path_map { input; body } ->
       let t = eval env input in
       let exp = Table.expand t in
@@ -723,9 +738,9 @@ and eval_binop env op a b =
 
 (* ---------------- predicates ---------------- *)
 
-and eval_filter env plan input predicate =
+and eval_filter env input predicate =
   let t = eval env input in
-  record_rows_in env plan t;
+  record_rows_in env t;
   let exp = Table.expand t in
   let free = Plan.free_vars predicate in
   let env' = enter_loop env exp ~free in
@@ -1302,7 +1317,7 @@ and eval_builtin env name args =
    sequence (Figure 3).  [Plan.lower] already unified the
    no-candidates form with the axis form, so only the explicit case
    lands here. *)
-and standoff_function env ?meta ~strategy_choice op test ctx cand_table =
+and standoff_function env ?span ~strategy_choice op test ctx cand_table =
   (* Restrict per document to the explicit candidate nodes. *)
   let by_doc : (int, int Vec.t) Hashtbl.t = Hashtbl.create 4 in
   for r = 0 to Table.row_count cand_table - 1 do
@@ -1332,7 +1347,7 @@ and standoff_function env ?meta ~strategy_choice op test ctx cand_table =
   match op with
   | Op.Select_narrow | Op.Select_wide ->
       let unrestricted =
-        standoff_step env ?meta ~strategy_choice ~pushdown:false op test ctx
+        standoff_step env ?span ~strategy_choice ~pushdown:false op test ctx
       in
       Table.filter
         (fun item ->
@@ -1348,7 +1363,7 @@ and standoff_function env ?meta ~strategy_choice op test ctx cand_table =
          matching semi-join and complement within S2, per
          iteration. *)
       let selected =
-        standoff_function env ?meta ~strategy_choice (Op.select_of op) test ctx
+        standoff_function env ?span ~strategy_choice (Op.select_of op) test ctx
           cand_table
       in
       let rows = ref [] in

@@ -15,8 +15,9 @@
     positional predicates, candidate pushdown on StandOff joins, and
     per-operator strategy choice ([S_auto] resolves against the
     engine-wide override, if any, else from {!Standoff.Annots}
-    statistics per document).  With [instrument] on, every plan node's
-    {!Plan.counters} are filled in for EXPLAIN ANALYZE. *)
+    statistics per document).  With a {!Standoff_obs.Trace} collector
+    attached, every plan-node evaluation opens a span tagged with the
+    node id and row counts, which EXPLAIN ANALYZE aggregates. *)
 
 type env = {
   coll : Standoff_store.Collection.t;
@@ -25,7 +26,11 @@ type env = {
   strategy : Standoff.Config.strategy option;
       (** engine-wide strategy override; [None] = per-operator auto *)
   deadline : Standoff_util.Timing.deadline;
-  instrument : bool;  (** fill in {!Plan.counters} while evaluating *)
+  trace : Standoff_obs.Trace.t option;
+      (** span collector; single-domain, so only the domain that called
+          [Engine.run_prepared] may evaluate under it *)
+  span : Standoff_obs.Trace.span option;
+      (** the span of the plan node currently evaluating *)
   loop : int array;
   vars : (string * Standoff_relalg.Table.t) list;
   focus : focus option;
@@ -51,7 +56,7 @@ val initial_env :
   catalog:Standoff.Catalog.t ->
   config:Standoff.Config.t ->
   strategy:Standoff.Config.strategy option ->
-  ?instrument:bool ->
+  ?trace:Standoff_obs.Trace.t ->
   ?pool:Standoff_util.Pool.t ->
   deadline:Standoff_util.Timing.deadline ->
   functions:(string, Plan.function_def) Hashtbl.t ->

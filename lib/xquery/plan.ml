@@ -13,10 +13,12 @@
      and a per-operator strategy choice resolved from {!Standoff.Annots}
      statistics instead of the engine-wide knob.
 
-   Every node owns a mutable {!counters} record; when the evaluator
-   runs with instrumentation on (EXPLAIN ANALYZE), it fills in call
-   counts, row cardinalities, inclusive wall time, and region-index
-   rows scanned, and {!render} prints them next to each operator. *)
+   Every node carries a process-unique integer {!id}.  The evaluator
+   carries no instrumentation of its own any more: when a query runs
+   with a {!Standoff_obs.Trace} collector attached, each operator
+   evaluation opens a span tagged with the node id, and EXPLAIN ANALYZE
+   aggregates the span tree back onto the plan through that id (see
+   {!analysis} and [Engine.explain_analyze]). *)
 
 module Node_test = Standoff_xpath.Node_test
 module Axes = Standoff_xpath.Axes
@@ -27,29 +29,7 @@ type strategy_choice =
   | S_auto  (** resolve per call site from annotation statistics *)
   | S_fixed of Config.strategy  (** pinned by prolog/CLI/optimizer *)
 
-type counters = {
-  mutable c_calls : int;
-  mutable c_rows_in : int;  (** rows of the primary input (step-like ops) *)
-  mutable c_rows_out : int;
-  mutable c_seconds : float;  (** inclusive wall time *)
-  mutable c_index_rows : int;  (** region-index rows the joins scanned *)
-  mutable c_chunks : int;  (** parallel sweep chunks the joins ran *)
-  mutable c_strategy : Config.strategy option;
-      (** last strategy an auto operator resolved to *)
-}
-
-let fresh_counters () =
-  {
-    c_calls = 0;
-    c_rows_in = 0;
-    c_rows_out = 0;
-    c_seconds = 0.0;
-    c_index_rows = 0;
-    c_chunks = 0;
-    c_strategy = None;
-  }
-
-type t = { desc : desc; meta : counters }
+type t = { id : int; desc : desc }
 
 and desc =
   | Literal of Ast.literal
@@ -104,7 +84,12 @@ and order_spec = { key : t; descending : bool }
 
 type function_def = { fn_name : string; fn_params : string list; fn_body : t }
 
-let make desc = { desc; meta = fresh_counters () }
+(* Node ids are process-wide (an atomic, not a per-plan counter), so
+   ids from different prepared queries never collide and a span tree
+   can be aggregated without knowing which plan object it came from. *)
+let next_id = Stdlib.Atomic.make 0
+
+let make desc = { id = Stdlib.Atomic.fetch_and_add next_id 1; desc }
 
 (* ------------------------------------------------------------------ *)
 (* Lowering                                                           *)
@@ -389,36 +374,64 @@ let children plan =
       List.concat_map (fun (n, ps) -> parts ("attr " ^ n) ps) attrs
       @ parts "content" content
 
-let analyze_suffix plan =
-  let m = plan.meta in
-  if m.c_calls = 0 then "  (not executed)"
-  else begin
-    let buf = Buffer.create 48 in
-    Buffer.add_string buf
-      (Printf.sprintf "  (calls=%d rows=%d" m.c_calls m.c_rows_out);
-    let step_like =
-      match plan.desc with
-      | Axis_step _ | Attribute_step _ | Standoff_join _ | Filter _ -> true
-      | _ -> false
-    in
-    if step_like then
-      Buffer.add_string buf (Printf.sprintf " rows_in=%d" m.c_rows_in);
-    (match plan.desc with
-    | Standoff_join _ ->
-        Buffer.add_string buf (Printf.sprintf " index_rows=%d" m.c_index_rows);
-        if m.c_chunks > 1 then
-          Buffer.add_string buf (Printf.sprintf " chunks=%d" m.c_chunks);
-        Option.iter
-          (fun s ->
-            Buffer.add_string buf
-              (Printf.sprintf " strategy=%s" (Config.strategy_to_string s)))
-          m.c_strategy
-    | _ -> ());
-    Buffer.add_string buf (Printf.sprintf " time=%.3fms)" (m.c_seconds *. 1e3));
-    Buffer.contents buf
-  end
+(* Per-node aggregation of a query run, distilled from the span tree
+   (one [analysis] per executed node; absent = not executed).  Produced
+   by [Engine.explain_analyze] folding every span with this node's id;
+   the rendered format is unchanged from when the counters lived on
+   the plan nodes themselves. *)
+type analysis = {
+  mutable a_calls : int;
+  mutable a_rows_in : int;  (** rows of the primary input (step-like ops) *)
+  mutable a_rows_out : int;
+  mutable a_seconds : float;  (** inclusive wall time *)
+  mutable a_index_rows : int;  (** region-index rows the joins scanned *)
+  mutable a_chunks : int;  (** parallel sweep chunks the joins ran *)
+  mutable a_strategy : Config.strategy option;
+      (** last strategy an auto operator resolved to *)
+}
 
-let render ?(analyze = false) plan =
+let fresh_analysis () =
+  {
+    a_calls = 0;
+    a_rows_in = 0;
+    a_rows_out = 0;
+    a_seconds = 0.0;
+    a_index_rows = 0;
+    a_chunks = 0;
+    a_strategy = None;
+  }
+
+let analyze_suffix plan analysis =
+  match analysis with
+  | None -> "  (not executed)"
+  | Some m ->
+      let buf = Buffer.create 48 in
+      Buffer.add_string buf
+        (Printf.sprintf "  (calls=%d rows=%d" m.a_calls m.a_rows_out);
+      let step_like =
+        match plan.desc with
+        | Axis_step _ | Attribute_step _ | Standoff_join _ | Filter _ -> true
+        | _ -> false
+      in
+      if step_like then
+        Buffer.add_string buf (Printf.sprintf " rows_in=%d" m.a_rows_in);
+      (match plan.desc with
+      | Standoff_join _ ->
+          Buffer.add_string buf (Printf.sprintf " index_rows=%d" m.a_index_rows);
+          if m.a_chunks > 1 then
+            Buffer.add_string buf (Printf.sprintf " chunks=%d" m.a_chunks);
+          Option.iter
+            (fun s ->
+              Buffer.add_string buf
+                (Printf.sprintf " strategy=%s" (Config.strategy_to_string s)))
+            m.a_strategy
+      | _ -> ());
+      Buffer.add_string buf (Printf.sprintf " time=%.3fms)" (m.a_seconds *. 1e3));
+      Buffer.contents buf
+
+(* [annotate] produces the per-node suffix (EXPLAIN ANALYZE passes
+   [analyze_suffix] applied to its aggregation table). *)
+let render ?annotate plan =
   let buf = Buffer.create 256 in
   let rec go prefix child_prefix labelled plan =
     Buffer.add_string buf prefix;
@@ -426,7 +439,9 @@ let render ?(analyze = false) plan =
     | Some l -> Buffer.add_string buf (l ^ ": ")
     | None -> ());
     Buffer.add_string buf (label plan);
-    if analyze then Buffer.add_string buf (analyze_suffix plan);
+    (match annotate with
+    | Some f -> Buffer.add_string buf (f plan)
+    | None -> ());
     Buffer.add_char buf '\n';
     let kids = children plan in
     let n = List.length kids in
@@ -444,17 +459,3 @@ let render ?(analyze = false) plan =
   if String.length s > 0 && s.[String.length s - 1] = '\n' then
     String.sub s 0 (String.length s - 1)
   else s
-
-(* ------------------------------------------------------------------ *)
-(* Counter reset (a prepared query can be re-run)                     *)
-
-let rec reset_counters plan =
-  let m = plan.meta in
-  m.c_calls <- 0;
-  m.c_rows_in <- 0;
-  m.c_rows_out <- 0;
-  m.c_seconds <- 0.0;
-  m.c_index_rows <- 0;
-  m.c_chunks <- 0;
-  m.c_strategy <- None;
-  List.iter (fun (_, kid) -> reset_counters kid) (children plan)

@@ -7,29 +7,17 @@
     candidate-pushdown decision (§4.3) and a per-operator evaluation
     strategy.  {!Optimize} rewrites plans; {!Eval} executes them.
 
-    Every node owns a mutable {!counters} record filled by an
-    instrumented run (EXPLAIN ANALYZE): call count, input/output row
-    cardinalities, inclusive wall time, and region-index rows
-    scanned. *)
+    Every node carries a process-unique integer {!t.id}.  The plan
+    itself holds no run-time state: a traced run
+    ({!Standoff_obs.Trace}) opens one span per operator evaluation
+    tagged with the node id, and EXPLAIN ANALYZE distills the span
+    tree into one {!analysis} per node keyed on that id. *)
 
 type strategy_choice =
   | S_auto  (** resolve per call site from annotation statistics *)
   | S_fixed of Standoff.Config.strategy
 
-type counters = {
-  mutable c_calls : int;
-  mutable c_rows_in : int;
-  mutable c_rows_out : int;
-  mutable c_seconds : float;  (** inclusive wall time *)
-  mutable c_index_rows : int;
-  mutable c_chunks : int;
-      (** parallel sweep chunks the joins ran (equals [c_calls] when
-          sequential) *)
-  mutable c_strategy : Standoff.Config.strategy option;
-      (** last strategy an auto operator resolved to *)
-}
-
-type t = { desc : desc; meta : counters }
+type t = { id : int; desc : desc }
 
 and desc =
   | Literal of Ast.literal
@@ -82,7 +70,7 @@ and order_spec = { key : t; descending : bool }
 
 type function_def = { fn_name : string; fn_params : string list; fn_body : t }
 
-(** [make desc] wraps [desc] with fresh counters. *)
+(** [make desc] wraps [desc] with a fresh process-unique node id. *)
 val make : desc -> t
 
 (** [lower ?is_udf e] is the structural lowering of [e].  [is_udf]
@@ -94,14 +82,34 @@ val lower : ?is_udf:(string -> bool) -> Ast.expr -> t
     bind, as {!Ast.free_vars}. *)
 val free_vars : t -> string list
 
-(** [render ?analyze p] draws the plan tree; with [analyze:true] each
-    operator line carries its counters ([(not executed)] for dead
-    branches). *)
-val render : ?analyze:bool -> t -> string
+(** Per-node aggregation of one traced run (EXPLAIN ANALYZE): call
+    count, input/output row cardinalities, inclusive wall time,
+    region-index rows scanned, parallel sweep chunks, and the resolved
+    strategy. *)
+type analysis = {
+  mutable a_calls : int;
+  mutable a_rows_in : int;  (** rows of the primary input (step-like ops) *)
+  mutable a_rows_out : int;
+  mutable a_seconds : float;  (** inclusive wall time *)
+  mutable a_index_rows : int;  (** region-index rows the joins scanned *)
+  mutable a_chunks : int;  (** parallel sweep chunks the joins ran *)
+  mutable a_strategy : Standoff.Config.strategy option;
+      (** last strategy an auto operator resolved to *)
+}
 
-(** [reset_counters p] zeroes the whole tree's counters, so a prepared
-    query can be re-profiled. *)
-val reset_counters : t -> unit
+(** A zeroed {!analysis}. *)
+val fresh_analysis : unit -> analysis
+
+(** [analyze_suffix p a] is the per-line EXPLAIN ANALYZE annotation for
+    node [p]: ["  (not executed)"] when [a] is [None], else the
+    counter summary (rows_in only on step-like operators, index rows /
+    chunks / strategy only on StandOff joins). *)
+val analyze_suffix : t -> analysis option -> string
+
+(** [render ?annotate p] draws the plan tree; [annotate], when given,
+    appends a per-node suffix to each operator line (EXPLAIN ANALYZE
+    passes {!analyze_suffix} applied to its aggregation table). *)
+val render : ?annotate:(t -> string) -> t -> string
 
 (** [label p] is the one-line operator description {!render} uses for
     the root of [p] (exposed for tests). *)

@@ -1,0 +1,221 @@
+(* Cross-strategy differential harness: the paper's four evaluation
+   strategies are result-equivalent by construction (§4), and parallel
+   execution must be invisible.  This suite generates random
+   annotation documents and random StandOff queries (axis form,
+   function form, FLWOR) and insists that all 4 strategies x jobs {1, 4}
+   produce byte-identical serialized results — and that the traced
+   rows_out of the join operators agrees across strategies.  QCheck
+   prints the failing document and query; the qcheck random seed is
+   printed at startup for replay. *)
+
+module Collection = Standoff_store.Collection
+module Config = Standoff.Config
+module Engine = Standoff_xquery.Engine
+module Trace = Standoff_obs.Trace
+
+let ops = [ "select-narrow"; "select-wide"; "reject-narrow"; "reject-wide" ]
+let jobs_sweep = [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+type case = {
+  layers : (string * (int * int) list) list;  (* name -> (start, width) *)
+  query : string;
+}
+
+let doc_of_layers layers =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "<t>";
+  List.iter
+    (fun (name, regions) ->
+      List.iter
+        (fun (s, w) ->
+          Buffer.add_string b
+            (Printf.sprintf "<%s start=\"%d\" end=\"%d\"/>" name s (s + w)))
+        regions)
+    layers;
+  Buffer.add_string b "</t>";
+  Buffer.contents b
+
+let query_shapes =
+  [
+    (fun op from_n to_n ->
+      Printf.sprintf
+        "for $x in doc(\"r.xml\")//%s return <g>{count($x/%s::%s)}</g>" from_n
+        op to_n);
+    (fun op from_n to_n ->
+      Printf.sprintf "count(%s(doc(\"r.xml\")//%s, doc(\"r.xml\")//%s))" op
+        from_n to_n);
+    (fun op from_n to_n ->
+      Printf.sprintf
+        "count(for $x in doc(\"r.xml\")//%s where count($x/%s::%s) > 0 \
+         return $x)"
+        from_n op to_n);
+    (fun op from_n to_n ->
+      (* Two chained joins stress per-operator strategy resolution. *)
+      Printf.sprintf
+        "for $x in doc(\"r.xml\")//%s return \
+         <g>{count($x/%s::%s/select-narrow::%s)}</g>"
+        from_n op to_n from_n);
+  ]
+
+let gen_case =
+  QCheck.Gen.(
+    let layer = list_size (0 -- 10) (pair (int_bound 80) (int_bound 30)) in
+    let* a = layer and* b = layer and* c = layer in
+    let* op = oneofl ops in
+    let* shape = oneofl query_shapes in
+    let* from_n = oneofl [ "a"; "b"; "c" ] in
+    let* to_n = oneofl [ "a"; "b"; "c" ] in
+    return
+      {
+        layers = [ ("a", a); ("b", b); ("c", c) ];
+        query = shape op from_n to_n;
+      })
+
+let print_case case =
+  Printf.sprintf "doc=%s\nquery=%s" (doc_of_layers case.layers) case.query
+
+let coll_of_case case =
+  let coll = Collection.create () in
+  ignore (Collection.load_string coll ~name:"r.xml" (doc_of_layers case.layers));
+  coll
+
+let run_case coll ?trace ~strategy ~jobs case =
+  let e = Engine.create ~strategy ~jobs coll in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown e)
+    (fun () ->
+      (Engine.run e ?trace ~rollback_constructed:true case.query)
+        .Engine.serialized)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identical serialization across all strategies and jobs         *)
+
+let qcheck_strategies_identical =
+  QCheck.Test.make ~name:"all strategies x jobs {1,4} byte-identical"
+    ~count:40
+    (QCheck.make ~print:print_case gen_case)
+    (fun case ->
+      let coll = coll_of_case case in
+      let reference =
+        run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1 case
+      in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun jobs ->
+              let out = run_case coll ~strategy ~jobs case in
+              if String.equal out reference then true
+              else
+                QCheck.Test.fail_reportf
+                  "strategy=%s jobs=%d diverged:\n%s\n  vs reference:\n%s"
+                  (Config.strategy_to_string strategy)
+                  jobs out reference)
+            jobs_sweep)
+        Config.all_strategies)
+
+(* ------------------------------------------------------------------ *)
+(* Traced rows_out agrees across strategies                            *)
+
+let join_rows_out root =
+  (* Total rows flowing out of every standoff-join operator span.  The
+     per-span rows_out is the node's output cardinality, which
+     result-equivalent strategies must agree on. *)
+  Trace.find_all
+    (fun sp ->
+      Trace.node sp >= 0
+      && String.length (Trace.name sp) >= 13
+      && String.sub (Trace.name sp) 0 13 = "standoff-join")
+    root
+  |> List.fold_left
+       (fun acc sp ->
+         acc + Option.value ~default:0 (Trace.int_attr sp "rows_out"))
+       0
+
+let qcheck_trace_rows_agree =
+  QCheck.Test.make ~name:"traced join rows_out equal across strategies"
+    ~count:25
+    (QCheck.make ~print:print_case gen_case)
+    (fun case ->
+      let coll = coll_of_case case in
+      let rows_of strategy =
+        let trace = Trace.create () in
+        ignore (run_case coll ~trace ~strategy ~jobs:1 case);
+        join_rows_out (Trace.root trace)
+      in
+      let reference = rows_of Config.Udf_no_candidates in
+      List.for_all
+        (fun strategy ->
+          let rows = rows_of strategy in
+          if rows = reference then true
+          else
+            QCheck.Test.fail_reportf
+              "strategy=%s: join rows_out %d, reference %d"
+              (Config.strategy_to_string strategy)
+              rows reference)
+        Config.all_strategies)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic corner cases the generator may miss                   *)
+
+let test_corner_cases () =
+  let cases =
+    [
+      (* Empty layers: joins over nothing. *)
+      { layers = [ ("a", []); ("b", []); ("c", []) ];
+        query = "count(select-wide(doc(\"r.xml\")//a, doc(\"r.xml\")//b))" };
+      (* Identical regions in both layers: ties on every boundary. *)
+      { layers = [ ("a", [ (0, 10); (0, 10) ]); ("b", [ (0, 10) ]); ("c", []) ];
+        query =
+          "for $x in doc(\"r.xml\")//a return \
+           <g>{count($x/select-narrow::b)}</g>" };
+      (* Zero-width regions. *)
+      { layers = [ ("a", [ (5, 0) ]); ("b", [ (5, 0); (4, 2) ]); ("c", []) ];
+        query =
+          "for $x in doc(\"r.xml\")//a return \
+           <g>{count($x/reject-narrow::b)}</g>" };
+      (* Nested and chained: all three layers involved. *)
+      { layers =
+          [
+            ("a", [ (0, 50); (10, 10) ]);
+            ("b", [ (5, 10); (20, 5); (40, 20) ]);
+            ("c", [ (0, 100); (21, 2) ]);
+          ];
+        query =
+          "for $x in doc(\"r.xml\")//a return \
+           <g>{count($x/select-wide::b/select-narrow::c)}</g>" };
+    ]
+  in
+  List.iter
+    (fun case ->
+      let coll = coll_of_case case in
+      let reference =
+        run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1 case
+      in
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun jobs ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s @ %s jobs=%d" case.query
+                   (Config.strategy_to_string strategy)
+                   jobs)
+                reference
+                (run_case coll ~strategy ~jobs case))
+            jobs_sweep)
+        Config.all_strategies)
+    cases
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "cross-strategy",
+        [
+          Alcotest.test_case "deterministic corner cases" `Quick
+            test_corner_cases;
+          QCheck_alcotest.to_alcotest qcheck_strategies_identical;
+          QCheck_alcotest.to_alcotest qcheck_trace_rows_agree;
+        ] );
+    ]

@@ -133,6 +133,58 @@ let test_explain_analyze () =
   check_contains "analyze" out "time=";
   check_contains "analyze" out "strategy="
 
+let find_sub haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Mask the only run-dependent part of an analysis suffix. *)
+let strip_timings out =
+  String.split_on_char '\n' out
+  |> List.map (fun line ->
+         match find_sub line " time=" with
+         | Some i -> String.sub line 0 i ^ " time=_)"
+         | None -> line)
+  |> String.concat "\n"
+
+(* Drop the whole analysis suffix, leaving the static plan line. *)
+let strip_analysis out =
+  String.split_on_char '\n' out
+  |> List.map (fun line ->
+         let cut marker =
+           Option.map (fun i -> String.sub line 0 i) (find_sub line marker)
+         in
+         match cut "  (calls=" with
+         | Some s -> s
+         | None -> Option.value ~default:line (cut "  (not executed)"))
+  |> String.concat "\n"
+
+let test_explain_analyze_xmark_regression () =
+  (* EXPLAIN ANALYZE is now derived from the span tree; its rendering
+     for the paper's workload must stay what it always was: the static
+     plan, each executed node decorated with a (calls=... time=...)
+     suffix that is stable across runs modulo timings. *)
+  let setup = Setup.build ~scale:0.002 ~with_standard:false () in
+  let engine = setup.Setup.engine in
+  List.iter
+    (fun q ->
+      let text = q.Queries.standoff setup.Setup.standoff_doc in
+      let analyzed = Engine.explain_analyze engine text in
+      check_contains (q.Queries.id ^ " annotated") analyzed "(calls=";
+      Alcotest.(check string)
+        (q.Queries.id ^ " stable modulo timings")
+        (strip_timings analyzed)
+        (strip_timings (Engine.explain_analyze engine text));
+      Alcotest.(check string)
+        (q.Queries.id ^ " skeleton matches EXPLAIN")
+        (Engine.explain engine text)
+        (strip_analysis analyzed))
+    Queries.all
+
 (* ------------------------------------------------------------------ *)
 (* Equivalence: optimized plan vs direct lowering                      *)
 
@@ -208,6 +260,8 @@ let () =
           Alcotest.test_case "name fusion" `Quick test_name_fusion;
           Alcotest.test_case "constant folding" `Quick test_constant_folding;
           Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
+          Alcotest.test_case "explain analyze xmark regression" `Quick
+            test_explain_analyze_xmark_regression;
         ] );
       ( "equivalence",
         [
