@@ -11,6 +11,7 @@
      main.exe scaling [--jobs N]       merge-join throughput vs annotation count
      main.exe parallel-scaling [opts]  jobs sweep: speedup curves (CSV/JSON)
      main.exe obs-overhead [opts]      metrics-enabled vs disabled latency
+     main.exe cache [opts]             result cache: cold vs warm, hit rate
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
@@ -34,6 +35,13 @@
      --repeats N          ~50ms samples per mode (min)  (default 15)
      --queries Q1,...     subset of Q1 Q2 Q6 Q7         (default all)
      --json FILE          output file                   (default BENCH_obs.json)
+     --no-json            skip the JSON file
+
+   cache options:
+     --scale S            XMark scale factor            (default 0.02)
+     --repeats N          timed runs per mode (median)  (default 5)
+     --queries Q1,...     subset of Q1 Q2 Q6 Q7         (default all)
+     --json FILE          output file                   (default BENCH_cache.json)
      --no-json            skip the JSON file
 
    The paper benchmarked 11MB-1100MB documents (scale 0.1-10) with a
@@ -916,6 +924,175 @@ let obs_overhead ?(scale = 0.02) ?(repeats = 15) ?json ~queries () =
     json
 
 (* ------------------------------------------------------------------ *)
+(* Result cache: cold vs warm repeat latency, hit-rate sweep,          *)
+(* update-safety probe                                                 *)
+
+type cache_row = {
+  cb_query : string;
+  cb_cold_ms : float;  (* median evaluated-run latency, cache off *)
+  cb_warm_ms : float;  (* median repeat latency, result cache primed *)
+  cb_speedup : float;
+  cb_cacheable : bool;  (* false for constructor queries (never cached) *)
+}
+
+let bench_cache ?(scale = 0.02) ?(repeats = 5) ?json ~queries () =
+  section "Result cache: cold vs warm repeat latency";
+  let setup = Setup.build ~scale ~with_standard:false ~jobs:1 () in
+  let coll = setup.Setup.coll in
+  (* Two engines over the same stored collection, identical except for
+     the caching level, so the cold/warm difference isolates the cache. *)
+  let cold_engine = Engine.create ~jobs:1 ~cache:Engine.Cache_off coll in
+  let warm_engine = Engine.create ~jobs:1 ~cache:Engine.Cache_result coll in
+  (* Region index built outside the measurements (§4.3: part of the
+     stored document). *)
+  ignore
+    (Engine.run cold_engine ~rollback_constructed:true
+       (Printf.sprintf "count(doc(\"%s\")//site/select-narrow::people)"
+          setup.Setup.standoff_doc));
+  Printf.printf "xmark scale %g (%s), loop-lifted, jobs=1, median of %d\n\n"
+    scale
+    (Setup.size_label setup.Setup.serialized_size)
+    repeats;
+  Printf.printf "%-8s%12s%12s%10s%12s\n" "query" "cold" "warm" "speedup"
+    "cacheable";
+  Printf.printf "%s\n" (String.make 54 '-');
+  let median a =
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let rows =
+    List.map
+      (fun q ->
+        let text = q.Queries.standoff setup.Setup.standoff_doc in
+        let time_runs engine prepared =
+          Array.init repeats (fun _ ->
+              Gc.full_major ();
+              let _, t =
+                Timing.time (fun () ->
+                    ignore
+                      (Engine.run_prepared engine ~rollback_constructed:true
+                         prepared))
+              in
+              t)
+        in
+        let cold_prepared =
+          Engine.prepare cold_engine ~strategy:Config.Loop_lifted text
+        in
+        let cold = median (time_runs cold_engine cold_prepared) in
+        let warm_prepared =
+          Engine.prepare warm_engine ~strategy:Config.Loop_lifted text
+        in
+        (* Prime, then check the stats delta over one repeat: a query
+           that constructs nodes is never result-cached, so its repeats
+           evaluate too and it reports cacheable=false. *)
+        ignore
+          (Engine.run_prepared warm_engine ~rollback_constructed:true
+             warm_prepared);
+        let hits_before =
+          (Engine.result_cache_stats warm_engine).Standoff_cache.Lru.hits
+        in
+        let warm = median (time_runs warm_engine warm_prepared) in
+        let hits_after =
+          (Engine.result_cache_stats warm_engine).Standoff_cache.Lru.hits
+        in
+        let row =
+          {
+            cb_query = q.Queries.id;
+            cb_cold_ms = cold *. 1e3;
+            cb_warm_ms = warm *. 1e3;
+            cb_speedup = cold /. Float.max 1e-9 warm;
+            cb_cacheable = hits_after > hits_before;
+          }
+        in
+        Printf.printf "%-8s%10.3fms%10.3fms%9.1fx%12b\n" row.cb_query
+          row.cb_cold_ms row.cb_warm_ms row.cb_speedup row.cb_cacheable;
+        flush stdout;
+        row)
+      queries
+  in
+  (* Hit-rate sweep: a mixed repeat workload (every query round-robin)
+     against the warm engine; the steady-state hit rate is what the
+     [standoff_cache_*{cache="result"}] metrics report in production. *)
+  let sweep_rounds = 20 in
+  let s0 = Engine.result_cache_stats warm_engine in
+  for _ = 1 to sweep_rounds do
+    List.iter
+      (fun q ->
+        ignore
+          (Engine.run warm_engine ~strategy:Config.Loop_lifted
+             ~rollback_constructed:true
+             (q.Queries.standoff setup.Setup.standoff_doc)))
+      queries
+  done;
+  let s1 = Engine.result_cache_stats warm_engine in
+  let sweep_hits = s1.Standoff_cache.Lru.hits - s0.Standoff_cache.Lru.hits in
+  let sweep_misses =
+    s1.Standoff_cache.Lru.misses - s0.Standoff_cache.Lru.misses
+  in
+  let hit_rate =
+    float_of_int sweep_hits /. Float.max 1.0 (float_of_int (sweep_hits + sweep_misses))
+  in
+  Printf.printf
+    "\nhit-rate sweep: %d mixed runs -> %d hits / %d misses (%.1f%% hits)\n"
+    (sweep_rounds * List.length queries)
+    sweep_hits sweep_misses (hit_rate *. 100.0);
+  (* Update-safety probe: query -> cached hit -> update -> same query
+     must return the post-update answer (the generation stamp expired
+     the entry). *)
+  let update_safe =
+    let coll2 = Collection.create () in
+    let d =
+      Doc.parse ~name:"upd.xml"
+        "<t><p start=\"0\" end=\"10\"/><c start=\"2\" end=\"8\"/></t>"
+    in
+    ignore (Collection.add coll2 d);
+    let e = Engine.create ~jobs:1 ~cache:Engine.Cache_result coll2 in
+    let q = "count(doc(\"upd.xml\")//p/select-narrow::c)" in
+    let before = (Engine.run e ~rollback_constructed:true q).Engine.serialized in
+    ignore (Engine.run e ~rollback_constructed:true q);
+    let pre_c = (Doc.elements_named d "c").(0) in
+    Standoff.Update.set_region (Engine.catalog e) Config.default d ~pre:pre_c
+      (Region.make_int 50 60);
+    let after = (Engine.run e ~rollback_constructed:true q).Engine.serialized in
+    String.trim before = "1" && String.trim after = "0"
+  in
+  Printf.printf "update safety (query -> update -> query): %s\n"
+    (if update_safe then "PASS" else "FAIL");
+  let speedup_of id =
+    match List.find_opt (fun r -> r.cb_query = id) rows with
+    | Some r -> Some r.cb_speedup
+    | None -> None
+  in
+  let target_ok id =
+    match speedup_of id with Some s -> s >= 5.0 | None -> true
+  in
+  let pass = target_ok "Q1" && target_ok "Q6" && update_safe in
+  Printf.printf "warm-repeat target (Q1, Q6 >= 5x): %s\n"
+    (if pass && update_safe then "PASS" else "FAIL");
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n  \"scale\": %g,\n  \"repeats\": %d,\n  \"hit_rate_sweep\": \
+         {\"runs\": %d, \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n\
+        \  \"update_safe\": %b,\n  \"pass\": %b,\n  \"rows\": [\n"
+        scale repeats
+        (sweep_rounds * List.length queries)
+        sweep_hits sweep_misses hit_rate update_safe pass;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"query\": \"%s\", \"cold_ms\": %.4f, \"warm_ms\": %.4f, \
+             \"speedup\": %.2f, \"cacheable\": %b}%s\n"
+            r.cb_query r.cb_cold_ms r.cb_warm_ms r.cb_speedup r.cb_cacheable
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family    *)
 
 let micro () =
@@ -1131,6 +1308,33 @@ let parse_obs_overhead_args args =
   go args;
   (!scale, !repeats, !queries, !json)
 
+let parse_cache_args args =
+  let scale = ref 0.02 in
+  let repeats = ref 5 in
+  let queries = ref Queries.all in
+  let json = ref (Some "BENCH_cache.json") in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        go rest
+    | "--repeats" :: v :: rest ->
+        repeats := max 1 (int_of_string v);
+        go rest
+    | "--queries" :: v :: rest ->
+        queries := List.map Queries.find (String.split_on_char ',' v);
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | "--no-json" :: rest ->
+        json := None;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "cache: unknown argument %s" arg)
+  in
+  go args;
+  (!scale, !repeats, !queries, !json)
+
 let parse_scale_jobs_args ~cmd ~default_scale args =
   let scale = ref default_scale in
   let jobs = ref (Config.default_jobs ()) in
@@ -1173,6 +1377,9 @@ let () =
   | _ :: "obs-overhead" :: rest ->
       let scale, repeats, queries, json = parse_obs_overhead_args rest in
       obs_overhead ~scale ~repeats ?json ~queries ()
+  | _ :: "cache" :: rest ->
+      let scale, repeats, queries, json = parse_cache_args rest in
+      bench_cache ~scale ~repeats ?json ~queries ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
@@ -1188,7 +1395,7 @@ let () =
       Printf.eprintf
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
          staircase-vs-standoff | active-set | scaling | planner | \
-         parallel-scaling | obs-overhead | micro | all)\n"
+         parallel-scaling | obs-overhead | cache | micro | all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -118,6 +118,25 @@ let jobs_arg =
            builds, per-document shards).  1 = fully sequential.  \
            Defaults to \\$(b,STANDOFF_JOBS) or 1.")
 
+let cache_conv =
+  Arg.conv
+    ( (fun s ->
+        try Ok (Engine.cache_mode_of_string s)
+        with Invalid_argument m -> Error (`Msg m)),
+      fun fmt m -> Format.pp_print_string fmt (Engine.cache_mode_to_string m) )
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some cache_conv) None
+    & info [ "cache" ] ~docv:"MODE"
+        ~doc:
+          "Query caching level: off | plan (reuse prepared plans) | result \
+           (additionally serve byte-identical results for repeat queries; \
+           updates invalidate).  Defaults to \\$(b,STANDOFF_CACHE), else \
+           off.  The result-cache byte budget is 64 MiB, overridable with \
+           \\$(b,STANDOFF_CACHE_MB).")
+
 (* ---------------- query ---------------- *)
 
 let query_cmd =
@@ -185,8 +204,8 @@ let query_cmd =
              are reported on stderr.  Defaults to \\$(b,STANDOFF_SLOW_MS), \
              else disabled.")
   in
-  let run docs blobs db strategy jobs context timeout explain explain_analyze
-      metrics trace_json slow_ms query =
+  let run docs blobs db strategy jobs cache context timeout explain
+      explain_analyze metrics trace_json slow_ms query =
     handle_errors (fun () ->
         let query =
           if String.length query > 0 && query.[0] = '@' then (
@@ -207,7 +226,7 @@ let query_cmd =
             with _ -> Collection.create ()
           else load_collection ?db docs blobs
         in
-        let engine = Engine.create ?strategy ~jobs ?slow_ms coll in
+        let engine = Engine.create ?strategy ~jobs ?slow_ms ?cache coll in
         (* Slow queries (threshold from --slow-ms or STANDOFF_SLOW_MS)
            are reported on stderr as they happen. *)
         if Engine.slow_ms engine <> None then
@@ -277,8 +296,9 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Evaluate an XQuery with StandOff axis support")
     Term.(
       const run $ docs_arg $ blobs_arg $ db_arg $ strategy_arg $ jobs_arg
-      $ context_arg $ timeout_arg $ explain_arg $ explain_analyze_arg
-      $ metrics_arg $ trace_json_arg $ slow_ms_arg $ query_arg)
+      $ cache_arg $ context_arg $ timeout_arg $ explain_arg
+      $ explain_analyze_arg $ metrics_arg $ trace_json_arg $ slow_ms_arg
+      $ query_arg)
 
 (* ---------------- shred ---------------- *)
 

@@ -1,0 +1,186 @@
+module Metrics = Standoff_obs.Metrics
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+(* Doubly-linked recency list threaded through the hash-table entries:
+   [mru] is the head, [lru] the tail, so promotion and eviction are
+   O(1).  Keys are compared structurally (generic [Hashtbl]), which is
+   what lets candidate-id arrays and composite string keys hit across
+   separately computed but equal instances. *)
+type ('k, 'v) entry = {
+  key : 'k;
+  value : 'v;
+  weight : int;
+  gen : int;
+  mutable prev : ('k, 'v) entry option;  (* toward MRU *)
+  mutable next : ('k, 'v) entry option;  (* toward LRU *)
+}
+
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  tbl : ('k, ('k, 'v) entry) Hashtbl.t;
+  weight : 'v -> int;
+  max_entries : int;
+  max_bytes : int;
+  mutable mru : ('k, 'v) entry option;
+  mutable lru : ('k, 'v) entry option;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_evictions : Metrics.counter;
+  m_bytes : Metrics.gauge;
+  m_entries : Metrics.gauge;
+}
+
+(* Every critical section goes through here: the unlock is in a
+   [Fun.protect] finaliser, so no exception path can leave the mutex
+   held. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(max_entries = 1024) ?(max_bytes = max_int) ~name ~weight () =
+  let labels = [ ("cache", name) ] in
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    weight;
+    max_entries = max 1 max_entries;
+    max_bytes = max 1 max_bytes;
+    mru = None;
+    lru = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    m_hits =
+      Metrics.counter ~labels ~help:"Cache lookups served from the cache"
+        "standoff_cache_hits_total";
+    m_misses =
+      Metrics.counter ~labels
+        ~help:"Cache lookups that missed (including generation-stale entries)"
+        "standoff_cache_misses_total";
+    m_evictions =
+      Metrics.counter ~labels
+        ~help:"Entries dropped by capacity pressure or staleness"
+        "standoff_cache_evictions_total";
+    m_bytes =
+      Metrics.gauge ~labels ~help:"Accounted bytes held (sum over instances)"
+        "standoff_cache_bytes";
+    m_entries =
+      Metrics.gauge ~labels ~help:"Live entries (sum over instances)"
+        "standoff_cache_entries";
+  }
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.mru <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some e | None -> t.lru <- Some e);
+  t.mru <- Some e
+
+(* Remove [e] entirely; [evicted] separates capacity/staleness drops
+   (counted) from explicit [remove]/replacement (not counted). *)
+let drop ~evicted t e =
+  unlink t e;
+  Hashtbl.remove t.tbl e.key;
+  t.bytes <- t.bytes - e.weight;
+  Metrics.gauge_add t.m_bytes (-e.weight);
+  Metrics.gauge_add t.m_entries (-1);
+  if evicted then begin
+    t.evictions <- t.evictions + 1;
+    Metrics.incr t.m_evictions
+  end
+
+let miss t =
+  t.misses <- t.misses + 1;
+  Metrics.incr t.m_misses;
+  None
+
+let find t ?(generation = 0) key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e when e.gen = generation ->
+          (match t.mru with
+          | Some m when m == e -> ()
+          | _ ->
+              unlink t e;
+              push_front t e);
+          t.hits <- t.hits + 1;
+          Metrics.incr t.m_hits;
+          Some e.value
+      | Some e ->
+          (* Stamped under an older generation: the derivation it was
+             computed from has been invalidated since. *)
+          drop ~evicted:true t e;
+          miss t
+      | None -> miss t)
+
+let add t ?(generation = 0) key value =
+  let w = max 1 (t.weight value) in
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.tbl key with
+      | Some e -> drop ~evicted:false t e
+      | None -> ());
+      (* A value that cannot fit even in an empty cache is not worth
+         thrashing the whole LRU chain for. *)
+      if w <= t.max_bytes then begin
+        let e =
+          { key; value; weight = w; gen = generation; prev = None; next = None }
+        in
+        Hashtbl.replace t.tbl key e;
+        push_front t e;
+        t.bytes <- t.bytes + w;
+        Metrics.gauge_add t.m_bytes w;
+        Metrics.gauge_add t.m_entries 1;
+        let rec evict () =
+          if Hashtbl.length t.tbl > t.max_entries || t.bytes > t.max_bytes then
+            match t.lru with
+            | Some tail ->
+                drop ~evicted:true t tail;
+                evict ()
+            | None -> ()
+        in
+        evict ()
+      end)
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> drop ~evicted:false t e
+      | None -> ())
+
+let clear t =
+  locked t (fun () ->
+      Metrics.gauge_add t.m_bytes (-t.bytes);
+      Metrics.gauge_add t.m_entries (-Hashtbl.length t.tbl);
+      Hashtbl.reset t.tbl;
+      t.mru <- None;
+      t.lru <- None;
+      t.bytes <- 0)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+        bytes = t.bytes;
+      })
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)

@@ -6,58 +6,23 @@ module Area = Standoff_interval.Area
 
 exception Invalid_region of { pre : int; msg : string }
 
-module Metrics = Standoff_obs.Metrics
+module Lru = Standoff_cache.Lru
 
-let m_cache_hits =
-  Metrics.counter "standoff_annots_cache_hits_total"
-    ~help:"Restricted-index LRU cache hits"
-
-let m_cache_misses =
-  Metrics.counter "standoff_annots_cache_misses_total"
-    ~help:"Restricted-index LRU cache misses"
-
-(* Restricted-index cache: keyed structurally on the candidate array
-   (hash first, full compare on hash hit), kept in most-recently-used
-   order and bounded, so structurally equal candidate sets from
-   separate [prepare] calls hit and the cache cannot grow without
-   limit.  The mutex makes lookups/inserts safe when several domains
-   share one [Annots.t]. *)
-type restricted_cache = {
-  rc_lock : Mutex.t;
-  mutable rc_entries : (int * int array * Region_index.t) list;
-      (* (hash, key, index), most recently used first *)
-}
+(* Restricted-index cache: keyed structurally on the candidate array,
+   so structurally equal candidate sets from separate [prepare] calls
+   hit, and bounded so it cannot grow without limit.  [Lru] holds its
+   mutex under [Fun.protect], so sharing one [Annots.t] across pool
+   domains is safe even on exception paths — the hand-rolled
+   predecessor could leak its lock and deadlock every later lookup.
+   Hits and misses surface as [standoff_cache_*{cache="restricted"}]. *)
+type restricted_cache = (int array, Region_index.t) Lru.t
 
 let restricted_cache_capacity = 8
 
-let key_hash (ids : int array) = Hashtbl.hash ids
-
-let cache_create () = { rc_lock = Mutex.create (); rc_entries = [] }
-
-let cache_find cache h ids =
-  Mutex.lock cache.rc_lock;
-  let found =
-    List.find_opt (fun (h', key, _) -> h' = h && key = ids) cache.rc_entries
-  in
-  (match found with
-  | Some ((_, _, _) as entry) when not (entry == List.hd cache.rc_entries) ->
-      (* Move-to-front keeps the list in recency order. *)
-      cache.rc_entries <-
-        entry :: List.filter (fun e -> not (e == entry)) cache.rc_entries
-  | _ -> ());
-  Mutex.unlock cache.rc_lock;
-  Option.map (fun (_, _, idx) -> idx) found
-
-let cache_add cache h ids idx =
-  Mutex.lock cache.rc_lock;
-  (* A racing domain may have inserted the same key meanwhile; keeping
-     both entries is harmless (same contents), the bound still holds. *)
-  let entries = (h, ids, idx) :: cache.rc_entries in
-  cache.rc_entries <-
-    (if List.length entries > restricted_cache_capacity then
-       List.filteri (fun i _ -> i < restricted_cache_capacity) entries
-     else entries);
-  Mutex.unlock cache.rc_lock
+let cache_create () =
+  Lru.create ~name:"restricted" ~max_entries:restricted_cache_capacity
+    ~weight:(fun idx -> (Region_index.row_count idx * 24) + 64)
+    ()
 
 type t = {
   doc : Doc.t;
@@ -174,13 +139,9 @@ let candidate_index ?pool t ~candidates =
   match candidates with
   | None -> t.index
   | Some ids -> (
-      let h = key_hash ids in
-      match cache_find t.restricted_cache h ids with
-      | Some idx ->
-          Metrics.incr m_cache_hits;
-          idx
+      match Lru.find t.restricted_cache ids with
+      | Some idx -> idx
       | None ->
-          Metrics.incr m_cache_misses;
           (* §4.3 index intersection on node-id, done from the
              candidate side: each candidate's regions are already
              known, so the restricted index is built in
@@ -194,5 +155,5 @@ let candidate_index ?pool t ~candidates =
               | None -> ())
             ids;
           let idx = Region_index.build ?pool !pairs in
-          cache_add t.restricted_cache h ids idx;
+          Lru.add t.restricted_cache ids idx;
           idx)

@@ -13,11 +13,13 @@ exception Invalid_region of { pre : int; msg : string }
     an integer, or [start > end]. *)
 
 type restricted_cache
-(** A small mutex-protected LRU of candidate restrictions, keyed
-    structurally on the candidate id array — structurally equal
+(** A small LRU ({!Standoff_cache.Lru}) of candidate restrictions,
+    keyed structurally on the candidate id array — structurally equal
     candidate sets from separate [prepare] calls hit, and the bound
-    keeps it from growing without limit.  Safe to share across
-    domains. *)
+    keeps it from growing without limit.  Safe to share across domains
+    (the lock is held under [Fun.protect], so exception paths cannot
+    poison it); hit/miss/eviction counts are exported as
+    [standoff_cache_*{cache="restricted"}]. *)
 
 type t = private {
   doc : Standoff_store.Doc.t;

@@ -9,9 +9,31 @@ type t = {
       (* Keyed on document name, which collections keep unique; the
          handful of configurations per document live in a short
          list. *)
+  gens : (string, int) Hashtbl.t;
+      (* Per-document generation counters, monotonic, never removed:
+         they outlive the cached entries on purpose, so a cache keyed
+         on (doc, generation) stays invalid across an
+         invalidate/rebuild cycle. *)
+  mutable version : int;
+      (* Catalogue-wide version: the sum of all per-document bumps.
+         Monotonic, so an equal reading before and after some interval
+         proves no invalidation happened in between — the stamp the
+         engine's result cache relies on. *)
 }
 
-let create () = { lock = Mutex.create (); table = Hashtbl.create 8 }
+(* The unlock sits in a [Fun.protect] finaliser so no exception raised
+   under the lock can leave the catalogue poisoned for other domains. *)
+let locked cat f =
+  Mutex.lock cat.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cat.lock) f
+
+let create () =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 8;
+    gens = Hashtbl.create 8;
+    version = 0;
+  }
 
 let find_entry cat key config doc =
   match Hashtbl.find_opt cat.table key with
@@ -26,9 +48,7 @@ let find_entry cat key config doc =
 
 let annots ?pool cat config doc =
   let key = doc.Standoff_store.Doc.doc_name in
-  Mutex.lock cat.lock;
-  let hit = find_entry cat key config doc in
-  Mutex.unlock cat.lock;
+  let hit = locked cat (fun () -> find_entry cat key config doc) in
   match hit with
   | Some a -> a
   | None ->
@@ -38,27 +58,32 @@ let annots ?pool cat config doc =
          extract; the second insert wins the check below and the loser
          result is dropped. *)
       let a = Annots.extract ?pool config doc in
-      Mutex.lock cat.lock;
-      let result =
-        match find_entry cat key config doc with
-        | Some other ->
-            other (* someone beat us to it; keep theirs for stability *)
-        | None ->
-            let entries =
-              match Hashtbl.find_opt cat.table key with
-              | Some r -> r
-              | None ->
-                  let r = ref [] in
-                  Hashtbl.add cat.table key r;
-                  r
-            in
-            entries := { config; annots = a } :: !entries;
-            a
-      in
-      Mutex.unlock cat.lock;
-      result
+      locked cat (fun () ->
+          match find_entry cat key config doc with
+          | Some other ->
+              other (* someone beat us to it; keep theirs for stability *)
+          | None ->
+              let entries =
+                match Hashtbl.find_opt cat.table key with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add cat.table key r;
+                    r
+              in
+              entries := { config; annots = a } :: !entries;
+              a)
 
 let invalidate cat doc =
-  Mutex.lock cat.lock;
-  Hashtbl.remove cat.table doc.Standoff_store.Doc.doc_name;
-  Mutex.unlock cat.lock
+  let name = doc.Standoff_store.Doc.doc_name in
+  locked cat (fun () ->
+      Hashtbl.remove cat.table name;
+      Hashtbl.replace cat.gens name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt cat.gens name));
+      cat.version <- cat.version + 1)
+
+let generation cat name =
+  locked cat (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt cat.gens name))
+
+let version cat = locked cat (fun () -> cat.version)

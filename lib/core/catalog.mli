@@ -19,5 +19,22 @@ val annots :
   ?pool:Standoff_util.Pool.t -> t -> Config.t -> Standoff_store.Doc.t -> Annots.t
 
 (** [invalidate cat doc] drops cached entries for [doc] (all
-    configurations) — for callers that rebuild documents. *)
+    configurations) and bumps both [doc]'s generation counter and the
+    catalogue-wide {!version}.  Every in-place mutation
+    ([Update.set_region], [Update.shift_annotations]) ends here, which
+    is what makes generation-stamped caches update-safe: a result
+    cached before the update carries an older version stamp and can
+    never be served again. *)
 val invalidate : t -> Standoff_store.Doc.t -> unit
+
+(** [generation cat name] is the number of times the document called
+    [name] has been invalidated.  Monotonic; [0] for never-invalidated
+    (including unknown) names, and the counter survives the cached
+    entries — invalidation must outlive the rebuild. *)
+val generation : t -> string -> int
+
+(** [version cat] is the catalogue-wide invalidation counter: the sum
+    of every per-document generation bump.  Monotonic, so two equal
+    readings bracket an interval with no invalidation at all — the
+    stamp the engine's result cache uses. *)
+val version : t -> int

@@ -31,6 +31,9 @@ let set_region cat config doc ~pre region =
   let s_row, e_row = region_attr_rows config doc ~pre in
   doc.Doc.attr_value.(s_row) <- Int64.to_string (Region.start_pos region);
   doc.Doc.attr_value.(e_row) <- Int64.to_string (Region.end_pos region);
+  (* Invalidate also bumps the document generation and the catalogue
+     version, which is what expires any generation-stamped cache entry
+     (restricted indexes, engine results) derived from the old regions. *)
   Catalog.invalidate cat doc
 
 let shift_annotations cat config doc ~from ~by =

@@ -10,7 +10,14 @@
 
     Only the attribute representation is updatable in place (regions
     are attribute values); element-representation regions are document
-    structure and require re-loading the document. *)
+    structure and require re-loading the document.
+
+    Every update ends in {!Catalog.invalidate}, which besides dropping
+    the cached annotation tables bumps the document's generation
+    counter and the catalogue-wide {!Catalog.version} — the stamp that
+    makes generation-keyed caches (the engine's result cache, see
+    {!Standoff_cache.Lru}) update-safe: a result cached before the
+    update can never be served after it. *)
 
 (** [set_region cat config doc ~pre region] rewrites the [start]/[end]
     attributes of annotation [pre] under [config]'s names and drops the

@@ -67,6 +67,13 @@ type metric = {
 
 let registry_lock = Mutex.create ()
 
+(* All registry access goes through here: the unlock is a [Fun.protect]
+   finaliser, so a raise under the lock (the kind-conflict check below)
+   cannot leave the registry poisoned for every other domain. *)
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
 let registry : (string * (string * string) list, metric) Hashtbl.t =
   Hashtbl.create 64
 
@@ -95,31 +102,25 @@ let register name labels help make_kind =
     labels;
   let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
   let key = (name, labels) in
-  Mutex.lock registry_lock;
-  let m =
-    match Hashtbl.find_opt registry key with
-    | Some m -> m
-    | None ->
-        let m = { m_name = name; m_labels = labels; m_help = help; m_kind = make_kind () } in
-        (* One name must keep one kind and one help across instances,
-           or exposition would emit contradictory TYPE lines. *)
-        List.iter
-          (fun k ->
-            let other = Hashtbl.find registry k in
-            if other.m_name = name && kind_name other.m_kind <> kind_name m.m_kind
-            then begin
-              Mutex.unlock registry_lock;
-              invalid_arg
-                (Printf.sprintf "Metrics: %s re-registered as a different kind"
-                   name)
-            end)
-          !order;
-        Hashtbl.add registry key m;
-        order := !order @ [ key ];
-        m
-  in
-  Mutex.unlock registry_lock;
-  m
+  locked (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some m -> m
+      | None ->
+          let m = { m_name = name; m_labels = labels; m_help = help; m_kind = make_kind () } in
+          (* One name must keep one kind and one help across instances,
+             or exposition would emit contradictory TYPE lines. *)
+          List.iter
+            (fun k ->
+              let other = Hashtbl.find registry k in
+              if other.m_name = name && kind_name other.m_kind <> kind_name m.m_kind
+              then
+                invalid_arg
+                  (Printf.sprintf
+                     "Metrics: %s re-registered as a different kind" name))
+            !order;
+          Hashtbl.add registry key m;
+          order := !order @ [ key ];
+          m)
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
@@ -223,9 +224,7 @@ let histogram_cumulative h =
 (* Reset (tests and the overhead bench re-measure from zero)           *)
 
 let reset_all () =
-  Mutex.lock registry_lock;
-  let metrics = List.map (Hashtbl.find registry) !order in
-  Mutex.unlock registry_lock;
+  let metrics = locked (fun () -> List.map (Hashtbl.find registry) !order) in
   List.iter
     (fun m ->
       match m.m_kind with
@@ -269,10 +268,7 @@ let float_string f =
   else Printf.sprintf "%.9g" f
 
 let snapshot () =
-  Mutex.lock registry_lock;
-  let metrics = List.map (Hashtbl.find registry) !order in
-  Mutex.unlock registry_lock;
-  metrics
+  locked (fun () -> List.map (Hashtbl.find registry) !order)
 
 let expose () =
   let buf = Buffer.create 1024 in

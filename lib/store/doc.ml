@@ -10,6 +10,7 @@ type kind =
 
 type t = {
   doc_name : string;
+  doc_uid : int;
   kind : kind array;
   size : int array;
   level : int array;
@@ -23,6 +24,13 @@ type t = {
   names : Name_pool.t;
   mutable elem_index : (int, int array) Hashtbl.t option;
 }
+
+(* Process-unique document identities.  Names are unique only while a
+   document is registered: a rollback followed by re-registration under
+   the same name is a different document, and anything keyed on the
+   identity (the engine's result cache) must see it as such. *)
+let uid_counter = Atomic.make 0
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1
 
 let of_dom ~name:doc_name (dom : Dom.document) =
   let names = Name_pool.create () in
@@ -79,6 +87,7 @@ let of_dom ~name:doc_name (dom : Dom.document) =
   done;
   {
     doc_name;
+    doc_uid = fresh_uid ();
     kind = Vec.to_array kind;
     size = Vec.to_array size;
     level = Vec.to_array level;
@@ -134,6 +143,7 @@ let of_columns ~doc_name ~names ~kind ~size ~level ~parent ~name ~value
   let d =
     {
       doc_name;
+      doc_uid = fresh_uid ();
       kind;
       size;
       level;

@@ -20,6 +20,11 @@ type kind =
 
 type t = private {
   doc_name : string;
+  doc_uid : int;
+      (** process-unique identity, assigned at construction.  Unlike
+          [doc_name] it can never alias: a collection rollback followed
+          by re-registration under the same name yields a new [doc_uid],
+          which is what the engine's result cache keys document sets on. *)
   kind : kind array;
   size : int array;
   level : int array;

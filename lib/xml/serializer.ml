@@ -32,8 +32,49 @@ let add_attrs buf attrs =
       Buffer.add_char buf '"')
     attrs
 
-let has_text_child el =
-  List.exists (function Dom.Text _ -> true | _ -> false) el.Dom.children
+let has_text_child children =
+  List.exists (function Dom.Text _ -> true | _ -> false) children
+
+(* XML 1.0 forbids "--" inside a comment and a "-" at its very end
+   (the grammar would terminate early or not at all), and "?>" inside
+   PI data; a parser (ours included) also eats the whitespace between
+   a PI target and its data.  Such DOM values have no faithful XML
+   spelling, so the serializer canonicalises instead of emitting
+   unparseable bytes: a space breaks each forbidden pair, and PI data
+   sheds its leading whitespace.  Serialization is thereby total and
+   idempotent — parse ∘ serialize may normalise once, but
+   serialize ∘ parse ∘ serialize = serialize, which is what byte-keyed
+   consumers (the engine's result cache) rely on. *)
+let add_comment buf s =
+  Buffer.add_string buf "<!--";
+  String.iteri
+    (fun i c ->
+      if c = '-' && i > 0 && s.[i - 1] = '-' then Buffer.add_char buf ' ';
+      Buffer.add_char buf c)
+    s;
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '-' then Buffer.add_char buf ' ';
+  Buffer.add_string buf "-->"
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let add_pi buf target data =
+  let n = String.length data in
+  let start = ref 0 in
+  while !start < n && is_ws data.[!start] do
+    incr start
+  done;
+  Buffer.add_string buf "<?";
+  Buffer.add_string buf target;
+  if !start < n then begin
+    Buffer.add_char buf ' ';
+    for i = !start to n - 1 do
+      if data.[i] = '>' && i > !start && data.[i - 1] = '?' then
+        Buffer.add_char buf ' ';
+      Buffer.add_char buf data.[i]
+    done
+  end;
+  Buffer.add_string buf "?>"
 
 let rec add_node ?indent ~level buf n =
   let pad () =
@@ -47,32 +88,31 @@ let rec add_node ?indent ~level buf n =
   | Dom.Text s -> escape_into buf s ~attr:false
   | Dom.Comment s ->
       pad ();
-      Buffer.add_string buf "<!--";
-      Buffer.add_string buf s;
-      Buffer.add_string buf "-->"
+      add_comment buf s
   | Dom.Pi (target, data) ->
       pad ();
-      Buffer.add_string buf "<?";
-      Buffer.add_string buf target;
-      if String.length data > 0 then begin
-        Buffer.add_char buf ' ';
-        Buffer.add_string buf data
-      end;
-      Buffer.add_string buf "?>"
+      add_pi buf target data
   | Dom.Element el ->
       pad ();
       Buffer.add_char buf '<';
       Buffer.add_string buf el.tag;
       add_attrs buf el.attrs;
-      if el.children = [] then Buffer.add_string buf "/>"
+      (* Empty text nodes produce no bytes, so they must not force the
+         <t></t> form: a reparse would read <t/>, and the second
+         serialization would differ from the first — breaking
+         idempotence (and any byte-keyed cache). *)
+      let children =
+        List.filter (function Dom.Text "" -> false | _ -> true) el.children
+      in
+      if children = [] then Buffer.add_string buf "/>"
       else begin
         Buffer.add_char buf '>';
         (* Mixed content is serialized without added whitespace so the
            text round-trips byte-for-byte. *)
-        let child_indent = if has_text_child el then None else indent in
+        let child_indent = if has_text_child children then None else indent in
         List.iter
           (fun c -> add_node ?indent:child_indent ~level:(level + 1) buf c)
-          el.children;
+          children;
         (match (indent, child_indent) with
         | Some w, Some _ ->
             Buffer.add_char buf '\n';

@@ -1,5 +1,18 @@
 (** XML serialization: the inverse of {!Parser} up to entity and CDATA
-    normalisation (parse ∘ serialize = id on DOM values). *)
+    normalisation — [parse ∘ serialize = id] on representable DOM
+    values.  Not every DOM value has a faithful XML spelling: XML 1.0
+    forbids ["--"] inside comments (and a trailing ["-"]), ["?>"]
+    inside PI data, and any parser discards the whitespace separating
+    a PI target from its data; an empty text node contributes no bytes,
+    so [<t></t>] with only empty text reparses as [<t/>].  The
+    serializer canonicalises such values instead of emitting
+    unparseable or unstable bytes: forbidden pairs get a space
+    inserted, PI data loses its leading whitespace, and empty text
+    children are dropped before choosing the self-closing form.
+    Serialization is therefore total and idempotent —
+    [serialize ∘ parse ∘ serialize = serialize] on every value — which
+    byte-keyed consumers (the engine's result cache, the differential
+    tests) rely on. *)
 
 (** [escape_text s] escapes ['&'], ['<'] and ['>'] for character data. *)
 val escape_text : string -> string

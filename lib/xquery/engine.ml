@@ -1,10 +1,12 @@
 module Timing = Standoff_util.Timing
 module Pool = Standoff_util.Pool
 module Collection = Standoff_store.Collection
+module Doc = Standoff_store.Doc
 module Item = Standoff_relalg.Item
 module Table = Standoff_relalg.Table
 module Config = Standoff.Config
 module Catalog = Standoff.Catalog
+module Lru = Standoff_cache.Lru
 module Metrics = Standoff_obs.Metrics
 module Trace = Standoff_obs.Trace
 module Slow_log = Standoff_obs.Slow_log
@@ -20,6 +22,67 @@ let m_query_seconds =
   Metrics.histogram "standoff_query_seconds"
     ~buckets:Metrics.duration_buckets ~help:"Wall-clock query latency"
 
+(* ------------------------------------------------------------------ *)
+(* Cache modes                                                        *)
+
+type cache_mode = Cache_off | Cache_plan | Cache_result
+
+let cache_mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "none" | "0" | "false" | "no" -> Cache_off
+  | "plan" -> Cache_plan
+  | "result" | "on" | "1" | "true" | "yes" -> Cache_result
+  | s ->
+      invalid_arg
+        (Printf.sprintf "unknown cache mode %S (expected off | plan | result)"
+           s)
+
+let cache_mode_to_string = function
+  | Cache_off -> "off"
+  | Cache_plan -> "plan"
+  | Cache_result -> "result"
+
+let default_cache_mode () =
+  match Sys.getenv_opt "STANDOFF_CACHE" with
+  | Some s -> cache_mode_of_string s
+  | None -> Cache_off
+
+(* Result-cache byte budget; the entry cap is secondary. *)
+let result_cache_bytes () =
+  match Sys.getenv_opt "STANDOFF_CACHE_MB" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some mb -> max 1 mb * 1024 * 1024
+      | None -> 64 * 1024 * 1024)
+  | None -> 64 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Prepared queries: parse -> lower -> optimize, once.                *)
+
+type prepared = {
+  p_text : string;  (** original query text, for the slow-query log *)
+  p_prolog : Ast.prolog_decl list;
+  p_plan : Plan.t;
+  p_functions : (string, Plan.function_def) Hashtbl.t;
+  p_globals : (string * Plan.t) list;
+  p_config : Config.t;
+  p_strategy : Config.strategy option;
+  p_fingerprint : string;
+      (** digest of the rendered physical plan + config + strategy;
+          the result cache keys on it *)
+}
+
+let prepared_plan p = p.p_plan
+let prepared_config p = p.p_config
+
+(* What one result-cache entry stores: everything [run_prepared]
+   returns except the trace, which is per-run. *)
+type cached_result = {
+  cr_items : Item.t list;
+  cr_serialized : string;
+  cr_config : Config.t;
+}
+
 type t = {
   coll : Collection.t;
   cat : Catalog.t;
@@ -29,16 +92,45 @@ type t = {
   mutable jobs : int;
   mutable slow_ms : float option;
       (* slow-query log threshold; [None] disables logging *)
+  mutable cache : cache_mode;
+  plan_cache : (string, prepared) Lru.t;
+      (* keyed on (query text, effective strategy, optimize flag);
+         deliberately not generation-stamped — collection statistics
+         only steer strategy choice, and all strategies are
+         result-equivalent *)
+  result_cache : (string, cached_result) Lru.t;
+      (* keyed on (plan fingerprint, context, document-uid set),
+         stamped with the catalogue version at lookup time *)
 }
 
-let create ?strategy ?jobs ?slow_ms coll =
+let create ?strategy ?jobs ?slow_ms ?cache coll =
   let jobs =
     match jobs with Some n -> max 1 n | None -> Config.default_jobs ()
   in
   let slow_ms =
     match slow_ms with Some _ -> slow_ms | None -> Slow_log.env_threshold_ms ()
   in
-  { coll; cat = Catalog.create (); strategy; jobs; slow_ms }
+  let cache =
+    match cache with Some c -> c | None -> default_cache_mode ()
+  in
+  {
+    coll;
+    cat = Catalog.create ();
+    strategy;
+    jobs;
+    slow_ms;
+    cache;
+    plan_cache =
+      Lru.create ~name:"plan" ~max_entries:128
+        ~weight:(fun p -> String.length p.p_text + 512)
+        ();
+    result_cache =
+      Lru.create ~name:"result" ~max_entries:1024
+        ~max_bytes:(result_cache_bytes ())
+        ~weight:(fun r ->
+          String.length r.cr_serialized + (64 * List.length r.cr_items) + 128)
+        ();
+  }
 
 let collection t = t.coll
 let catalog t = t.cat
@@ -48,6 +140,10 @@ let jobs t = t.jobs
 let set_jobs t n = t.jobs <- max 1 n
 let slow_ms t = t.slow_ms
 let set_slow_ms t ms = t.slow_ms <- ms
+let cache_mode t = t.cache
+let set_cache_mode t m = t.cache <- m
+let plan_cache_stats t = Lru.stats t.plan_cache
+let result_cache_stats t = Lru.stats t.result_cache
 
 (* STANDOFF_TRACE=1 forces a trace collector onto every run that was
    not handed one explicitly (CI uses this to catch
@@ -110,22 +206,6 @@ let process_prolog (q : Ast.query) =
     q.Ast.prolog;
   (functions, !config, !strategy_override, List.rev !globals)
 
-(* ------------------------------------------------------------------ *)
-(* Prepared queries: parse -> lower -> optimize, once.                *)
-
-type prepared = {
-  p_text : string;  (** original query text, for the slow-query log *)
-  p_prolog : Ast.prolog_decl list;
-  p_plan : Plan.t;
-  p_functions : (string, Plan.function_def) Hashtbl.t;
-  p_globals : (string * Plan.t) list;
-  p_config : Config.t;
-  p_strategy : Config.strategy option;
-}
-
-let prepared_plan p = p.p_plan
-let prepared_config p = p.p_config
-
 (* Run [f] under a fresh child span of [trace], when tracing. *)
 let phase_span trace name f =
   match trace with
@@ -134,7 +214,55 @@ let phase_span trace name f =
       let sp = Trace.enter tr name in
       Fun.protect ~finally:(fun () -> Trace.exit tr sp) f
 
-let prepare t ?strategy ?(optimize = true) ?trace query_text =
+let strategy_label = function
+  | Some s -> Config.strategy_to_string s
+  | None -> "auto"
+
+(* ------------------------------------------------------------------ *)
+(* Plan rendering (EXPLAIN), also the basis of the plan fingerprint   *)
+
+let render_prepared ?annotate prepared =
+  let decls = List.map Pp_ast.decl_to_string prepared.p_prolog in
+  let fn_plans =
+    (* Deterministic order for display. *)
+    Hashtbl.fold (fun _ fn acc -> fn :: acc) prepared.p_functions []
+    |> List.sort (fun a b -> compare a.Plan.fn_name b.Plan.fn_name)
+    |> List.map (fun fn ->
+           Printf.sprintf "function %s(%s):\n%s" fn.Plan.fn_name
+             (String.concat ", "
+                (List.map (fun p -> "$" ^ p) fn.Plan.fn_params))
+             (Plan.render ?annotate fn.Plan.fn_body))
+  in
+  let global_plans =
+    List.map
+      (fun (var, p) ->
+        Printf.sprintf "variable $%s:\n%s" var (Plan.render ?annotate p))
+      prepared.p_globals
+  in
+  String.concat "\n"
+    (decls @ fn_plans @ global_plans
+    @ [ Plan.render ?annotate prepared.p_plan ])
+
+(* Two prepared queries with the same fingerprint evaluate to the same
+   result on the same document set: the rendered physical plan pins
+   every operator (including candidate pushdown), the configuration
+   pins the annotation vocabulary, and the strategy label separates
+   pinned runs from auto runs so per-strategy observability (metrics,
+   traces) stays truthful even when results would coincide. *)
+let fingerprint_of prepared =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            render_prepared prepared;
+            Format.asprintf "%a" Config.pp prepared.p_config;
+            strategy_label prepared.p_strategy;
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Prepare, behind the plan cache                                     *)
+
+let prepare_uncached t ?strategy ~optimize ?trace query_text =
   let q = phase_span trace "parse" (fun () -> Parse.parse_query query_text) in
   let ast_functions, config, strategy_override, ast_globals =
     process_prolog q
@@ -168,16 +296,49 @@ let prepare t ?strategy ?(optimize = true) ?trace query_text =
               fn_body = lower fn.Ast.fn_body;
             })
         ast_functions;
-      {
-        p_text = query_text;
-        p_prolog = q.Ast.prolog;
-        p_plan = lower q.Ast.body;
-        p_functions = functions;
-        p_globals =
-          List.map (fun (var, value) -> (var, lower value)) ast_globals;
-        p_config = config;
-        p_strategy = resolved;
-      })
+      let p =
+        {
+          p_text = query_text;
+          p_prolog = q.Ast.prolog;
+          p_plan = lower q.Ast.body;
+          p_functions = functions;
+          p_globals =
+            List.map (fun (var, value) -> (var, lower value)) ast_globals;
+          p_config = config;
+          p_strategy = resolved;
+          p_fingerprint = "";
+        }
+      in
+      { p with p_fingerprint = fingerprint_of p })
+
+let prepare t ?strategy ?(optimize = true) ?trace query_text =
+  if t.cache = Cache_off then
+    prepare_uncached t ?strategy ~optimize ?trace query_text
+  else begin
+    (* The key is everything outside the text that steers lowering: the
+       effective strategy (the [?strategy] argument, else the engine
+       pin — a prolog override is inside the text) and the optimize
+       flag.  Not generation-stamped on purpose: stale collection
+       statistics can only mis-steer strategy choice, never change the
+       result, and replanning on every update would defeat the cache. *)
+    let effective =
+      match strategy with Some _ -> strategy | None -> t.strategy
+    in
+    let key =
+      String.concat "\x00"
+        [
+          query_text;
+          strategy_label effective;
+          (if optimize then "opt" else "raw");
+        ]
+    in
+    match Lru.find t.plan_cache key with
+    | Some p -> p
+    | None ->
+        let p = prepare_uncached t ?strategy ~optimize ?trace query_text in
+        Lru.add t.plan_cache key p;
+        p
+  end
 
 (* Record a finished run in the engine metrics and, past the
    threshold, the slow-query log.  Runs on success and on error alike
@@ -193,81 +354,149 @@ let account t prepared trace ~seconds ~failed =
           Slow_log.e_at = Timing.now ();
           e_query = prepared.p_text;
           e_seconds = seconds;
-          e_strategy =
-            (match prepared.p_strategy with
-            | Some s -> Config.strategy_to_string s
-            | None -> "auto");
+          e_strategy = strategy_label prepared.p_strategy;
           e_jobs = t.jobs;
           e_summary =
             (match trace with Some tr -> Trace.summary tr | None -> "");
         }
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Result cache plumbing                                              *)
+
+(* The document-set component of a result key.  Uids, not names: a
+   rollback followed by re-registration under the same name is a
+   different document with possibly different content, and must land
+   on a different key — names would alias, uids cannot. *)
+let docset_digest t =
+  let buf = Buffer.create 64 in
+  Collection.fold_docs
+    (fun () _ d ->
+      Buffer.add_string buf (string_of_int d.Doc.doc_uid);
+      Buffer.add_char buf ';')
+    () t.coll;
+  Digest.string (Buffer.contents buf)
+
+let result_key t prepared ~context_doc ~sharded =
+  String.concat "\x00"
+    [
+      prepared.p_fingerprint;
+      Option.value ~default:"" context_doc;
+      (if sharded then "sharded" else "");
+      docset_digest t;
+    ]
+
+let set_root_attrs trace prepared ~jobs ~cache =
+  match trace with
+  | Some tr ->
+      let root = Trace.root tr in
+      Trace.set_str root "strategy" (strategy_label prepared.p_strategy);
+      Trace.set_int root "jobs" jobs;
+      Trace.set_str root "cache" cache
+  | None -> ()
+
 let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
-    ?(rollback_constructed = false) ?trace prepared =
+    ?(rollback_constructed = false) ?(use_cache = true) ?trace prepared =
   let trace =
     match trace with
     | Some _ -> trace
     | None -> if trace_forced () then Some (Trace.create ()) else None
   in
-  let context =
-    Option.map
-      (fun name ->
-        match Collection.doc_id_of_name t.coll name with
-        | Some doc_id -> Item.Node { Collection.doc_id; pre = 0 }
-        | None -> Err.raisef "context document %S not found" name)
-      context_doc
+  let cache_on = use_cache && t.cache = Cache_result in
+  (* The key and the generation stamp are both taken before evaluation:
+     an update racing the run can only make the stored entry stale
+     (its stamp is older than the post-update version), never let a
+     pre-update result outlive the update. *)
+  let key = if cache_on then Some (result_key t prepared ~context_doc ~sharded:false) else None in
+  let generation = if cache_on then Catalog.version t.cat else 0 in
+  let hit =
+    match key with
+    | Some k -> Lru.find t.result_cache ~generation k
+    | None -> None
   in
-  let mark = Collection.checkpoint t.coll in
-  let t0 = Timing.now () in
-  let failed = ref true in
-  Fun.protect
-    ~finally:(fun () ->
-      (* Closing every span that is still open is what keeps a trace
-         killed by [Deadline_exceeded] (or any evaluation error)
-         well-formed. *)
+  match hit with
+  | Some cr ->
+      (* Byte-identical replay: the serialized form (and the items) are
+         exactly what the original run produced.  Still a query as far
+         as accounting is concerned. *)
+      let t0 = Timing.now () in
+      set_root_attrs trace prepared ~jobs:t.jobs ~cache:"hit";
       Option.iter (fun tr -> ignore (Trace.finish tr)) trace;
-      account t prepared trace ~seconds:(Timing.now () -. t0) ~failed:!failed;
-      (* Constructed-node scratch documents are dropped when the caller
-         does not need the node handles (benchmark loops), and always
-         on error. *)
-      if rollback_constructed then Collection.rollback t.coll mark)
-    (fun () ->
-      (match trace with
-      | Some tr ->
-          let root = Trace.root tr in
-          Trace.set_str root "strategy"
-            (match prepared.p_strategy with
-            | Some s -> Config.strategy_to_string s
-            | None -> "auto");
-          Trace.set_int root "jobs" t.jobs
-      | None -> ());
-      let env =
-        Eval.initial_env ~coll:t.coll ~catalog:t.cat ~config:prepared.p_config
-          ~strategy:prepared.p_strategy ?trace ?pool:(pool_of t)
-          ~deadline ~functions:prepared.p_functions ~context ()
-      in
-      let env =
-        List.fold_left
-          (fun env (var, value) ->
-            { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
-          env prepared.p_globals
-      in
-      let table =
-        phase_span trace "eval" (fun () -> Eval.eval env prepared.p_plan)
-      in
-      let items = Table.to_sequence table in
-      (* Serialize before constructed documents are rolled back. *)
-      let serialized =
-        phase_span trace "serialize" (fun () -> Serialize.sequence t.coll items)
-      in
-      failed := false;
+      account t prepared trace ~seconds:(Timing.now () -. t0) ~failed:false;
       {
-        items;
-        serialized;
-        config = prepared.p_config;
+        items = cr.cr_items;
+        serialized = cr.cr_serialized;
+        config = cr.cr_config;
         trace = Option.map Trace.root trace;
-      })
+      }
+  | None ->
+      let context =
+        Option.map
+          (fun name ->
+            match Collection.doc_id_of_name t.coll name with
+            | Some doc_id -> Item.Node { Collection.doc_id; pre = 0 }
+            | None -> Err.raisef "context document %S not found" name)
+          context_doc
+      in
+      let mark = Collection.checkpoint t.coll in
+      let t0 = Timing.now () in
+      let failed = ref true in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Closing every span that is still open is what keeps a trace
+             killed by [Deadline_exceeded] (or any evaluation error)
+             well-formed. *)
+          Option.iter (fun tr -> ignore (Trace.finish tr)) trace;
+          account t prepared trace ~seconds:(Timing.now () -. t0)
+            ~failed:!failed;
+          (* Constructed-node scratch documents are dropped when the caller
+             does not need the node handles (benchmark loops), and always
+             on error. *)
+          if rollback_constructed then Collection.rollback t.coll mark)
+        (fun () ->
+          set_root_attrs trace prepared ~jobs:t.jobs
+            ~cache:(if cache_on then "miss" else "off");
+          let env =
+            Eval.initial_env ~coll:t.coll ~catalog:t.cat
+              ~config:prepared.p_config ~strategy:prepared.p_strategy ?trace
+              ?pool:(pool_of t) ~deadline ~functions:prepared.p_functions
+              ~context ()
+          in
+          let env =
+            List.fold_left
+              (fun env (var, value) ->
+                { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
+              env prepared.p_globals
+          in
+          let table =
+            phase_span trace "eval" (fun () -> Eval.eval env prepared.p_plan)
+          in
+          let items = Table.to_sequence table in
+          (* Serialize before constructed documents are rolled back. *)
+          let serialized =
+            phase_span trace "serialize" (fun () ->
+                Serialize.sequence t.coll items)
+          in
+          failed := false;
+          (* Cache only runs that constructed nothing: items referring
+             to scratch documents would dangle once those documents are
+             rolled back, and the document set the key captured no
+             longer matches anyway. *)
+          (match key with
+          | Some k when Collection.checkpoint t.coll = mark ->
+              Lru.add t.result_cache ~generation k
+                {
+                  cr_items = items;
+                  cr_serialized = serialized;
+                  cr_config = prepared.p_config;
+                }
+          | _ -> ());
+          {
+            items;
+            serialized;
+            config = prepared.p_config;
+            trace = Option.map Trace.root trace;
+          })
 
 let run t ?strategy ?deadline ?context_doc ?rollback_constructed ?trace
     query_text =
@@ -288,66 +517,74 @@ let run t ?strategy ?deadline ?context_doc ?rollback_constructed ?trace
    truncate each other's constructed documents. *)
 let run_prepared_sharded t ?(deadline = Timing.no_deadline)
     ?(rollback_constructed = false) prepared =
-  let n_docs = Collection.doc_count t.coll in
-  let mark = Collection.checkpoint t.coll in
-  Fun.protect
-    ~finally:(fun () ->
-      if rollback_constructed then Collection.rollback t.coll mark)
-    (fun () ->
-      let pool = pool_of t in
-      let run_one doc_id =
-        let context = Some (Item.Node { Collection.doc_id; pre = 0 }) in
-        let env =
-          Eval.initial_env ~coll:t.coll ~catalog:t.cat
-            ~config:prepared.p_config ~strategy:prepared.p_strategy ?pool
-            ~deadline ~functions:prepared.p_functions ~context ()
-        in
-        let env =
-          List.fold_left
-            (fun env (var, value) ->
-              { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
-            env prepared.p_globals
-        in
-        Table.to_sequence (Eval.eval env prepared.p_plan)
-      in
-      let doc_ids = Array.init n_docs Fun.id in
-      let per_doc =
-        match pool with
-        | Some p when Pool.jobs p > 1 && n_docs > 1 ->
-            Pool.map_array p run_one doc_ids
-        | _ -> Array.map run_one doc_ids
-      in
-      let items = List.concat (Array.to_list per_doc) in
-      let serialized = Serialize.sequence t.coll items in
-      (* Sharded evaluation runs [eval] inside pool workers, and the
-         trace collector is single-domain — so sharded runs are
-         untraced. *)
-      { items; serialized; config = prepared.p_config; trace = None })
+  let cache_on = t.cache = Cache_result in
+  let key =
+    if cache_on then
+      Some (result_key t prepared ~context_doc:None ~sharded:true)
+    else None
+  in
+  let generation = if cache_on then Catalog.version t.cat else 0 in
+  let hit =
+    match key with
+    | Some k -> Lru.find t.result_cache ~generation k
+    | None -> None
+  in
+  match hit with
+  | Some cr ->
+      {
+        items = cr.cr_items;
+        serialized = cr.cr_serialized;
+        config = cr.cr_config;
+        trace = None;
+      }
+  | None ->
+      let n_docs = Collection.doc_count t.coll in
+      let mark = Collection.checkpoint t.coll in
+      Fun.protect
+        ~finally:(fun () ->
+          if rollback_constructed then Collection.rollback t.coll mark)
+        (fun () ->
+          let pool = pool_of t in
+          let run_one doc_id =
+            let context = Some (Item.Node { Collection.doc_id; pre = 0 }) in
+            let env =
+              Eval.initial_env ~coll:t.coll ~catalog:t.cat
+                ~config:prepared.p_config ~strategy:prepared.p_strategy ?pool
+                ~deadline ~functions:prepared.p_functions ~context ()
+            in
+            let env =
+              List.fold_left
+                (fun env (var, value) ->
+                  { env with Eval.vars = (var, Eval.eval env value) :: env.Eval.vars })
+                env prepared.p_globals
+            in
+            Table.to_sequence (Eval.eval env prepared.p_plan)
+          in
+          let doc_ids = Array.init n_docs Fun.id in
+          let per_doc =
+            match pool with
+            | Some p when Pool.jobs p > 1 && n_docs > 1 ->
+                Pool.map_array p run_one doc_ids
+            | _ -> Array.map run_one doc_ids
+          in
+          let items = List.concat (Array.to_list per_doc) in
+          let serialized = Serialize.sequence t.coll items in
+          (match key with
+          | Some k when Collection.checkpoint t.coll = mark ->
+              Lru.add t.result_cache ~generation k
+                {
+                  cr_items = items;
+                  cr_serialized = serialized;
+                  cr_config = prepared.p_config;
+                }
+          | _ -> ());
+          (* Sharded evaluation runs [eval] inside pool workers, and the
+             trace collector is single-domain — so sharded runs are
+             untraced. *)
+          { items; serialized; config = prepared.p_config; trace = None })
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN / EXPLAIN ANALYZE                                          *)
-
-let render_prepared ?annotate prepared =
-  let decls = List.map Pp_ast.decl_to_string prepared.p_prolog in
-  let fn_plans =
-    (* Deterministic order for display. *)
-    Hashtbl.fold (fun _ fn acc -> fn :: acc) prepared.p_functions []
-    |> List.sort (fun a b -> compare a.Plan.fn_name b.Plan.fn_name)
-    |> List.map (fun fn ->
-           Printf.sprintf "function %s(%s):\n%s" fn.Plan.fn_name
-             (String.concat ", "
-                (List.map (fun p -> "$" ^ p) fn.Plan.fn_params))
-             (Plan.render ?annotate fn.Plan.fn_body))
-  in
-  let global_plans =
-    List.map
-      (fun (var, p) ->
-        Printf.sprintf "variable $%s:\n%s" var (Plan.render ?annotate p))
-      prepared.p_globals
-  in
-  String.concat "\n"
-    (decls @ fn_plans @ global_plans
-    @ [ Plan.render ?annotate prepared.p_plan ])
 
 let explain t ?strategy ?optimize query_text =
   render_prepared (prepare t ?strategy ?optimize query_text)
@@ -405,9 +642,12 @@ let explain_analyze t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
     query_text =
   let trace = Trace.create () in
   let prepared = prepare t ?strategy ~trace query_text in
+  (* [use_cache:false]: the whole point is to observe the evaluation,
+     so a result-cache hit (which evaluates nothing and would render
+     every operator "(not executed)") must be bypassed. *)
   let _ =
-    run_prepared t ~deadline ?context_doc ~rollback_constructed:true ~trace
-      prepared
+    run_prepared t ~deadline ?context_doc ~rollback_constructed:true
+      ~use_cache:false ~trace prepared
   in
   let tbl = analysis_of_trace (Trace.root trace) in
   render_prepared

@@ -23,23 +23,67 @@
 
 type t
 
-(** [create ?strategy ?jobs ?slow_ms coll] wraps a collection.  Without
-    [strategy], each StandOff operator picks its own strategy from
-    annotation statistics ({!Standoff.Join.auto_strategy}).  [jobs]
-    (default {!Standoff.Config.default_jobs}, i.e. [STANDOFF_JOBS] or
-    1) is the parallelism of query execution: with [jobs = 1] every
-    run takes the exact sequential code path; with more, runs share a
-    lazily created domain pool driving parallel merge sweeps, index
-    builds, and per-document sharding.  [slow_ms] is the slow-query-log
-    threshold in milliseconds (default: [STANDOFF_SLOW_MS], else
-    disabled); runs at least that slow are recorded in
-    {!Standoff_obs.Slow_log}. *)
+(** Query caching levels.  [Cache_plan] reuses prepared plans across
+    {!run} calls with the same text and effective strategy (parse +
+    optimize are skipped).  [Cache_result] additionally serves
+    byte-identical results for repeat runs, keyed on (plan fingerprint,
+    context document, document-uid set) and stamped with the
+    catalogue's invalidation version — any [Update.*] /
+    {!Standoff.Catalog.invalidate} expires every earlier entry, so a
+    cached result can never survive an update.  Runs that construct
+    nodes are never result-cached (their items would dangle after
+    rollback).  [Cache_result] implies plan caching. *)
+type cache_mode = Cache_off | Cache_plan | Cache_result
+
+(** [cache_mode_of_string s] parses ["off" | "plan" | "result"] (plus
+    common boolean spellings; ["on"] means [Cache_result]).
+    @raise Invalid_argument on anything else. *)
+val cache_mode_of_string : string -> cache_mode
+
+val cache_mode_to_string : cache_mode -> string
+
+(** [default_cache_mode ()] is [STANDOFF_CACHE] from the environment,
+    else [Cache_off]. *)
+val default_cache_mode : unit -> cache_mode
+
+(** [create ?strategy ?jobs ?slow_ms ?cache coll] wraps a collection.
+    Without [strategy], each StandOff operator picks its own strategy
+    from annotation statistics ({!Standoff.Join.auto_strategy}).
+    [jobs] (default {!Standoff.Config.default_jobs}, i.e.
+    [STANDOFF_JOBS] or 1) is the parallelism of query execution: with
+    [jobs = 1] every run takes the exact sequential code path; with
+    more, runs share a lazily created domain pool driving parallel
+    merge sweeps, index builds, and per-document sharding.  [slow_ms]
+    is the slow-query-log threshold in milliseconds (default:
+    [STANDOFF_SLOW_MS], else disabled); runs at least that slow are
+    recorded in {!Standoff_obs.Slow_log}.  [cache] (default:
+    [STANDOFF_CACHE], else {!Cache_off}) selects the caching level;
+    the result cache's byte budget is 64 MiB, overridable with
+    [STANDOFF_CACHE_MB]. *)
 val create :
   ?strategy:Standoff.Config.strategy ->
   ?jobs:int ->
   ?slow_ms:float ->
+  ?cache:cache_mode ->
   Standoff_store.Collection.t ->
   t
+
+(** [cache_mode t] is the engine's caching level. *)
+val cache_mode : t -> cache_mode
+
+(** [set_cache_mode t m] reconfigures the caching level.  Existing
+    entries stay (they are keyed and stamped safely either way); they
+    are simply not consulted while the relevant level is off. *)
+val set_cache_mode : t -> cache_mode -> unit
+
+(** [plan_cache_stats t] / [result_cache_stats t] are exact per-engine
+    hit/miss/eviction/size snapshots ({!Standoff_cache.Lru.stats});
+    the same numbers are exported process-wide through
+    {!Standoff_obs.Metrics} as [standoff_cache_*{cache="plan"}] and
+    [standoff_cache_*{cache="result"}]. *)
+val plan_cache_stats : t -> Standoff_cache.Lru.stats
+
+val result_cache_stats : t -> Standoff_cache.Lru.stats
 
 (** [jobs t] is the configured parallelism. *)
 val jobs : t -> int
@@ -100,7 +144,10 @@ val prepared_config : prepared -> Standoff.Config.t
     optimizer pass is skipped and the structural lowering is evaluated
     as-is — the direct path, used to validate rewrites.  With [trace],
     the parse and lowering/optimize phases are recorded as ["parse"]
-    and ["optimize"] spans.
+    and ["optimize"] spans.  When the engine caches plans
+    ({!cache_mode} other than [Cache_off]), a repeat [prepare] with
+    the same text, effective strategy and [optimize] flag returns the
+    cached prepared query and records no parse/optimize spans.
     @raise Err.Error on static errors
     @raise Lexer.Syntax_error on parse errors. *)
 val prepare :
@@ -121,6 +168,15 @@ val prepare :
     the collector holding a well-formed partial trace.  Every run
     updates the engine metrics and, past the [slow_ms] threshold, the
     slow-query log.
+
+    Under [Cache_result], a repeat run of the same prepared query on
+    the same document set returns the byte-identical cached result
+    without evaluating (the trace then holds only a root span whose
+    ["cache"] attribute is ["hit"]; on evaluated runs it is ["miss"],
+    or ["off"] when the result cache is not consulted).
+    [use_cache:false] (default [true]) bypasses the result cache for
+    one run — {!explain_analyze} uses it, since it needs the
+    evaluation spans.  Cache hits still count in the engine metrics.
     @raise Err.Error on dynamic errors
     @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
 val run_prepared :
@@ -128,6 +184,7 @@ val run_prepared :
   ?deadline:Standoff_util.Timing.deadline ->
   ?context_doc:string ->
   ?rollback_constructed:bool ->
+  ?use_cache:bool ->
   ?trace:Standoff_obs.Trace.t ->
   prepared ->
   result
@@ -157,7 +214,9 @@ val run :
     single checkpoint brackets the fan-out; with
     [rollback_constructed:true] all shards' constructed documents are
     dropped together at the end.  Sharded runs evaluate inside pool
-    workers and are therefore never traced ([result.trace = None]). *)
+    workers and are therefore never traced ([result.trace = None]).
+    Under [Cache_result] sharded runs hit the result cache too, under
+    a key distinct from the unsharded form of the same query. *)
 val run_prepared_sharded :
   t ->
   ?deadline:Standoff_util.Timing.deadline ->
@@ -177,7 +236,9 @@ val explain :
     aggregates the span tree into per-node {!Plan.analysis} records,
     and renders the plan annotated with per-operator call counts, row
     cardinalities, region-index rows scanned, resolved strategies, and
-    inclusive wall times.  Constructed nodes are rolled back. *)
+    inclusive wall times.  Constructed nodes are rolled back.  The
+    result cache is bypassed (a hit evaluates nothing and would render
+    every operator "(not executed)"). *)
 val explain_analyze :
   t ->
   ?strategy:Standoff.Config.strategy ->

@@ -4,9 +4,12 @@
    annotation documents and random StandOff queries (axis form,
    function form, FLWOR) and insists that all 4 strategies x jobs {1, 4}
    produce byte-identical serialized results — and that the traced
-   rows_out of the join operators agrees across strategies.  QCheck
-   prints the failing document and query; the qcheck random seed is
-   printed at startup for replay. *)
+   rows_out of the join operators agrees across strategies.  Each
+   strategy x jobs point also runs under the result cache, twice (a
+   cold miss then a warm hit): both runs must be byte-identical to the
+   cache-off reference, so a caching bug can never masquerade as a
+   strategy difference.  QCheck prints the failing document and query;
+   the qcheck random seed is printed at startup for replay. *)
 
 module Collection = Standoff_store.Collection
 module Config = Standoff.Config
@@ -83,19 +86,33 @@ let coll_of_case case =
   coll
 
 let run_case coll ?trace ~strategy ~jobs case =
-  let e = Engine.create ~strategy ~jobs coll in
+  let e = Engine.create ~strategy ~jobs ~cache:Engine.Cache_off coll in
   Fun.protect
     ~finally:(fun () -> Engine.shutdown e)
     (fun () ->
       (Engine.run e ?trace ~rollback_constructed:true case.query)
         .Engine.serialized)
 
+(* One engine with the result cache on, the query run twice: the first
+   run misses and fills, the second must be served back byte-identical.
+   Returns both serializations. *)
+let run_case_cached coll ~strategy ~jobs case =
+  let e = Engine.create ~strategy ~jobs ~cache:Engine.Cache_result coll in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown e)
+    (fun () ->
+      let once () =
+        (Engine.run e ~rollback_constructed:true case.query).Engine.serialized
+      in
+      let cold = once () in
+      (cold, once ()))
+
 (* ------------------------------------------------------------------ *)
 (* Byte-identical serialization across all strategies and jobs         *)
 
 let qcheck_strategies_identical =
-  QCheck.Test.make ~name:"all strategies x jobs {1,4} byte-identical"
-    ~count:40
+  QCheck.Test.make ~name:"all strategies x jobs {1,4} x cache byte-identical"
+    ~count:30
     (QCheck.make ~print:print_case gen_case)
     (fun case ->
       let coll = coll_of_case case in
@@ -107,12 +124,26 @@ let qcheck_strategies_identical =
           List.for_all
             (fun jobs ->
               let out = run_case coll ~strategy ~jobs case in
-              if String.equal out reference then true
-              else
+              if not (String.equal out reference) then
                 QCheck.Test.fail_reportf
                   "strategy=%s jobs=%d diverged:\n%s\n  vs reference:\n%s"
                   (Config.strategy_to_string strategy)
-                  jobs out reference)
+                  jobs out reference
+              else
+                let cold, warm = run_case_cached coll ~strategy ~jobs case in
+                if not (String.equal cold reference) then
+                  QCheck.Test.fail_reportf
+                    "strategy=%s jobs=%d cache-on cold run diverged:\n\
+                     %s\n  vs reference:\n%s"
+                    (Config.strategy_to_string strategy)
+                    jobs cold reference
+                else if not (String.equal warm reference) then
+                  QCheck.Test.fail_reportf
+                    "strategy=%s jobs=%d cached repeat diverged:\n\
+                     %s\n  vs reference:\n%s"
+                    (Config.strategy_to_string strategy)
+                    jobs warm reference
+                else true)
             jobs_sweep)
         Config.all_strategies)
 
@@ -203,7 +234,18 @@ let test_corner_cases () =
                    (Config.strategy_to_string strategy)
                    jobs)
                 reference
-                (run_case coll ~strategy ~jobs case))
+                (run_case coll ~strategy ~jobs case);
+              let cold, warm = run_case_cached coll ~strategy ~jobs case in
+              Alcotest.(check string)
+                (Printf.sprintf "%s @ %s jobs=%d cache-on cold" case.query
+                   (Config.strategy_to_string strategy)
+                   jobs)
+                reference cold;
+              Alcotest.(check string)
+                (Printf.sprintf "%s @ %s jobs=%d cached repeat" case.query
+                   (Config.strategy_to_string strategy)
+                   jobs)
+                reference warm)
             jobs_sweep)
         Config.all_strategies)
     cases

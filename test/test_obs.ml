@@ -181,7 +181,7 @@ let test_expose_parses () =
       "standoff_query_seconds";
       "standoff_joins_total";
       "standoff_join_index_rows_total";
-      "standoff_annots_cache_hits_total";
+      "standoff_cache_hits_total";
       "standoff_pool_tasks_total";
       "standoff_pool_queue_depth";
       "standoff_pool_queue_wait_seconds";

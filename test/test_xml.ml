@@ -241,6 +241,118 @@ let qcheck_roundtrip_stable =
       let s' = Serializer.to_string (Parser.parse_string s) in
       String.equal s s')
 
+(* A generator that deliberately includes DOM values with no faithful
+   XML spelling: empty text nodes, comments containing "--" or ending
+   in "-", PI data with leading whitespace or "?>".  The serializer
+   must canonicalise these rather than emit unparseable or unstable
+   bytes: serialize must be total, its output must parse, and
+   serialize ∘ parse ∘ serialize = serialize (byte-keyed result
+   caching depends on exactly this idempotence). *)
+let gen_hostile_doc =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  let text_chunk =
+    oneofl [ ""; "hello"; "a<b"; "x & y"; "]]>"; "\ttab"; "\r\n" ]
+  in
+  let comment = oneofl [ "c"; "--"; "a--b"; "x-"; "-"; "a---b"; "" ] in
+  let pi_data = oneofl [ ""; "d"; "  lead"; "\tlead"; "x?>y"; "?>"; "d " ] in
+  let rec node depth =
+    if depth = 0 then map (fun t -> Dom.Text t) text_chunk
+    else
+      frequency
+        [
+          (3, map (fun t -> Dom.Text t) text_chunk);
+          (2, map (fun c -> Dom.Comment c) comment);
+          (2, map (fun d -> Dom.Pi ("pi", d)) pi_data);
+          ( 3,
+            map3
+              (fun tag attrs children -> Dom.element ~attrs tag children)
+              tag
+              (map
+                 (fun vals ->
+                   List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) vals)
+                 (list_size (0 -- 2)
+                    (oneofl [ "v"; "a\nb"; "a\rb"; "a\tb"; "\"q\"" ])))
+              (list_size (0 -- 3) (node (depth - 1))) );
+        ]
+  in
+  map2
+    (fun tag children -> Dom.document (Dom.element tag children))
+    tag
+    (list_size (0 -- 4) (node 3))
+
+let arbitrary_hostile_doc =
+  QCheck.make ~print:(fun d -> Serializer.to_string d) gen_hostile_doc
+
+let qcheck_hostile_parses =
+  QCheck.Test.make
+    ~name:"serialization of unrepresentable DOMs still parses" ~count:500
+    arbitrary_hostile_doc (fun d ->
+      match Parser.parse_string (Serializer.to_string d) with
+      | _ -> true
+      | exception Parser.Parse_error _ -> false)
+
+let qcheck_hostile_idempotent =
+  QCheck.Test.make
+    ~name:"serialize . parse . serialize = serialize (canonical bytes)"
+    ~count:500 arbitrary_hostile_doc (fun d ->
+      let s = Serializer.to_string d in
+      let s' = Serializer.to_string (Parser.parse_string s) in
+      String.equal s s')
+
+(* The concrete shapes the hardening is for, pinned as unit tests. *)
+
+let test_attr_control_chars_roundtrip () =
+  (* Literal newline/CR/tab in attribute values must survive our own
+     parse ∘ serialize exactly (XML parsers normalise raw whitespace in
+     attributes, so they must leave as character references). *)
+  let d =
+    Dom.document (Dom.element "a" ~attrs:[ ("k", "x\ny\rz\tw") ] [])
+  in
+  let d' = parse (Serializer.to_string d) in
+  Alcotest.(check (option string))
+    "attr value" (Some "x\ny\rz\tw") (Dom.attr d'.Dom.root "k")
+
+let test_cdata_end_in_text_roundtrip () =
+  let d = Dom.document (Dom.element "a" [ Dom.text "a]]>b" ]) in
+  let d' = parse (Serializer.to_string d) in
+  Alcotest.(check string)
+    "text" "a]]>b"
+    (Dom.text_content (Dom.Element d'.Dom.root))
+
+let test_empty_text_canonical () =
+  (* <t></t> with only empty text reparses as <t/>; the serializer must
+     pick the self-closing form up front so bytes are stable. *)
+  let d = Dom.document (Dom.element "t" [ Dom.text "" ]) in
+  let s = Serializer.to_string d in
+  Alcotest.(check string) "self-closing" "<t/>" s;
+  Alcotest.(check string) "stable" s
+    (Serializer.to_string (parse s))
+
+let test_comment_dashes_canonical () =
+  List.iter
+    (fun c ->
+      let d = Dom.document (Dom.element "r" [ Dom.Comment c ]) in
+      let s = Serializer.to_string d in
+      let d' = parse s in
+      Alcotest.(check string)
+        (Printf.sprintf "comment %S stable" c)
+        s
+        (Serializer.to_string d'))
+    [ "--"; "a--b"; "x-"; "-"; "a---b" ]
+
+let test_pi_data_canonical () =
+  List.iter
+    (fun data ->
+      let d = Dom.document (Dom.element "r" [ Dom.Pi ("pi", data) ]) in
+      let s = Serializer.to_string d in
+      let d' = parse s in
+      Alcotest.(check string)
+        (Printf.sprintf "pi data %S stable" data)
+        s
+        (Serializer.to_string d'))
+    [ "  lead"; "\tlead"; "x?>y"; "?>"; "" ]
+
 let () =
   Alcotest.run "xml"
     [
@@ -268,8 +380,19 @@ let () =
             test_mixed_content_roundtrip;
           Alcotest.test_case "escaping roundtrip" `Quick test_escaping_roundtrip;
           Alcotest.test_case "indented output" `Quick test_indented_output;
+          Alcotest.test_case "attr control chars roundtrip" `Quick
+            test_attr_control_chars_roundtrip;
+          Alcotest.test_case "]]> in text roundtrip" `Quick
+            test_cdata_end_in_text_roundtrip;
+          Alcotest.test_case "empty text canonical form" `Quick
+            test_empty_text_canonical;
+          Alcotest.test_case "comment dashes canonical" `Quick
+            test_comment_dashes_canonical;
+          Alcotest.test_case "pi data canonical" `Quick test_pi_data_canonical;
           QCheck_alcotest.to_alcotest qcheck_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_roundtrip_stable;
+          QCheck_alcotest.to_alcotest qcheck_hostile_parses;
+          QCheck_alcotest.to_alcotest qcheck_hostile_idempotent;
         ] );
       ( "dom",
         [
