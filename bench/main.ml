@@ -12,6 +12,7 @@
      main.exe parallel-scaling [opts]  jobs sweep: speedup curves (CSV/JSON)
      main.exe obs-overhead [opts]      metrics-enabled vs disabled latency
      main.exe cache [opts]             result cache: cold vs warm, hit rate
+     main.exe serve [opts]             HTTP server: latency/throughput, 503 probe
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
@@ -44,6 +45,15 @@
      --json FILE          output file                   (default BENCH_cache.json)
      --no-json            skip the JSON file
 
+   serve options:
+     --scale S            XMark scale factor            (default 0.02)
+     --clients N          concurrent socket clients     (default 8)
+     --requests N         keep-alive requests per client (default 40)
+     --workers w1,w2,...  worker counts to sweep        (default 1,4,8)
+     --queries Q1,...     subset of Q1 Q2 Q6 Q7         (default all)
+     --json FILE          output file                   (default BENCH_server.json)
+     --no-json            skip the JSON file
+
    The paper benchmarked 11MB-1100MB documents (scale 0.1-10) with a
    one-hour DNF budget on 2006 hardware; the default sweep uses the
    same 1:5:10:50:100 size ratios at 1/50 scale with a 10 s budget, so
@@ -67,6 +77,8 @@ module Node_test = Standoff_xpath.Node_test
 module Engine = Standoff_xquery.Engine
 module Metrics = Standoff_obs.Metrics
 module Trace = Standoff_obs.Trace
+module Http = Standoff_server.Http
+module Server = Standoff_server.Server
 module Gen = Standoff_xmark.Gen
 module Setup = Standoff_xmark.Setup
 module Standoffify = Standoff_xmark.Standoffify
@@ -1093,6 +1105,189 @@ let bench_cache ?(scale = 0.02) ?(repeats = 5) ?json ~queries () =
     json
 
 (* ------------------------------------------------------------------ *)
+(* Network service: concurrent socket clients against the HTTP server  *)
+
+type sv_row = {
+  sv_workers : int;
+  sv_rps : float;
+  sv_p50_ms : float;
+  sv_p95_ms : float;
+  sv_p99_ms : float;
+  sv_errors : int;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let bench_serve ?(scale = 0.02) ?(clients = 8) ?(requests = 40)
+    ?(worker_counts = [ 1; 4; 8 ]) ?json ~queries () =
+  section "Network service: concurrent socket clients vs XMark";
+  let setup = Setup.build ~scale ~with_standard:false ~jobs:1 () in
+  (* Cache off so every request pays for a real evaluation — the sweep
+     measures the serving stack, not the result cache (bench cache
+     covers that). *)
+  let engine =
+    Engine.create ~jobs:1 ~cache:Engine.Cache_off setup.Setup.coll
+  in
+  let texts =
+    Array.of_list
+      (List.map (fun q -> q.Queries.standoff setup.Setup.standoff_doc) queries)
+  in
+  (* Warm the evaluation path once per query, outside any measurement. *)
+  Array.iter
+    (fun t ->
+      ignore
+        (Engine.run engine ~strategy:Config.Loop_lifted
+           ~rollback_constructed:true t))
+    texts;
+  Printf.printf
+    "xmark scale %g (%s), %d clients x %d keep-alive requests each, \
+     loop-lifted, cache off\n\n"
+    scale
+    (Setup.size_label setup.Setup.serialized_size)
+    clients requests;
+  Printf.printf "%-9s%13s%11s%11s%11s%9s\n" "workers" "throughput" "p50" "p95"
+    "p99" "errors";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let connect port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+  in
+  let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let run_point workers =
+    let config =
+      {
+        Server.default_config with
+        port = 0;
+        workers;
+        queue_capacity = 2 * clients;
+        socket_timeout_s = 120.0;
+        default_timeout_ms = None;
+      }
+    in
+    let server = Server.create ~config engine in
+    Server.start server;
+    let port = Server.port server in
+    let errors = Atomic.make 0 in
+    let lat = Array.make (clients * requests) 0.0 in
+    let client c () =
+      let fd = connect port in
+      let reader = Http.reader fd in
+      Fun.protect
+        ~finally:(fun () -> close_noerr fd)
+        (fun () ->
+          for i = 0 to requests - 1 do
+            let text = texts.((c + i) mod Array.length texts) in
+            let t0 = Unix.gettimeofday () in
+            Http.write_request fd ~meth:"POST"
+              ~target:"/query?strategy=loop-lifted" text;
+            let resp = Http.read_response reader in
+            if resp.Http.status <> 200 then Atomic.incr errors;
+            lat.((c * requests) + i) <- (Unix.gettimeofday () -. t0) *. 1e3
+          done)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun c -> Thread.create (client c) ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Server.stop server;
+    Array.sort compare lat;
+    let row =
+      {
+        sv_workers = workers;
+        sv_rps = float_of_int (clients * requests) /. wall;
+        sv_p50_ms = percentile lat 50.0;
+        sv_p95_ms = percentile lat 95.0;
+        sv_p99_ms = percentile lat 99.0;
+        sv_errors = Atomic.get errors;
+      }
+    in
+    Printf.printf "%-9d%11.1f/s%9.2fms%9.2fms%9.2fms%9d\n" workers row.sv_rps
+      row.sv_p50_ms row.sv_p95_ms row.sv_p99_ms row.sv_errors;
+    flush stdout;
+    row
+  in
+  let rows = List.map run_point worker_counts in
+  (* Overload probe: a burst of simultaneous connections against one
+     worker and a one-slot queue — admission control must shed the
+     excess with 503 rather than stall or crash. *)
+  let burst = 4 * max 1 clients / 2 in
+  let served, shed =
+    let config =
+      {
+        Server.default_config with
+        port = 0;
+        workers = 1;
+        queue_capacity = 1;
+        socket_timeout_s = 30.0;
+      }
+    in
+    let server = Server.create ~config engine in
+    Server.start server;
+    let port = Server.port server in
+    let fds = List.init burst (fun _ -> connect port) in
+    (* Let the acceptor admit (worker + queue slot) or shed the rest. *)
+    Thread.delay 0.3;
+    let served = ref 0 and shed = ref 0 in
+    List.iter
+      (fun fd ->
+        (match
+           (try Http.write_request fd ~meth:"GET" ~target:"/healthz" ""
+            with Unix.Unix_error _ -> ());
+           (Http.read_response (Http.reader fd)).Http.status
+         with
+        | 200 -> incr served
+        | 503 -> incr shed
+        | _ -> ()
+        | exception (Http.Closed | Http.Bad_request _ | Unix.Unix_error _) ->
+            ());
+        (* Closing a served connection frees the worker for the next
+           admitted one, so the queued connection is counted too. *)
+        close_noerr fd)
+      fds;
+    Server.stop server;
+    (!served, !shed)
+  in
+  Printf.printf
+    "\noverload probe (workers=1, queue=1): %d connections -> %d served, %d \
+     shed with 503 (%.0f%% shed)\n"
+    burst served shed
+    (100.0 *. float_of_int shed /. Float.max 1.0 (float_of_int burst));
+  let pass = shed > 0 && List.for_all (fun r -> r.sv_errors = 0) rows in
+  Printf.printf "serving criteria (no errors, overload shed > 0): %s\n"
+    (if pass then "PASS" else "FAIL");
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n\
+        \  \"scale\": %g,\n\
+        \  \"clients\": %d,\n\
+        \  \"requests_per_client\": %d,\n\
+        \  \"overload\": {\"connections\": %d, \"served\": %d, \"shed\": %d},\n\
+        \  \"pass\": %b,\n\
+        \  \"rows\": [\n"
+        scale clients requests burst served shed pass;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"workers\": %d, \"throughput_rps\": %.1f, \"p50_ms\": \
+             %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"errors\": %d}%s\n"
+            r.sv_workers r.sv_rps r.sv_p50_ms r.sv_p95_ms r.sv_p99_ms
+            r.sv_errors
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family    *)
 
 let micro () =
@@ -1335,6 +1530,43 @@ let parse_cache_args args =
   go args;
   (!scale, !repeats, !queries, !json)
 
+let parse_serve_args args =
+  let scale = ref 0.02 in
+  let clients = ref 8 in
+  let requests = ref 40 in
+  let worker_counts = ref [ 1; 4; 8 ] in
+  let queries = ref Queries.all in
+  let json = ref (Some "BENCH_server.json") in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        go rest
+    | "--clients" :: v :: rest ->
+        clients := max 1 (int_of_string v);
+        go rest
+    | "--requests" :: v :: rest ->
+        requests := max 1 (int_of_string v);
+        go rest
+    | "--workers" :: v :: rest ->
+        worker_counts :=
+          List.map (fun s -> max 1 (int_of_string s))
+            (String.split_on_char ',' v);
+        go rest
+    | "--queries" :: v :: rest ->
+        queries := List.map Queries.find (String.split_on_char ',' v);
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | "--no-json" :: rest ->
+        json := None;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "serve: unknown argument %s" arg)
+  in
+  go args;
+  (!scale, !clients, !requests, !worker_counts, !queries, !json)
+
 let parse_scale_jobs_args ~cmd ~default_scale args =
   let scale = ref default_scale in
   let jobs = ref (Config.default_jobs ()) in
@@ -1380,6 +1612,11 @@ let () =
   | _ :: "cache" :: rest ->
       let scale, repeats, queries, json = parse_cache_args rest in
       bench_cache ~scale ~repeats ?json ~queries ()
+  | _ :: "serve" :: rest ->
+      let scale, clients, requests, worker_counts, queries, json =
+        parse_serve_args rest
+      in
+      bench_serve ~scale ~clients ~requests ~worker_counts ?json ~queries ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
@@ -1395,7 +1632,7 @@ let () =
       Printf.eprintf
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
          staircase-vs-standoff | active-set | scaling | planner | \
-         parallel-scaling | obs-overhead | cache | micro | all)\n"
+         parallel-scaling | obs-overhead | cache | serve | micro | all)\n"
         cmd;
       exit 1
   | [] -> assert false

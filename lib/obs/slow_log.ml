@@ -56,6 +56,27 @@ let clear () =
   entries := [];
   Mutex.unlock lock
 
+(* JSON rendering of the ring, newest first — the HTTP server's
+   [GET /slow] endpoint serves this verbatim. *)
+let to_json () =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"at\": %.6f, \"seconds\": %.6f, \"strategy\": \"%s\", \
+            \"jobs\": %d, \"query\": \"%s\", \"summary\": \"%s\"}"
+           e.e_at e.e_seconds
+           (Metrics.json_escape e.e_strategy)
+           e.e_jobs
+           (Metrics.json_escape e.e_query)
+           (Metrics.json_escape e.e_summary)))
+    (recent ());
+  Buffer.add_char b ']';
+  Buffer.contents b
+
 let entry_to_string e =
   Printf.sprintf "slow-query %.3fms strategy=%s jobs=%d%s: %s"
     (e.e_seconds *. 1e3) e.e_strategy e.e_jobs

@@ -1,0 +1,316 @@
+exception Bad_request of string
+exception Payload_too_large of int
+exception Closed
+
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+(* Hard wire-format bounds, independent of the configurable body cap:
+   a peer feeding an endless header section must run into a limit. *)
+let max_line_bytes = 16 * 1024
+let max_header_count = 128
+
+(* ------------------------------------------------------------------ *)
+(* Buffered reading                                                    *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;  (** next unread byte *)
+  mutable len : int;  (** valid bytes in [buf] *)
+}
+
+let reader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+let refill r =
+  let n = Unix.read r.fd r.buf 0 (Bytes.length r.buf) in
+  if n = 0 then raise Closed;
+  r.pos <- 0;
+  r.len <- n
+
+let read_byte r =
+  if r.pos >= r.len then refill r;
+  let c = Bytes.get r.buf r.pos in
+  r.pos <- r.pos + 1;
+  c
+
+(* One header/request line, CRLF- (or bare-LF-) terminated, terminator
+   stripped. *)
+let read_line r =
+  let b = Buffer.create 64 in
+  let rec go () =
+    match read_byte r with
+    | '\n' -> ()
+    | c ->
+        if Buffer.length b >= max_line_bytes then
+          raise (Bad_request "header line too long");
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  let s = Buffer.contents b in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let read_exact r n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if r.pos >= r.len then refill r;
+    let take = min (n - !filled) (r.len - r.pos) in
+    Bytes.blit r.buf r.pos out !filled take;
+    r.pos <- r.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
+
+(* ------------------------------------------------------------------ *)
+(* Encoding helpers                                                    *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Bad_request "invalid percent escape")
+
+let url_decode s =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char b ' '
+    | '%' ->
+        if !i + 2 >= n then raise (Bad_request "truncated percent escape");
+        Buffer.add_char b
+          (Char.chr ((16 * hex_val s.[!i + 1]) + hex_val s.[!i + 2]));
+        i := !i + 2
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let url_encode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' ->
+          Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let parse_target target =
+  let path_raw, query_raw =
+    match String.index_opt target '?' with
+    | Some i ->
+        ( String.sub target 0 i,
+          String.sub target (i + 1) (String.length target - i - 1) )
+    | None -> (target, "")
+  in
+  let params =
+    if query_raw = "" then []
+    else
+      String.split_on_char '&' query_raw
+      |> List.filter (fun kv -> kv <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | Some i ->
+                 ( url_decode (String.sub kv 0 i),
+                   url_decode
+                     (String.sub kv (i + 1) (String.length kv - i - 1)) )
+             | None -> (url_decode kv, ""))
+  in
+  (url_decode path_raw, params)
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+
+let is_token_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_'
+  | '`' | '|' | '~' ->
+      true
+  | _ -> false
+
+let is_token s = s <> "" && String.for_all is_token_char s
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+      if not (is_token meth) then raise (Bad_request "malformed method");
+      if target = "" || target.[0] <> '/' then
+        raise (Bad_request "malformed request-target");
+      if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        raise (Bad_request "unsupported HTTP version");
+      (meth, target, version)
+  | _ -> raise (Bad_request "malformed request line")
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> raise (Bad_request "malformed header (no colon)")
+  | Some i ->
+      let name = String.sub line 0 i in
+      if not (is_token name) then raise (Bad_request "malformed header name");
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      (String.lowercase_ascii name, value)
+
+let read_headers r =
+  let rec go acc count =
+    match read_line r with
+    | "" -> List.rev acc
+    | line ->
+        if count >= max_header_count then
+          raise (Bad_request "too many headers");
+        (* Obsolete line folding (a continuation starting with
+           whitespace) is a request smuggling vector; RFC 9112 lets a
+           server reject it outright. *)
+        if line.[0] = ' ' || line.[0] = '\t' then
+          raise (Bad_request "obsolete header folding");
+        go (parse_header_line line :: acc) (count + 1)
+  in
+  go [] 0
+
+let assoc_header headers name = List.assoc_opt (String.lowercase_ascii name) headers
+
+let body_length headers ~max_body =
+  match assoc_header headers "transfer-encoding" with
+  | Some _ -> raise (Bad_request "transfer-encoding not supported")
+  | None -> (
+      match assoc_header headers "content-length" with
+      | None -> 0
+      | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n when n >= 0 ->
+              if n > max_body then raise (Payload_too_large max_body);
+              n
+          | _ -> raise (Bad_request "malformed content-length")))
+
+let read_request ?(max_body = 1024 * 1024) r =
+  let meth, target, version = parse_request_line (read_line r) in
+  let headers = read_headers r in
+  let body = read_exact r (body_length headers ~max_body) in
+  let path, query = parse_target target in
+  { meth; target; path; query; version; headers; body }
+
+let header req name = assoc_header req.headers name
+let param req name = List.assoc_opt name req.query
+
+let wants_keep_alive req =
+  let connection =
+    Option.map String.lowercase_ascii (header req "connection")
+  in
+  match (req.version, connection) with
+  | _, Some "close" -> false
+  | "HTTP/1.0", Some "keep-alive" -> true
+  | "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let reason = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let write_response fd ~status ?(headers = [])
+    ?(content_type = "text/plain; charset=utf-8") ~keep_alive body =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n"
+     else "Connection: close\r\n");
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  write_all fd (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+
+type response = {
+  status : int;
+  r_headers : (string * string) list;
+  r_body : string;
+}
+
+let write_request fd ~meth ~target ?(headers = []) body =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+  if not (List.mem_assoc "Host" headers) then
+    Buffer.add_string b "Host: localhost\r\n";
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  write_all fd (Buffer.contents b)
+
+let read_response r =
+  let status_line = read_line r in
+  let status =
+    match String.split_on_char ' ' status_line with
+    | version :: code :: _
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+        match int_of_string_opt code with
+        | Some c -> c
+        | None -> raise (Bad_request "malformed status code"))
+    | _ -> raise (Bad_request "malformed status line")
+  in
+  let headers = read_headers r in
+  let body =
+    match assoc_header headers "content-length" with
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> read_exact r n
+        | _ -> raise (Bad_request "malformed content-length"))
+    | None ->
+        (* Read-to-EOF fallback for peers that close to delimit. *)
+        let b = Buffer.create 256 in
+        (try
+           while true do
+             Buffer.add_char b (read_byte r)
+           done
+         with Closed -> ());
+        Buffer.contents b
+  in
+  { status; r_headers = headers; r_body = body }
+
+let response_header resp name = assoc_header resp.r_headers name

@@ -1,0 +1,116 @@
+(** A deliberately small HTTP/1.1 wire layer over [Unix] file
+    descriptors: enough of RFC 9112 for the query service — request
+    line, headers, [Content-Length] bodies, keep-alive — and nothing
+    more (no chunked transfer encoding, no obsolete line folding, no
+    trailers; requests using them are rejected cleanly).
+
+    Both directions are here: the server side ({!read_request} /
+    {!write_response}) and the client side ({!write_request} /
+    {!read_response}), the latter shared by the test suite and the
+    [bench serve] load generator, so the bytes the tests speak are
+    produced by the same code they exercise. *)
+
+(** A syntactically invalid request (malformed request line, bad
+    header, unsupported transfer encoding, bad [Content-Length]).
+    The server answers 400. *)
+exception Bad_request of string
+
+(** A body larger than the configured cap; the argument is the cap.
+    The server answers 413. *)
+exception Payload_too_large of int
+
+(** The peer closed the connection (or a read timed out) before a full
+    message was received.  Between keep-alive requests this is the
+    normal end of a connection, not an error. *)
+exception Closed
+
+type request = {
+  meth : string;  (** verb, as sent (["GET"], ["POST"], ...) *)
+  target : string;  (** raw request-target, e.g. ["/query?jobs=4"] *)
+  path : string;  (** decoded path component, e.g. ["/query"] *)
+  query : (string * string) list;  (** decoded query parameters *)
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;
+      (** names lowercased, in arrival order *)
+  body : string;
+}
+
+(** A buffered reader over a file descriptor.  One reader per
+    connection: leftover bytes after a request (pipelined requests)
+    stay in the buffer for the next {!read_request}. *)
+type reader
+
+val reader : Unix.file_descr -> reader
+
+(** [read_request ~max_body r] reads one full request.
+    @raise Bad_request on syntax errors
+    @raise Payload_too_large when [Content-Length] exceeds [max_body]
+    @raise Closed on EOF before a complete request
+    @raise Unix.Unix_error ([EAGAIN]/[EWOULDBLOCK]) when the socket's
+    receive timeout fires mid-read. *)
+val read_request : ?max_body:int -> reader -> request
+
+(** [header req name] is the value of the (case-insensitive) header. *)
+val header : request -> string -> string option
+
+(** [param req name] is the value of a decoded query parameter. *)
+val param : request -> string -> string option
+
+(** Whether the client asked to keep the connection open: HTTP/1.1
+    defaults to yes unless [Connection: close]; HTTP/1.0 defaults to
+    no unless [Connection: keep-alive]. *)
+val wants_keep_alive : request -> bool
+
+(** The canonical reason phrase, e.g. [reason 503 = "Service
+    Unavailable"]. *)
+val reason : int -> string
+
+(** [write_response fd ~status ~keep_alive body] writes a complete
+    response with [Content-Length], a [Connection] header matching
+    [keep_alive], [content_type] (default
+    ["text/plain; charset=utf-8"]) and any extra [headers]. *)
+val write_response :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  keep_alive:bool ->
+  string ->
+  unit
+
+(** {1 Client side} *)
+
+type response = {
+  status : int;
+  r_headers : (string * string) list;  (** names lowercased *)
+  r_body : string;
+}
+
+(** [write_request fd ~meth ~target body] writes a complete request
+    with [Content-Length] (and [Host], as HTTP/1.1 requires). *)
+val write_request :
+  Unix.file_descr ->
+  meth:string ->
+  target:string ->
+  ?headers:(string * string) list ->
+  string ->
+  unit
+
+(** [read_response r] reads one full response (the body must carry
+    [Content-Length], which this module's server side always sends).
+    @raise Closed on EOF before a complete response
+    @raise Bad_request on syntax errors. *)
+val read_response : reader -> response
+
+val response_header : response -> string -> string option
+
+(** {1 Encoding helpers} *)
+
+(** Percent-decoding, with [+] as space (query components). *)
+val url_decode : string -> string
+
+val url_encode : string -> string
+
+(** [parse_target t] splits a request-target into its decoded path and
+    query parameters. *)
+val parse_target : string -> string * (string * string) list

@@ -1,0 +1,733 @@
+module Engine = Standoff_xquery.Engine
+module Err = Standoff_xquery.Err
+module Lexer = Standoff_xquery.Lexer
+module Timing = Standoff_util.Timing
+module Metrics = Standoff_obs.Metrics
+module Trace = Standoff_obs.Trace
+module Slow_log = Standoff_obs.Slow_log
+module Collection = Standoff_store.Collection
+module Config = Standoff.Config
+module Catalog = Standoff.Catalog
+module Update = Standoff.Update
+module Region = Standoff_interval.Region
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let m_connections =
+  Metrics.counter "standoff_server_connections_total"
+    ~help:"Connections accepted (shed ones included)"
+
+let m_shed =
+  Metrics.counter "standoff_server_shed_total"
+    ~help:"Connections shed with 503 because the admission queue was full"
+
+let m_queue_depth =
+  Metrics.gauge "standoff_server_queue_depth"
+    ~help:"Connections waiting in the admission queue"
+
+let m_in_flight =
+  Metrics.gauge "standoff_server_in_flight"
+    ~help:"Connections currently being served by a worker"
+
+let m_request_seconds =
+  Metrics.histogram "standoff_server_request_seconds"
+    ~buckets:Metrics.duration_buckets
+    ~help:"Wall-clock request latency (parse to response written)"
+
+(* Registration is memoized by (name, labels), so calling this per
+   response costs one lock + hashtable hit, not a new metric. *)
+let count_response code =
+  Metrics.incr
+    (Metrics.counter "standoff_server_requests_total"
+       ~labels:[ ("code", string_of_int code) ]
+       ~help:"Responses by status code")
+
+(* ------------------------------------------------------------------ *)
+(* A writer-preferring readers-writer lock.  Queries take the shared
+   side; updates and node-constructing queries the exclusive one.
+   Writer preference keeps a stream of cheap cached queries from
+   starving an update indefinitely. *)
+
+module Rw_lock = struct
+  type t = {
+    m : Mutex.t;
+    readable : Condition.t;
+    writable : Condition.t;
+    mutable readers : int;
+    mutable writing : bool;
+    mutable waiting_writers : int;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      readable = Condition.create ();
+      writable = Condition.create ();
+      readers = 0;
+      writing = false;
+      waiting_writers = 0;
+    }
+
+  let read t f =
+    Mutex.lock t.m;
+    while t.writing || t.waiting_writers > 0 do
+      Condition.wait t.readable t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.signal t.writable;
+        Mutex.unlock t.m)
+      f
+
+  let write t f =
+    Mutex.lock t.m;
+    t.waiting_writers <- t.waiting_writers + 1;
+    while t.writing || t.readers > 0 do
+      Condition.wait t.writable t.m
+    done;
+    t.waiting_writers <- t.waiting_writers - 1;
+    t.writing <- true;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.writing <- false;
+        Condition.broadcast t.readable;
+        Condition.signal t.writable;
+        Mutex.unlock t.m)
+      f
+end
+
+(* ------------------------------------------------------------------ *)
+(* The bounded admission queue.  [try_push] never blocks — a full
+   queue is the load-shed signal; [pop] blocks until an item arrives
+   or the queue is closed and drained. *)
+
+module Bqueue = struct
+  type 'a t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    items : 'a Queue.t;
+    capacity : int;
+    mutable closed : bool;
+  }
+
+  let create capacity =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      items = Queue.create ();
+      capacity;
+      closed = false;
+    }
+
+  let try_push t x =
+    Mutex.lock t.m;
+    let ok = (not t.closed) && Queue.length t.items < t.capacity in
+    if ok then begin
+      Queue.add x t.items;
+      Metrics.gauge_set m_queue_depth (Queue.length t.items);
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.m;
+    ok
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.items && not t.closed do
+      Condition.wait t.nonempty t.m
+    done;
+    let item =
+      if Queue.is_empty t.items then None
+      else begin
+        let x = Queue.take t.items in
+        Metrics.gauge_set m_queue_depth (Queue.length t.items);
+        Some x
+      end
+    in
+    Mutex.unlock t.m;
+    item
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  max_body_bytes : int;
+  max_requests_per_connection : int;
+  default_timeout_ms : float option;
+  max_timeout_ms : float;
+  socket_timeout_s : float;
+  grace_s : float;
+  retry_after_s : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    workers = 4;
+    queue_capacity = 64;
+    max_body_bytes = 1024 * 1024;
+    max_requests_per_connection = 1000;
+    default_timeout_ms = Some 30_000.0;
+    max_timeout_ms = 300_000.0;
+    socket_timeout_s = 30.0;
+    grace_s = 10.0;
+    retry_after_s = 1;
+  }
+
+type state = Created | Running | Stopping | Stopped
+
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  lock : Rw_lock.t;
+  listen_fd : Unix.file_descr;
+  (* Self-pipe waking the acceptor out of [select]: closing a listening
+     socket does not reliably interrupt a thread already blocked in
+     [accept], so the acceptor multiplexes over both. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  bound_port : int;
+  queue : Unix.file_descr Bqueue.t;
+  mutable acceptor : Thread.t option;
+  mutable workers : unit Domain.t list;
+  live_workers : int Atomic.t;
+  (* One slot per worker: the connection it is serving, so [stop] can
+     force-close stragglers after the grace period.  Guarded by
+     [conn_m] so a shutdown can never race the worker's own close. *)
+  conns : Unix.file_descr option array;
+  conn_m : Mutex.t;
+  stopping : bool Atomic.t;
+  mutable state : state;
+  state_m : Mutex.t;
+  next_request : int Atomic.t;
+}
+
+let engine t = t.eng
+let port t = t.bound_port
+
+let running t =
+  Mutex.lock t.state_m;
+  let r = match t.state with Running | Stopping -> true | _ -> false in
+  Mutex.unlock t.state_m;
+  r
+
+let create ?(config = default_config) eng =
+  let config =
+    {
+      config with
+      workers = max 1 config.workers;
+      queue_capacity = max 1 config.queue_capacity;
+      max_requests_per_connection = max 1 config.max_requests_per_connection;
+    }
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  {
+    cfg = config;
+    eng;
+    lock = Rw_lock.create ();
+    listen_fd = fd;
+    wake_r;
+    wake_w;
+    bound_port;
+    queue = Bqueue.create config.queue_capacity;
+    acceptor = None;
+    workers = [];
+    live_workers = Atomic.make 0;
+    conns = Array.make config.workers None;
+    conn_m = Mutex.create ();
+    stopping = Atomic.make false;
+    state = Created;
+    state_m = Mutex.create ();
+    next_request = Atomic.make 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+
+type reply = {
+  status : int;
+  headers : (string * string) list;
+  content_type : string;
+  body : string;
+}
+
+let text_reply ?(headers = []) status body =
+  { status; headers; content_type = "text/plain; charset=utf-8"; body }
+
+let json_reply ?(headers = []) status body =
+  { status; headers; content_type = "application/json"; body }
+
+let json_error ?request_id ?(extra = "") status msg =
+  let rid =
+    match request_id with
+    | Some id -> Printf.sprintf ", \"request_id\": \"%s\"" id
+    | None -> ""
+  in
+  json_reply status
+    (Printf.sprintf "{\"error\": \"%s\"%s%s}\n" (Metrics.json_escape msg) rid
+       extra)
+
+(* ------------------------------------------------------------------ *)
+(* Request handlers                                                    *)
+
+(* Raised by parameter parsing; turned into a 400. *)
+exception Bad_param of string
+
+let int_param req name =
+  match Http.param req name with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n -> Some n
+      | None -> raise (Bad_param (Printf.sprintf "malformed %s=%S" name v)))
+
+let int64_param req name =
+  match Http.param req name with
+  | None -> None
+  | Some v -> (
+      match Int64.of_string_opt (String.trim v) with
+      | Some n -> Some n
+      | None -> raise (Bad_param (Printf.sprintf "malformed %s=%S" name v)))
+
+let float_param req name =
+  match Http.param req name with
+  | None -> None
+  | Some v -> (
+      match float_of_string_opt (String.trim v) with
+      | Some f -> Some f
+      | None -> raise (Bad_param (Printf.sprintf "malformed %s=%S" name v)))
+
+let require what = function
+  | Some v -> v
+  | None -> raise (Bad_param (Printf.sprintf "missing required %s" what))
+
+let strategy_param req =
+  match Http.param req "strategy" with
+  | None -> None
+  | Some v -> (
+      try Some (Config.strategy_of_string v)
+      with Invalid_argument m -> raise (Bad_param m))
+
+(* [?cache=off] bypasses the result cache for this run (the engine's
+   own caching level is server-wide configuration, not a per-request
+   knob — per-request we can only opt out). *)
+let use_cache_param req =
+  match Http.param req "cache" with
+  | None -> true
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "off" | "0" | "false" | "no" -> false
+      | "on" | "1" | "true" | "yes" | "result" | "plan" -> true
+      | v -> raise (Bad_param (Printf.sprintf "malformed cache=%S" v)))
+
+let deadline_of t req =
+  let requested = float_param req "timeout-ms" in
+  let effective =
+    match (requested, t.cfg.default_timeout_ms) with
+    | Some ms, _ -> Some (Float.min ms t.cfg.max_timeout_ms)
+    | None, Some ms -> Some ms
+    | None, None -> None
+  in
+  match effective with
+  | Some ms when ms > 0.0 -> (Timing.deadline_after (ms /. 1e3), Some ms)
+  | Some _ -> (Timing.deadline_after 0.0, Some 0.0)
+  | None -> (Timing.no_deadline, None)
+
+let fresh_request_id t =
+  Printf.sprintf "r-%d" (Atomic.fetch_and_add t.next_request 1)
+
+let handle_query t req =
+  let request_id = fresh_request_id t in
+  let with_rid headers = ("X-Request-Id", request_id) :: headers in
+  if String.trim req.Http.body = "" then
+    json_error ~request_id 400 "empty query body"
+  else
+    let strategy = strategy_param req in
+    let jobs = int_param req "jobs" in
+    let use_cache = use_cache_param req in
+    let context_doc = Http.param req "context" in
+    let deadline, timeout_ms = deadline_of t req in
+    let trace = Trace.create () in
+    Trace.set_str (Trace.root trace) "request_id" request_id;
+    try
+      (* Prepare under the shared lock (it reads collection statistics),
+         then decide which side the evaluation needs: a constructing
+         run's checkpoint/rollback must not interleave with anything
+         else, so it gets the exclusive side. *)
+      let prepared =
+        Rw_lock.read t.lock (fun () ->
+            Engine.prepare t.eng ?strategy ~trace req.Http.body)
+      in
+      let constructs = Engine.prepared_constructs prepared in
+      let run () =
+        Engine.run_prepared t.eng ~deadline ?context_doc
+          ~rollback_constructed:constructs ~use_cache ?jobs ~trace prepared
+      in
+      let result =
+        if constructs then Rw_lock.write t.lock run
+        else Rw_lock.read t.lock run
+      in
+      let cache_attr =
+        match result.Engine.trace with
+        | Some root -> Option.value ~default:"off" (Trace.str_attr root "cache")
+        | None -> "off"
+      in
+      text_reply 200
+        ~headers:(with_rid [ ("X-Standoff-Cache", cache_attr) ])
+        (result.Engine.serialized ^ "\n")
+    with
+    | Timing.Deadline_exceeded ->
+        (* The engine's cleanup finished the collector, so the partial
+           trace is a well-formed span tree — and since the deadline is
+           also checked during serialization, no half-written result
+           ever reaches this point. *)
+        let extra =
+          Printf.sprintf ", \"timeout_ms\": %g, \"trace\": %s"
+            (Option.value ~default:0.0 timeout_ms)
+            (Trace.to_json trace)
+        in
+        json_error ~request_id ~extra 408 "deadline exceeded"
+    | Err.Error msg -> json_error ~request_id 400 msg
+    | Lexer.Syntax_error { line; col; msg } ->
+        json_error ~request_id 400
+          (Printf.sprintf "syntax error at line %d, col %d: %s" line col msg)
+
+(* The update endpoint: the region mutations of [Standoff.Update],
+   exposed over the wire.  Always exclusive: an in-place attribute
+   rewrite must never race an evaluation reading the same document. *)
+let handle_update t req =
+  let request_id = fresh_request_id t in
+  let doc_name = require "doc parameter" (Http.param req "doc") in
+  (* The annotation vocabulary defaults to start=/end= attributes; the
+     caller can rename via ?start-attr= / ?end-attr= / ?type-attr=. *)
+  let config =
+    List.fold_left
+      (fun cfg (param, opt) ->
+        match Http.param req param with
+        | Some value -> Config.set_option cfg ~name:opt ~value
+        | None -> cfg)
+      Config.default
+      [ ("start-attr", "start"); ("end-attr", "end"); ("type-attr", "type") ]
+  in
+  let op = Option.value ~default:"set-region" (Http.param req "op") in
+  Rw_lock.write t.lock (fun () ->
+      match Collection.doc_id_of_name (Engine.collection t.eng) doc_name with
+      | None -> json_error ~request_id 404 ("document not found: " ^ doc_name)
+      | Some doc_id -> (
+          let doc = Collection.doc (Engine.collection t.eng) doc_id in
+          let cat = Engine.catalog t.eng in
+          try
+            let detail =
+              match op with
+              | "set-region" | "set" ->
+                  let pre = require "pre parameter" (int_param req "pre") in
+                  let start =
+                    require "start parameter" (int64_param req "start")
+                  in
+                  let end_ =
+                    require "end parameter" (int64_param req "end")
+                  in
+                  Update.set_region cat config doc ~pre
+                    (Region.make start end_);
+                  Printf.sprintf "\"op\": \"set-region\", \"pre\": %d" pre
+              | "shift" ->
+                  let from =
+                    require "from parameter" (int64_param req "from")
+                  in
+                  let by = require "by parameter" (int64_param req "by") in
+                  let moved =
+                    Update.shift_annotations cat config doc ~from ~by
+                  in
+                  Printf.sprintf "\"op\": \"shift\", \"moved\": %d" moved
+              | op -> raise (Bad_param (Printf.sprintf "unknown op=%S" op))
+            in
+            json_reply 200
+              ~headers:[ ("X-Request-Id", request_id) ]
+              (Printf.sprintf
+                 "{\"ok\": true, %s, \"doc\": \"%s\", \"generation\": %d, \
+                  \"version\": %d}\n"
+                 detail
+                 (Metrics.json_escape doc_name)
+                 (Catalog.generation cat doc_name)
+                 (Catalog.version cat))
+          with Invalid_argument msg -> json_error ~request_id 400 msg))
+
+let handle_explain t req =
+  let text =
+    match (req.Http.meth, Http.param req "q") with
+    | "POST", _ when String.trim req.Http.body <> "" -> req.Http.body
+    | _, Some q when String.trim q <> "" -> q
+    | _ -> raise (Bad_param "missing query (?q= or POST body)")
+  in
+  let strategy = strategy_param req in
+  let optimize =
+    match Http.param req "optimize" with
+    | Some ("false" | "0" | "no") -> Some false
+    | _ -> None
+  in
+  try
+    Rw_lock.read t.lock (fun () ->
+        text_reply 200 (Engine.explain t.eng ?strategy ?optimize text ^ "\n"))
+  with
+  | Err.Error msg -> json_error 400 msg
+  | Lexer.Syntax_error { line; col; msg } ->
+      json_error 400
+        (Printf.sprintf "syntax error at line %d, col %d: %s" line col msg)
+
+let known_paths =
+  [
+    ("/query", [ "POST" ]);
+    ("/update", [ "POST" ]);
+    ("/explain", [ "GET"; "POST" ]);
+    ("/metrics", [ "GET" ]);
+    ("/slow", [ "GET" ]);
+    ("/healthz", [ "GET" ]);
+  ]
+
+let route t (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> text_reply 200 "ok\n"
+  | "GET", "/metrics" ->
+      {
+        status = 200;
+        headers = [];
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        body = Metrics.expose ();
+      }
+  | "GET", "/slow" -> json_reply 200 (Slow_log.to_json () ^ "\n")
+  | ("GET" | "POST"), "/explain" -> handle_explain t req
+  | "POST", "/query" -> handle_query t req
+  | "POST", "/update" -> handle_update t req
+  | meth, path -> (
+      match List.assoc_opt path known_paths with
+      | Some allowed ->
+          {
+            (json_error 405 ("method not allowed: " ^ meth)) with
+            headers = [ ("Allow", String.concat ", " allowed) ];
+          }
+      | None -> json_error 404 ("no such endpoint: " ^ path))
+
+(* ------------------------------------------------------------------ *)
+(* Connection serving                                                  *)
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_reply fd ~keep_alive reply =
+  count_response reply.status;
+  Http.write_response fd ~status:reply.status ~headers:reply.headers
+    ~content_type:reply.content_type ~keep_alive reply.body
+
+(* Serve every request a connection carries.  Never closes [fd] — the
+   worker loop owns the close (under [conn_m], so [stop]'s force-
+   shutdown can't race it). *)
+let serve_connection t fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.socket_timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.socket_timeout_s
+   with Unix.Unix_error _ -> ());
+  let reader = Http.reader fd in
+  let served = ref 0 in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    match Http.read_request ~max_body:t.cfg.max_body_bytes reader with
+    | exception Http.Closed -> ()
+    | exception
+        Unix.Unix_error
+          ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET | EPIPE | EBADF), _, _)
+      ->
+        (* Receive timeout or a peer/force-closed socket: just drop the
+           connection; there is no request to answer. *)
+        ()
+    | exception Http.Bad_request msg -> (
+        try send_reply fd ~keep_alive:false (json_error 400 msg)
+        with Unix.Unix_error _ -> ())
+    | exception Http.Payload_too_large cap -> (
+        try
+          send_reply fd ~keep_alive:false
+            (json_error 413
+               (Printf.sprintf "request body exceeds %d bytes" cap))
+        with Unix.Unix_error _ -> ())
+    | req -> (
+        incr served;
+        let keep_alive =
+          Http.wants_keep_alive req
+          && !served < t.cfg.max_requests_per_connection
+          && not (Atomic.get t.stopping)
+        in
+        let t0 = Timing.now () in
+        let reply =
+          try route t req with
+          | Bad_param msg -> json_error 400 msg
+          | Http.Bad_request msg -> json_error 400 msg
+          | exn ->
+              (* A handler bug must kill the request, not the worker. *)
+              Printf.eprintf "standoff-server: internal error on %s %s: %s\n%!"
+                req.Http.meth req.Http.target (Printexc.to_string exn);
+              json_error 500 "internal server error"
+        in
+        Metrics.observe m_request_seconds (Timing.now () -. t0);
+        match send_reply fd ~keep_alive reply with
+        | () -> continue := keep_alive
+        | exception Unix.Unix_error _ -> ())
+  done
+
+(* The 503 the acceptor sends without admitting the connection.  A
+   short send timeout keeps a slow-reading client from stalling the
+   accept loop. *)
+let shed t fd =
+  Metrics.incr m_shed;
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+     count_response 503;
+     Http.write_response fd ~status:503
+       ~headers:[ ("Retry-After", string_of_int t.cfg.retry_after_s) ]
+       ~content_type:"application/json" ~keep_alive:false
+       "{\"error\": \"server overloaded, admission queue full\"}\n"
+   with Unix.Unix_error _ | Http.Bad_request _ -> ());
+  close_noerr fd
+
+let rec accept_loop t =
+  if Atomic.get t.stopping then ()
+  else
+    match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error ((EINTR | EAGAIN), _, _) -> accept_loop t
+    | exception Unix.Unix_error (EBADF, _, _) -> ()
+    | ready, _, _ ->
+        if List.mem t.wake_r ready then () (* [stop] woke us: done *)
+        else begin
+          (match Unix.accept ~cloexec:true t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ((EBADF | EINVAL | ECONNABORTED | EINTR | EAGAIN), _, _) ->
+              ()
+          | fd, _ ->
+              Metrics.incr m_connections;
+              if Atomic.get t.stopping then close_noerr fd
+              else if not (Bqueue.try_push t.queue fd) then shed t fd);
+          accept_loop t
+        end
+
+let worker_loop t i =
+  let rec go () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some fd ->
+        Mutex.lock t.conn_m;
+        t.conns.(i) <- Some fd;
+        Mutex.unlock t.conn_m;
+        Metrics.gauge_add m_in_flight 1;
+        (try serve_connection t fd
+         with exn ->
+           Printf.eprintf "standoff-server: worker %d: %s\n%!" i
+             (Printexc.to_string exn));
+        Metrics.gauge_add m_in_flight (-1);
+        Mutex.lock t.conn_m;
+        t.conns.(i) <- None;
+        close_noerr fd;
+        Mutex.unlock t.conn_m;
+        go ()
+  in
+  Atomic.incr t.live_workers;
+  Fun.protect ~finally:(fun () -> Atomic.decr t.live_workers) go
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start t =
+  Mutex.lock t.state_m;
+  (match t.state with
+  | Created -> t.state <- Running
+  | _ ->
+      Mutex.unlock t.state_m;
+      invalid_arg "Standoff_server.Server.start: already started");
+  Mutex.unlock t.state_m;
+  (* A peer closing mid-write must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  t.workers <-
+    List.init t.cfg.workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  t.acceptor <- Some (Thread.create accept_loop t)
+
+let stop ?grace_s t =
+  let grace = Option.value ~default:t.cfg.grace_s grace_s in
+  let proceed =
+    Mutex.lock t.state_m;
+    let p = t.state = Running in
+    if p then t.state <- Stopping;
+    Mutex.unlock t.state_m;
+    p
+  in
+  if proceed then begin
+    Atomic.set t.stopping true;
+    (* Stop accepting: a byte down the self-pipe pops the acceptor out
+       of [select]; only then is the listening socket closed. *)
+    (try ignore (Unix.write_substring t.wake_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.acceptor with
+    | Some th -> Thread.join th
+    | None -> ());
+    close_noerr t.listen_fd;
+    close_noerr t.wake_r;
+    close_noerr t.wake_w;
+    (* Drain: workers keep serving queued and in-flight connections
+       (keep-alive responses now say close); [close] lets them exit
+       once the queue is empty. *)
+    Bqueue.close t.queue;
+    let deadline = Timing.now () +. grace in
+    while Atomic.get t.live_workers > 0 && Timing.now () < deadline do
+      Thread.delay 0.02
+    done;
+    if Atomic.get t.live_workers > 0 then begin
+      (* Grace expired: force the stragglers' sockets shut.  Their
+         reads return EOF / their writes fail, and the workers exit;
+         the fds themselves are still closed by their owning worker. *)
+      Mutex.lock t.conn_m;
+      Array.iter
+        (function
+          | Some fd -> (
+              try Unix.shutdown fd Unix.SHUTDOWN_ALL
+              with Unix.Unix_error _ -> ())
+          | None -> ())
+        t.conns;
+      Mutex.unlock t.conn_m
+    end;
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    Mutex.lock t.state_m;
+    t.state <- Stopped;
+    Mutex.unlock t.state_m
+  end

@@ -1,0 +1,95 @@
+(** The network query service: a concurrent HTTP/1.1 server over one
+    {!Standoff_xquery.Engine}, built from [Unix] sockets, worker
+    domains and a bounded admission queue — no dependencies beyond the
+    stdlib.
+
+    Endpoints:
+    - [POST /query] — XQuery text in the body; knobs as query
+      parameters: [?strategy=] pins the StandOff strategy,
+      [?jobs=] overrides the engine parallelism for this run,
+      [?cache=off] bypasses the result cache, [?timeout-ms=] sets the
+      per-request deadline (clamped to the configured maximum),
+      [?context=] names the context document.  Answers
+      [200 text/plain] with the serialized result (byte-identical to
+      {!Standoff_xquery.Engine.run} plus a trailing newline), [400] on
+      static/dynamic query errors, [408] with a partial-trace JSON body
+      when the deadline fires.  Every response carries [X-Request-Id]
+      and [X-Standoff-Cache: hit|miss|off].
+    - [POST /update] — in-place region updates:
+      [?doc=NAME&pre=N&start=S&end=E] rewrites one annotation's region;
+      [?doc=NAME&op=shift&from=F&by=B] shifts annotations.  Runs under
+      the exclusive side of the server's readers–writer lock and ends
+      in {!Standoff.Catalog.invalidate}, so concurrent queries can
+      never observe a stale cached result.
+    - [GET /explain?q=…] (or [POST /explain] with the query as body) —
+      the optimized physical plan, evaluated nothing.
+    - [GET /metrics] — the process-wide
+      {!Standoff_obs.Metrics.expose} Prometheus text.
+    - [GET /slow] — the slow-query log as JSON.
+    - [GET /healthz] — liveness.
+
+    Production behaviors: admission control (a bounded pending
+    connection queue; the acceptor sheds load with
+    [503] + [Retry-After] when it is full), per-request deadlines,
+    socket read/write timeouts, a request body cap ([413]), keep-alive
+    with a per-connection request bound, and graceful shutdown
+    ({!stop}: stop accepting, drain queued and in-flight requests up
+    to a grace period, then force-close).
+
+    Queries run concurrently on worker domains under the shared side
+    of a readers–writer lock; updates and node-constructing queries
+    (see {!Standoff_xquery.Engine.prepared_constructs}) take the
+    exclusive side, so a constructing run's checkpoint/rollback pair
+    cannot truncate another run's scratch documents and updates never
+    race an evaluation. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker domains serving connections *)
+  queue_capacity : int;
+      (** pending connections admitted beyond the workers; the
+          acceptor sheds with 503 past it *)
+  max_body_bytes : int;  (** request body cap, 413 past it *)
+  max_requests_per_connection : int;
+      (** keep-alive bound; the response that hits it says
+          [Connection: close] *)
+  default_timeout_ms : float option;
+      (** per-request deadline when the client sends no
+          [?timeout-ms=]; [None] means no deadline *)
+  max_timeout_ms : float;  (** upper clamp for client deadlines *)
+  socket_timeout_s : float;  (** receive/send timeout on connections *)
+  grace_s : float;  (** {!stop}'s default drain budget *)
+  retry_after_s : int;  (** the [Retry-After] value on shed 503s *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?config engine] binds and listens (so {!port} is known),
+    but serves nothing until {!start}.
+    @raise Unix.Unix_error when binding fails. *)
+val create : ?config:config -> Standoff_xquery.Engine.t -> t
+
+(** The bound port — the configured one, or the kernel-chosen one when
+    the configuration said [0]. *)
+val port : t -> int
+
+val engine : t -> Standoff_xquery.Engine.t
+
+(** [start t] spawns the acceptor and the worker domains and returns.
+    @raise Invalid_argument if the server was already started. *)
+val start : t -> unit
+
+(** [stop ?grace_s t] shuts down gracefully: stop accepting, let the
+    workers drain queued and in-flight requests (keep-alive
+    connections are told [Connection: close] on their next response),
+    and after [grace_s] (default from the configuration) force-close
+    whatever is still open.  Blocks until every worker has exited.
+    Idempotent; safe to call from any thread, but not from a signal
+    handler — have the handler set a flag instead. *)
+val stop : ?grace_s:float -> t -> unit
+
+(** Whether {!start} has run and {!stop} has not completed. *)
+val running : t -> bool

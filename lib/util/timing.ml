@@ -6,13 +6,22 @@ type 'a outcome =
 
 exception Deadline_exceeded
 
-type deadline = { expires_at : float }
+type deadline = {
+  expires_at : float;
+  fuel : int Atomic.t option;
+      (* deterministic test deadline: fires on the (n+1)-th checkpoint.
+         Atomic because pool workers checkpoint a shared deadline. *)
+}
 (* [infinity] encodes "no deadline"; comparison against it is free. *)
 
-let no_deadline = { expires_at = infinity }
-let deadline_after seconds = { expires_at = now () +. seconds }
+let no_deadline = { expires_at = infinity; fuel = None }
+let deadline_after seconds = { expires_at = now () +. seconds; fuel = None }
+let deadline_with_fuel n = { expires_at = infinity; fuel = Some (Atomic.make n) }
 
 let checkpoint d =
+  (match d.fuel with
+  | Some a -> if Atomic.fetch_and_add a (-1) <= 0 then raise Deadline_exceeded
+  | None -> ());
   if d.expires_at <> infinity && now () > d.expires_at then
     raise Deadline_exceeded
 

@@ -22,6 +22,14 @@ val no_deadline : deadline
 (** [deadline_after seconds] fires [seconds] from now. *)
 val deadline_after : float -> deadline
 
+(** [deadline_with_fuel n] fires on the [(n+1)]-th {!checkpoint} (and
+    on every one after), independent of wall-clock time.  Deterministic
+    by construction, which is what makes it possible to test deadline
+    behaviour at an exact point of a run — e.g. that a deadline firing
+    during result serialization still yields a clean error.  Safe to
+    share across pool domains. *)
+val deadline_with_fuel : int -> deadline
+
 (** [checkpoint d] raises {!Deadline_exceeded} if [d] has passed.
     Cheap enough to call every few thousand loop iterations. *)
 val checkpoint : deadline -> unit

@@ -75,6 +75,17 @@ type prepared = {
 let prepared_plan p = p.p_plan
 let prepared_config p = p.p_config
 
+(* Conservative: a call to a constructing user function from a
+   non-constructing body still reports [true] (function bodies are
+   checked whether called or not), which errs on the safe side for
+   callers deciding between shared and exclusive collection access. *)
+let prepared_constructs p =
+  Plan.constructs p.p_plan
+  || List.exists (fun (_, g) -> Plan.constructs g) p.p_globals
+  || Hashtbl.fold
+       (fun _ fn acc -> acc || Plan.constructs fn.Plan.fn_body)
+       p.p_functions false
+
 (* What one result-cache entry stores: everything [run_prepared]
    returns except the trace, which is per-run. *)
 type cached_result = {
@@ -159,7 +170,8 @@ let shutdown t =
 (* Engines with the same jobs count share one process-wide pool (live
    domains are a bounded resource); [None] when sequential, so jobs=1
    never even consults it. *)
-let pool_of t = if t.jobs <= 1 then None else Some (Pool.shared ~jobs:t.jobs)
+let pool_for jobs = if jobs <= 1 then None else Some (Pool.shared ~jobs)
+let pool_of t = pool_for t.jobs
 
 type result = {
   items : Item.t list;
@@ -396,7 +408,11 @@ let set_root_attrs trace prepared ~jobs ~cache =
   | None -> ()
 
 let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
-    ?(rollback_constructed = false) ?(use_cache = true) ?trace prepared =
+    ?(rollback_constructed = false) ?(use_cache = true) ?jobs ?trace prepared =
+  (* [jobs] overrides the engine-wide parallelism for this one run (the
+     HTTP server maps a per-request [?jobs=] knob onto it); the engine
+     field is left alone so concurrent runs are unaffected. *)
+  let jobs = match jobs with Some n -> max 1 n | None -> t.jobs in
   let trace =
     match trace with
     | Some _ -> trace
@@ -420,7 +436,7 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
          exactly what the original run produced.  Still a query as far
          as accounting is concerned. *)
       let t0 = Timing.now () in
-      set_root_attrs trace prepared ~jobs:t.jobs ~cache:"hit";
+      set_root_attrs trace prepared ~jobs ~cache:"hit";
       Option.iter (fun tr -> ignore (Trace.finish tr)) trace;
       account t prepared trace ~seconds:(Timing.now () -. t0) ~failed:false;
       {
@@ -454,12 +470,12 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
              on error. *)
           if rollback_constructed then Collection.rollback t.coll mark)
         (fun () ->
-          set_root_attrs trace prepared ~jobs:t.jobs
+          set_root_attrs trace prepared ~jobs
             ~cache:(if cache_on then "miss" else "off");
           let env =
             Eval.initial_env ~coll:t.coll ~catalog:t.cat
               ~config:prepared.p_config ~strategy:prepared.p_strategy ?trace
-              ?pool:(pool_of t) ~deadline ~functions:prepared.p_functions
+              ?pool:(pool_for jobs) ~deadline ~functions:prepared.p_functions
               ~context ()
           in
           let env =
@@ -472,10 +488,15 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
             phase_span trace "eval" (fun () -> Eval.eval env prepared.p_plan)
           in
           let items = Table.to_sequence table in
-          (* Serialize before constructed documents are rolled back. *)
+          (* Serialize before constructed documents are rolled back.
+             The deadline is threaded through: a timeout firing while
+             the result is being rendered aborts the run with the same
+             clean [Deadline_exceeded] as one firing during evaluation —
+             no half-written output can reach a caller (the HTTP server
+             turns this into a well-formed 408). *)
           let serialized =
             phase_span trace "serialize" (fun () ->
-                Serialize.sequence t.coll items)
+                Serialize.sequence ~deadline t.coll items)
           in
           failed := false;
           (* Cache only runs that constructed nothing: items referring
@@ -568,7 +589,7 @@ let run_prepared_sharded t ?(deadline = Timing.no_deadline)
             | _ -> Array.map run_one doc_ids
           in
           let items = List.concat (Array.to_list per_doc) in
-          let serialized = Serialize.sequence t.coll items in
+          let serialized = Serialize.sequence ~deadline t.coll items in
           (match key with
           | Some k when Collection.checkpoint t.coll = mark ->
               Lru.add t.result_cache ~generation k

@@ -139,6 +139,16 @@ val prepared_plan : prepared -> Plan.t
 (** The configuration the prolog produced. *)
 val prepared_config : prepared -> Standoff.Config.t
 
+(** [prepared_constructs p] holds when evaluating [p] may register
+    scratch documents in the collection (an element constructor occurs
+    in the body, a global variable, or any declared function — the
+    function check is conservative: declared-but-uncalled constructors
+    still count).  Concurrent callers (the HTTP server) use it to give
+    constructing runs exclusive collection access, so one run's
+    checkpoint/rollback pair can never truncate another's scratch
+    documents. *)
+val prepared_constructs : prepared -> bool
+
 (** [prepare t ?strategy ?optimize ?trace query] parses [query] and
     lowers it to a plan.  With [optimize:false] (default [true]) the
     optimizer pass is skipped and the structural lowering is evaluated
@@ -177,6 +187,13 @@ val prepare :
     [use_cache:false] (default [true]) bypasses the result cache for
     one run — {!explain_analyze} uses it, since it needs the
     evaluation spans.  Cache hits still count in the engine metrics.
+    [jobs] overrides the engine-wide parallelism for this run only
+    (clamped to [>= 1]); the engine configuration is untouched, so
+    concurrent runs with different overrides do not interfere.
+
+    The deadline covers serialization too: a timeout firing while the
+    result is rendered raises like one firing during evaluation, and no
+    partial output escapes.
     @raise Err.Error on dynamic errors
     @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
 val run_prepared :
@@ -185,6 +202,7 @@ val run_prepared :
   ?context_doc:string ->
   ?rollback_constructed:bool ->
   ?use_cache:bool ->
+  ?jobs:int ->
   ?trace:Standoff_obs.Trace.t ->
   prepared ->
   result

@@ -250,6 +250,31 @@ let free_vars plan =
   in
   go S.empty S.empty plan |> S.elements
 
+let rec constructs p =
+  match p.desc with
+  | Elem_ctor _ -> true
+  | Literal _ | Var _ | Context_item -> false
+  | Sequence es -> List.exists constructs es
+  | For { source; order_by; body; _ } ->
+      constructs source || constructs body
+      || List.exists (fun spec -> constructs spec.key) order_by
+  | Let { value; body; _ } -> constructs value || constructs body
+  | Where { cond; body } -> constructs cond || constructs body
+  | Quantified { source; satisfies; _ } ->
+      constructs source || constructs satisfies
+  | If { cond; then_; else_ } ->
+      constructs cond || constructs then_ || constructs else_
+  | Binop (_, a, b) -> constructs a || constructs b
+  | Unary_minus e | Axis_step { input = e; _ } | Attribute_step { input = e; _ }
+    ->
+      constructs e
+  | Standoff_join { input; candidates; _ } ->
+      constructs input
+      || (match candidates with Some c -> constructs c | None -> false)
+  | Filter { input; predicate } -> constructs input || constructs predicate
+  | Path_map { input; body } -> constructs input || constructs body
+  | Call { args; _ } -> List.exists constructs args
+
 (* ------------------------------------------------------------------ *)
 (* Rendering (EXPLAIN / EXPLAIN ANALYZE)                              *)
 

@@ -82,6 +82,14 @@ val lower : ?is_udf:(string -> bool) -> Ast.expr -> t
     bind, as {!Ast.free_vars}. *)
 val free_vars : t -> string list
 
+(** [constructs p] holds when [p] contains an element constructor
+    anywhere — i.e. evaluating it may register scratch documents in the
+    collection.  Callers running queries concurrently (the HTTP server)
+    use this to decide which runs need exclusive access: a constructing
+    run's checkpoint/rollback pair must not interleave with another
+    run's. *)
+val constructs : t -> bool
+
 (** Per-node aggregation of one traced run (EXPLAIN ANALYZE): call
     count, input/output row cardinalities, inclusive wall time,
     region-index rows scanned, parallel sweep chunks, and the resolved

@@ -12,11 +12,16 @@ let item coll = function
   | (Item.Bool _ | Item.Int _ | Item.Float _ | Item.Str _) as atom ->
       Atomic.atomic_to_string (Atomic.atomize coll atom)
 
-let sequence coll items =
+let sequence ?(deadline = Standoff_util.Timing.no_deadline) coll items =
   let buf = Buffer.create 256 in
   let prev_atomic = ref false in
   List.iteri
     (fun i it ->
+      (* A deadline firing mid-serialization must abort the whole run:
+         the buffer is local, so no partial output can escape to a
+         caller (a server response, say) — the exception is the only
+         observable outcome. *)
+      Standoff_util.Timing.checkpoint deadline;
       let atomic = not (Item.is_node it) in
       if i > 0 then
         if atomic && !prev_atomic then Buffer.add_char buf ' '

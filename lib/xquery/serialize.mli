@@ -4,7 +4,15 @@
     as [name="value"], atomics in their canonical lexical form. *)
 val item : Standoff_store.Collection.t -> Standoff_relalg.Item.t -> string
 
-(** [sequence coll items] serializes a result sequence: adjacent atomic
-    values are separated by a single space, nodes by newlines. *)
+(** [sequence ?deadline coll items] serializes a result sequence:
+    adjacent atomic values are separated by a single space, nodes by
+    newlines.  [deadline] is checked before each item; if it fires,
+    {!Standoff_util.Timing.Deadline_exceeded} is raised and no partial
+    output escapes (the buffer is discarded with the raise).
+    @raise Standoff_util.Timing.Deadline_exceeded when [deadline] has
+    passed. *)
 val sequence :
-  Standoff_store.Collection.t -> Standoff_relalg.Item.t list -> string
+  ?deadline:Standoff_util.Timing.deadline ->
+  Standoff_store.Collection.t ->
+  Standoff_relalg.Item.t list ->
+  string

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke-test the network query service end to end: boot it against a
+# generated XMark instance, exercise the endpoints with curl, then
+# SIGTERM it and require a clean, drained exit (status 0).
+#
+#   scripts/server_smoke.sh [path/to/standoff_server.exe]
+set -euo pipefail
+
+BIN=${1:-./_build/default/bin/standoff_server.exe}
+PORT=${PORT:-8123}
+BASE="http://127.0.0.1:$PORT"
+DOC='xmark-standoff-0.01.xml'
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+log=$(mktemp)
+"$BIN" --xmark 0.01 --port "$PORT" --workers 2 >"$log" 2>&1 &
+server_pid=$!
+trap 'kill -9 $server_pid 2>/dev/null || true; rm -f "$log"' EXIT
+
+# Wait for the listener to come up.
+up=0
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+  kill -0 $server_pid 2>/dev/null || { cat "$log" >&2; fail "server died during startup"; }
+  sleep 0.2
+done
+[ "$up" = 1 ] || { cat "$log" >&2; fail "server never became healthy"; }
+
+echo "== healthz"
+[ "$(curl -fsS "$BASE/healthz")" = "ok" ] || fail "healthz body"
+
+echo "== query"
+headers=$(mktemp)
+body=$(curl -fsS -D "$headers" -X POST --data-binary \
+  "count(doc(\"$DOC\")//site/select-narrow::regions)" \
+  "$BASE/query?strategy=loop-lifted")
+[ "$body" = "1" ] || fail "query answered '$body', expected '1'"
+grep -qi '^x-request-id:' "$headers" || fail "missing X-Request-Id"
+grep -qi '^x-standoff-cache:' "$headers" || fail "missing X-Standoff-Cache"
+rm -f "$headers"
+
+echo "== query errors"
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST --data-binary \
+  'this is not xquery (' "$BASE/query")
+[ "$code" = 400 ] || fail "syntax error answered $code, expected 400"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$BASE/nowhere")
+[ "$code" = 404 ] || fail "unknown path answered $code, expected 404"
+
+echo "== explain"
+curl -fsS "$BASE/explain?q=count(doc(%22$DOC%22)//site)" \
+  | grep -q . || fail "explain returned an empty plan"
+
+echo "== metrics"
+metrics=$(curl -fsS "$BASE/metrics")
+echo "$metrics" | grep -q 'standoff_server_requests_total{code="200"}' \
+  || fail "metrics missing requests_total{code=\"200\"}"
+echo "$metrics" | grep -q 'standoff_server_queue_depth' \
+  || fail "metrics missing queue_depth gauge"
+
+echo "== graceful shutdown"
+kill -TERM $server_pid
+status=0
+wait $server_pid || status=$?
+[ "$status" = 0 ] || { cat "$log" >&2; fail "server exited $status on SIGTERM"; }
+grep -q 'drained' "$log" || { cat "$log" >&2; fail "no drain message in server log"; }
+trap 'rm -f "$log"' EXIT
+
+echo "PASS: server smoke test"

@@ -47,6 +47,28 @@ let check_absent what out needle =
     false (contains out needle)
 
 (* ------------------------------------------------------------------ *)
+(* Construction detection (drives the HTTP server's lock choice)       *)
+
+let test_constructs_detection () =
+  let engine = figure1_engine () in
+  let constructs q = Engine.prepared_constructs (Engine.prepare engine q) in
+  Alcotest.(check bool)
+    "plain path does not construct" false
+    (constructs "doc(\"figure1.xml\")//shot");
+  Alcotest.(check bool)
+    "aggregate does not construct" false
+    (constructs "count(doc(\"figure1.xml\")//video/select-wide::music)");
+  Alcotest.(check bool)
+    "element constructor detected" true
+    (constructs "<r>{doc(\"figure1.xml\")//shot}</r>");
+  Alcotest.(check bool)
+    "constructor in a FLWOR body detected" true
+    (constructs "for $s in doc(\"figure1.xml\")//shot return <hit/>");
+  Alcotest.(check bool)
+    "constructor behind a declared function detected" true
+    (constructs "declare function local:mk() { <x/> };\nlocal:mk()")
+
+(* ------------------------------------------------------------------ *)
 (* Rewrites, observed through the rendered plan                        *)
 
 let test_pushdown () =
@@ -262,6 +284,8 @@ let () =
           Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
           Alcotest.test_case "explain analyze xmark regression" `Quick
             test_explain_analyze_xmark_regression;
+          Alcotest.test_case "construction detection" `Quick
+            test_constructs_detection;
         ] );
       ( "equivalence",
         [
