@@ -114,9 +114,11 @@ let jobs_arg =
     & opt int (Config.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Evaluate with N domains in parallel (merge sweeps, index \
-           builds, per-document shards).  1 = fully sequential.  \
-           Defaults to \\$(b,STANDOFF_JOBS) or 1.")
+          "Evaluate with up to N domains in parallel (merge sweeps, \
+           index builds, per-document shards).  1 = fully sequential; \
+           0 = adaptive, sized per query from its plan cost within the \
+           machine's domain budget.  Defaults to \\$(b,STANDOFF_JOBS) \
+           or 0.")
 
 let cache_conv =
   Arg.conv

@@ -87,8 +87,12 @@ let port_arg =
 
 let workers_arg =
   Arg.(
-    value & opt int 4
-    & info [ "workers" ] ~docv:"N" ~doc:"Worker domains serving connections.")
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains serving connections.  0 (the default) derives \
+           the count from the machine: half the process domain budget, \
+           at least 1.")
 
 let queue_arg =
   Arg.(
@@ -158,7 +162,10 @@ let jobs_arg =
     value
     & opt int (Config.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Engine parallelism (domains) per query evaluation.")
+        ~doc:
+          "Engine parallelism (domains) per query evaluation.  0 (the \
+           default) sizes each run adaptively from its plan cost, within \
+           what the domain budget has left after the connection workers.")
 
 let cache_conv =
   Arg.conv
@@ -236,13 +243,22 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
     Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
     Server.start server;
+    let module Pool = Standoff_util.Pool in
+    let jobs_label =
+      match Engine.jobs engine with
+      | 0 -> Printf.sprintf "auto(<=%d)" (Pool.max_parallelism ())
+      | n -> string_of_int n
+    in
     Printf.printf
-      "standoff-server listening on %s:%d (workers=%d queue=%d jobs=%d \
-       cache=%s) — %d document(s) loaded\n\
+      "standoff-server: domain budget %d -> %d connection worker(s) + \
+       engine jobs %s\n\
+       standoff-server listening on %s:%d (queue=%d cache=%s) — %d \
+       document(s) loaded\n\
        endpoints: POST /query, POST /update, GET /explain, GET /metrics, \
        GET /slow, GET /healthz\n\
        %!"
-      host (Server.port server) workers queue (Engine.jobs engine)
+      (Pool.domain_budget ()) (Server.workers server) jobs_label host
+      (Server.port server) queue
       (Engine.cache_mode_to_string (Engine.cache_mode engine))
       (Collection.doc_count coll);
     while not (Atomic.get stop_requested) do

@@ -82,5 +82,7 @@ val all_strategies : strategy list
 
 (** [default_jobs ()] is the default parallelism for query execution:
     the [STANDOFF_JOBS] environment variable when set to an integer
-    >= 1, else [1] (fully sequential). *)
+    >= 0, else [0] — which the engine interprets as {e adaptive}
+    (size each run from its plan cost, within the process domain
+    budget).  [1] forces the fully sequential path. *)
 val default_jobs : unit -> int

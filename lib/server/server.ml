@@ -10,6 +10,7 @@ module Config = Standoff.Config
 module Catalog = Standoff.Catalog
 module Update = Standoff.Update
 module Region = Standoff_interval.Region
+module Pool = Standoff_util.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -177,11 +178,18 @@ type config = {
   retry_after_s : int;
 }
 
+(* Half the domain budget goes to connection workers, the rest stays
+   available for intra-query parallelism — the adaptive engine sizes
+   its batches against what the reservation leaves
+   ([Pool.max_parallelism]), so the two layers share the budget instead
+   of multiplying (workers x jobs domains was the PR-5 inversion). *)
+let auto_workers () = max 1 ((Pool.domain_budget () + 1) / 2)
+
 let default_config =
   {
     host = "127.0.0.1";
     port = 8080;
-    workers = 4;
+    workers = 0;
     queue_capacity = 64;
     max_body_bytes = 1024 * 1024;
     max_requests_per_connection = 1000;
@@ -222,6 +230,7 @@ type t = {
 
 let engine t = t.eng
 let port t = t.bound_port
+let workers t = t.cfg.workers
 
 let running t =
   Mutex.lock t.state_m;
@@ -233,7 +242,7 @@ let create ?(config = default_config) eng =
   let config =
     {
       config with
-      workers = max 1 config.workers;
+      workers = (if config.workers <= 0 then auto_workers () else config.workers);
       queue_capacity = max 1 config.queue_capacity;
       max_requests_per_connection = max 1 config.max_requests_per_connection;
     }
@@ -678,6 +687,11 @@ let start t =
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
+  (* Register the connection workers against the process domain budget:
+     the scheduler spawns fewer pool workers while the server runs, and
+     the engine's adaptive sizing sees the reduced
+     [Pool.max_parallelism]. *)
+  Pool.reserve_domains t.cfg.workers;
   t.workers <-
     List.init t.cfg.workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
   t.acceptor <- Some (Thread.create accept_loop t)
@@ -727,6 +741,7 @@ let stop ?grace_s t =
     end;
     List.iter Domain.join t.workers;
     t.workers <- [];
+    Pool.release_domains t.cfg.workers;
     Mutex.lock t.state_m;
     t.state <- Stopped;
     Mutex.unlock t.state_m

@@ -46,7 +46,11 @@
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** [0] picks an ephemeral port (see {!port}) *)
-  workers : int;  (** worker domains serving connections *)
+  workers : int;
+      (** worker domains serving connections; [0] (the default) means
+          auto — half the process domain budget
+          ({!Standoff_util.Pool.domain_budget}), at least 1, leaving
+          the other half for intra-query parallelism *)
   queue_capacity : int;
       (** pending connections admitted beyond the workers; the
           acceptor sheds with 503 past it *)
@@ -76,9 +80,17 @@ val create : ?config:config -> Standoff_xquery.Engine.t -> t
     the configuration said [0]. *)
 val port : t -> int
 
+(** The resolved worker-domain count — the configured one, or the
+    auto-derived one when the configuration said [0]. *)
+val workers : t -> int
+
 val engine : t -> Standoff_xquery.Engine.t
 
 (** [start t] spawns the acceptor and the worker domains and returns.
+    The workers are registered against the process domain budget
+    ({!Standoff_util.Pool.reserve_domains}) for as long as the server
+    runs, so query-execution parallelism shrinks to what the budget
+    has left rather than multiplying with the worker count.
     @raise Invalid_argument if the server was already started. *)
 val start : t -> unit
 

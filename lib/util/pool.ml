@@ -1,9 +1,25 @@
-(* A work-queue domain pool.  One mutex guards the queue and the
-   worker list; workers block on [has_work] and exit when [closing].
-   Batches track their own completion count, so concurrent and nested
-   batches on the same pool are independent: a domain waiting for its
-   batch keeps draining the shared queue instead of sleeping while
-   runnable tasks exist, which is what makes nesting deadlock-free. *)
+(* One process-wide work-stealing scheduler.  The whole process draws
+   from a single domain budget sized against
+   [Domain.recommended_domain_count ()]: at most [budget - 1] worker
+   domains ever exist, no matter how many engines, servers, or jobs
+   settings are in play.  A [t] is a lightweight *handle* whose [jobs]
+   is a per-batch max-parallelism cap, not a worker count — two
+   handles with different caps share the same workers.
+
+   Each worker owns a deque: it pushes and pops batch runners at the
+   back (LIFO, cache-friendly for nested work) and other workers —
+   or a submitting domain waiting out its batch — steal from the
+   front.  A batch is an array of tasks plus an atomic claim counter;
+   "runners" placed in deques are just activation stubs that pull
+   tasks through the counter, so batch completion never depends on a
+   stub being executed: the submitting domain is itself a runner and
+   can always drain its batch alone.  That property is what makes the
+   scheduler deadlock-free under nesting, teardown, and a zero-worker
+   budget alike.
+
+   Caps inherit: a task running under a batch capped at [c] that
+   submits its own batch runs it at [min c jobs'] — recursive sweeps
+   cannot oversubscribe the budget by multiplying caps. *)
 
 module Metrics = Standoff_obs.Metrics
 
@@ -11,128 +27,404 @@ module Metrics = Standoff_obs.Metrics
    (at zero) even in a process that never runs parallel work. *)
 let m_tasks_total =
   Metrics.counter "standoff_pool_tasks_total"
-    ~help:"Tasks drained from the pool work queue"
+    ~help:"Tasks drained from the scheduler"
 
 let m_queue_depth =
   Metrics.gauge "standoff_pool_queue_depth"
-    ~help:"Tasks currently waiting in the pool work queue"
+    ~help:"Tasks submitted to the scheduler and not yet started"
 
 let m_queue_wait =
   Metrics.histogram "standoff_pool_queue_wait_seconds"
     ~buckets:Metrics.duration_buckets
     ~help:"Time tasks spent queued before a domain picked them up"
 
-type t = {
-  jobs : int;
-  mutex : Mutex.t;
-  has_work : Condition.t;
-  batch_done : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable closing : bool;
-  mutable workers : unit Domain.t list;
-}
+let m_steals_total =
+  Metrics.counter "standoff_pool_steals_total"
+    ~help:"Batch runners taken from another domain's deque"
+
+let m_cap_clamps_total =
+  Metrics.counter "standoff_pool_cap_clamps_total"
+    ~help:"Batches whose requested parallelism was clamped to the submitter's inherited cap"
+
+let m_workers_live =
+  Metrics.gauge "standoff_pool_workers"
+    ~help:"Scheduler worker domains currently live"
+
+(* Memoized by the registry: one gauge per worker slot. *)
+let busy_gauge i =
+  Metrics.gauge "standoff_pool_worker_busy"
+    ~labels:[ ("worker", string_of_int i) ]
+    ~help:"1 while this scheduler worker is running batch tasks"
+
+(* ------------------------------------------------------------------ *)
+(* Handles                                                            *)
+
+type t = { cap : int }
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
-  {
-    jobs;
-    mutex = Mutex.create ();
-    has_work = Condition.create ();
-    batch_done = Condition.create ();
-    queue = Queue.create ();
-    closing = false;
-    workers = [];
-  }
+  { cap = jobs }
 
-let jobs t = t.jobs
+(* Historically [shared] memoized one *pool* (worker set) per jobs
+   count, so a process touching jobs=4 then jobs=8 held two disjoint
+   worker sets forever.  Handles fixed that leak structurally: the
+   worker set is global and a handle is two words. *)
+let shared ~jobs =
+  if jobs < 1 then invalid_arg "Pool.shared: jobs must be >= 1";
+  { cap = jobs }
+
+let jobs t = t.cap
 
 let default_jobs () =
   match Sys.getenv_opt "STANDOFF_JOBS" with
-  | None -> 1
+  | None -> 0
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | _ -> 1)
+      | Some n when n >= 0 -> n
+      | _ -> 0)
 
-let worker_loop t =
-  Mutex.lock t.mutex;
-  let rec loop () =
-    match Queue.take_opt t.queue with
-    | Some task ->
-        Metrics.gauge_set m_queue_depth (Queue.length t.queue);
-        Mutex.unlock t.mutex;
-        task ();
-        Mutex.lock t.mutex;
-        loop ()
-    | None ->
-        if t.closing then Mutex.unlock t.mutex
-        else begin
-          Condition.wait t.has_work t.mutex;
-          loop ()
-        end
+(* ------------------------------------------------------------------ *)
+(* Batches                                                            *)
+
+type batch = {
+  b_tasks : (unit -> unit) array;
+  b_next : int Atomic.t;  (** claim counter; claims >= length are void *)
+  b_remaining : int Atomic.t;
+  b_errors : exn option array;
+  b_cap : int;  (** the effective cap tasks of this batch run under *)
+  b_m : Mutex.t;
+  b_done : Condition.t;
+  b_enqueued : float;  (** submit timestamp; 0.0 when metrics are off *)
+}
+
+(* The inherited cap of the running domain: [max_int] outside any
+   batch, the batch's effective cap inside one. *)
+let cap_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> max_int)
+
+let current_cap () =
+  match Domain.DLS.get cap_key with
+  | c when c = max_int -> None
+  | c -> Some c
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker deques                                                  *)
+
+module Deque = struct
+  (* A mutex-guarded ring: owner end is the back, thieves take the
+     front.  Contention is one short critical section per operation;
+     the arrays stay tiny (runners, not tasks, are queued). *)
+  type 'a s = {
+    m : Mutex.t;
+    mutable buf : 'a option array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () =
+    { m = Mutex.create (); buf = Array.make 8 None; head = 0; len = 0 }
+
+  let grow d =
+    let n = Array.length d.buf in
+    let buf = Array.make (2 * n) None in
+    for i = 0 to d.len - 1 do
+      buf.(i) <- d.buf.((d.head + i) mod n)
+    done;
+    d.buf <- buf;
+    d.head <- 0
+
+  let push_back d x =
+    Mutex.lock d.m;
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- Some x;
+    d.len <- d.len + 1;
+    Mutex.unlock d.m
+
+  let take d ~front =
+    Mutex.lock d.m;
+    let r =
+      if d.len = 0 then None
+      else begin
+        let n = Array.length d.buf in
+        let i = if front then d.head else (d.head + d.len - 1) mod n in
+        let x = d.buf.(i) in
+        d.buf.(i) <- None;
+        if front then d.head <- (d.head + 1) mod n;
+        d.len <- d.len - 1;
+        x
+      end
+    in
+    Mutex.unlock d.m;
+    r
+
+  let pop_back d = take d ~front:false
+  let steal d = take d ~front:true
+end
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler                                                      *)
+
+(* Live domains are capped at ~128 by the runtime; leave headroom for
+   server workers and the main domain. *)
+let max_workers = 64
+
+type sched = {
+  sm : Mutex.t;
+      (* guards [workers], [n_workers], [budget], [reserved], [epoch];
+         [closing] is atomic so drain loops can poll it lock-free *)
+  has_work : Condition.t;
+  mutable epoch : int;
+      (* bumped on every submission; sleepers re-scan when it moves *)
+  closing : bool Atomic.t;
+  mutable workers : unit Domain.t list;
+  mutable n_workers : int;
+  mutable budget : int;
+  mutable reserved : int;
+  deques : batch Deque.s array;
+}
+
+let env_budget () =
+  match Sys.getenv_opt "STANDOFF_DOMAIN_BUDGET" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+  | None -> None
+
+let sched =
+  {
+    sm = Mutex.create ();
+    has_work = Condition.create ();
+    epoch = 0;
+    closing = Atomic.make false;
+    workers = [];
+    n_workers = 0;
+    budget =
+      (match env_budget () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()));
+    reserved = 0;
+    deques = Array.init max_workers (fun _ -> Deque.create ());
+  }
+
+let domain_budget () =
+  Mutex.lock sched.sm;
+  let b = sched.budget in
+  Mutex.unlock sched.sm;
+  b
+
+let set_domain_budget n =
+  Mutex.lock sched.sm;
+  sched.budget <- max 1 n;
+  Mutex.unlock sched.sm
+
+let reserve_domains n =
+  if n > 0 then begin
+    Mutex.lock sched.sm;
+    sched.reserved <- sched.reserved + n;
+    Mutex.unlock sched.sm
+  end
+
+let release_domains n =
+  if n > 0 then begin
+    Mutex.lock sched.sm;
+    sched.reserved <- max 0 (sched.reserved - n);
+    Mutex.unlock sched.sm
+  end
+
+let max_parallelism () =
+  Mutex.lock sched.sm;
+  let v = max 1 (sched.budget - sched.reserved) in
+  Mutex.unlock sched.sm;
+  v
+
+let worker_count () =
+  Mutex.lock sched.sm;
+  let n = sched.n_workers in
+  Mutex.unlock sched.sm;
+  n
+
+(* How many workers the budget allows right now.  Called under [sm]. *)
+let worker_target () =
+  min max_workers (max 0 (sched.budget - 1 - sched.reserved))
+
+(* ------------------------------------------------------------------ *)
+(* Running batches                                                    *)
+
+let exec_task b i =
+  Metrics.gauge_add m_queue_depth (-1);
+  if b.b_enqueued > 0.0 then
+    Metrics.observe m_queue_wait (Unix.gettimeofday () -. b.b_enqueued);
+  Metrics.incr m_tasks_total;
+  let saved = Domain.DLS.get cap_key in
+  Domain.DLS.set cap_key b.b_cap;
+  (try b.b_tasks.(i) () with e -> b.b_errors.(i) <- Some e);
+  Domain.DLS.set cap_key saved;
+  (* The release on this atomic publishes the (plain) error write; the
+     submitter reads errors only after observing remaining = 0. *)
+  if Atomic.fetch_and_add b.b_remaining (-1) = 1 then begin
+    Mutex.lock b.b_m;
+    Condition.broadcast b.b_done;
+    Mutex.unlock b.b_m
+  end
+
+(* Claim and run tasks of [b] until none are left unclaimed.  Workers
+   pass [stop_on_close:true] so a teardown only waits out the current
+   task, not the whole batch — the batch still completes because its
+   submitter never stops claiming. *)
+let rec drive_batch ~stop_on_close b =
+  if not (stop_on_close && Atomic.get sched.closing) then begin
+    let i = Atomic.fetch_and_add b.b_next 1 in
+    if i < Array.length b.b_tasks then begin
+      exec_task b i;
+      drive_batch ~stop_on_close b
+    end
+  end
+
+(* Steal a runner from any deque, skipping [self]'s own (the owner end
+   of that one was already tried). *)
+let steal_any ~self =
+  let n = Array.length sched.deques in
+  let rec go k =
+    if k >= n then None
+    else if k = self then go (k + 1)
+    else
+      match Deque.steal sched.deques.(k) with
+      | Some b ->
+          Metrics.incr m_steals_total;
+          Some b
+      | None -> go (k + 1)
   in
-  loop ()
+  go 0
 
-(* Workers spawn on first use, so a pool created with [jobs > 1] but
-   only ever used sequentially costs nothing. *)
-let ensure_workers t =
-  if t.workers = [] && t.jobs > 1 then begin
-    t.closing <- false;
-    t.workers <-
-      List.init (t.jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+let worker_loop i () =
+  let busy = busy_gauge i in
+  let rec find () =
+    Mutex.lock sched.sm;
+    let e = sched.epoch in
+    Mutex.unlock sched.sm;
+    if Atomic.get sched.closing then ()
+    else
+      match
+        (match Deque.pop_back sched.deques.(i) with
+        | Some b -> Some b
+        | None -> steal_any ~self:i)
+      with
+      | Some b ->
+          Metrics.gauge_set busy 1;
+          drive_batch ~stop_on_close:true b;
+          Metrics.gauge_set busy 0;
+          find ()
+      | None ->
+          Mutex.lock sched.sm;
+          while sched.epoch = e && not (Atomic.get sched.closing) do
+            Condition.wait sched.has_work sched.sm
+          done;
+          Mutex.unlock sched.sm;
+          if Atomic.get sched.closing then () else find ()
+  in
+  find ();
+  Metrics.gauge_set busy 0
+
+(* Spawn workers up to the current target.  Called under [sm].  During
+   a teardown ([closing]) nothing spawns: the submitting batch still
+   completes solo, and workers respawn on the next submission. *)
+let ensure_workers () =
+  if not (Atomic.get sched.closing) then begin
+    let tgt = worker_target () in
+    while sched.n_workers < tgt do
+      let i = sched.n_workers in
+      sched.workers <- Domain.spawn (worker_loop i) :: sched.workers;
+      sched.n_workers <- sched.n_workers + 1
+    done;
+    Metrics.gauge_set m_workers_live sched.n_workers
   end
 
 let run_all t tasks =
   let n = Array.length tasks in
-  if t.jobs = 1 || n <= 1 then Array.iter (fun f -> f ()) tasks
+  if n = 0 then ()
   else begin
-    let remaining = ref n in
-    let errors = Array.make n None in
-    let wrap i f =
-      (* Timestamp at enqueue, observed at execution: the queue-wait
-         histogram.  Skipped entirely when the registry is disabled so
-         the no-sink hot path pays one atomic load, not two clock
-         reads. *)
-      let enqueued = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
-      fun () ->
-        if enqueued > 0.0 then
-          Metrics.observe m_queue_wait (Unix.gettimeofday () -. enqueued);
-        Metrics.incr m_tasks_total;
-        (try f () with e -> errors.(i) <- Some e);
-        Mutex.lock t.mutex;
-        decr remaining;
-        (* Waiters of every batch share the condition; each re-checks its
-           own counter. *)
-        if !remaining = 0 then Condition.broadcast t.batch_done;
-        Mutex.unlock t.mutex
-    in
-    Mutex.lock t.mutex;
-    ensure_workers t;
-    Array.iteri (fun i f -> Queue.add (wrap i f) t.queue) tasks;
-    Metrics.gauge_set m_queue_depth (Queue.length t.queue);
-    Condition.broadcast t.has_work;
-    (* The submitting domain helps: run queued tasks (this batch's or a
-       concurrent one's) until this batch has fully drained. *)
-    let rec drive () =
-      if !remaining > 0 then
-        match Queue.take_opt t.queue with
-        | Some task ->
-            Metrics.gauge_set m_queue_depth (Queue.length t.queue);
-            Mutex.unlock t.mutex;
-            task ();
-            Mutex.lock t.mutex;
-            drive ()
-        | None ->
-            Condition.wait t.batch_done t.mutex;
-            drive ()
-    in
-    drive ();
-    Mutex.unlock t.mutex;
-    Array.iter (function Some e -> raise e | None -> ()) errors
+    let inherited = Domain.DLS.get cap_key in
+    let cap = min t.cap inherited in
+    if cap < t.cap then Metrics.incr m_cap_clamps_total;
+    if cap <= 1 || n <= 1 then begin
+      (* The strict sequential path: tasks run inline, and anything
+         they submit inherits cap 1, so the whole subtree stays on
+         this domain — bit-identical to code that never heard of the
+         scheduler. *)
+      Domain.DLS.set cap_key 1;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set cap_key inherited)
+        (fun () -> Array.iter (fun f -> f ()) tasks)
+    end
+    else begin
+      let b =
+        {
+          b_tasks = tasks;
+          b_next = Atomic.make 0;
+          b_remaining = Atomic.make n;
+          b_errors = Array.make n None;
+          b_cap = cap;
+          b_m = Mutex.create ();
+          b_done = Condition.create ();
+          b_enqueued = (if Metrics.enabled () then Unix.gettimeofday () else 0.0);
+        }
+      in
+      Metrics.gauge_add m_queue_depth n;
+      (* Publish runner stubs: one per extra domain this batch may
+         occupy, bounded by live workers — with zero workers no stub
+         is queued and the submitter simply drains the batch alone. *)
+      Mutex.lock sched.sm;
+      ensure_workers ();
+      let nw = sched.n_workers in
+      let stubs = min (min cap n - 1) nw in
+      if stubs > 0 then begin
+        (* Spread stubs from a rotating start so concurrent batches do
+           not all land on worker 0. *)
+        let start = sched.epoch mod max 1 nw in
+        for k = 0 to stubs - 1 do
+          Deque.push_back sched.deques.((start + k) mod nw) b
+        done;
+        sched.epoch <- sched.epoch + 1;
+        Condition.broadcast sched.has_work
+      end;
+      Mutex.unlock sched.sm;
+      (* The submitting domain is a runner too: it always participates
+         and can finish the batch with no worker help at all. *)
+      drive_batch ~stop_on_close:false b;
+      (* Tasks may still be running on workers.  Help other batches
+         while waiting (the work-conserving property nested batches
+         rely on), sleeping only when there is nothing to steal. *)
+      let rec wait () =
+        if Atomic.get b.b_remaining > 0 then
+          match steal_any ~self:(-1) with
+          | Some b' ->
+              drive_batch ~stop_on_close:false b';
+              wait ()
+          | None ->
+              Mutex.lock b.b_m;
+              if Atomic.get b.b_remaining > 0 then
+                Condition.wait b.b_done b.b_m;
+              Mutex.unlock b.b_m;
+              wait ()
+      in
+      wait ();
+      Array.iter (function Some e -> raise e | None -> ()) b.b_errors
+    end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Chunked helpers                                                    *)
+
+(* Chunking follows the *effective* cap, so a nested sweep does not
+   split into more chunks than it may ever run concurrently.  Chunk
+   boundaries are deterministic for a given count, and callers
+   concatenate chunk results in order, so results never depend on the
+   count chosen. *)
+let effective_cap t = min t.cap (Domain.DLS.get cap_key)
+
 let chunk_count t ?(min_chunk = 1) ~n () =
-  if n <= 0 then 1 else max 1 (min t.jobs (n / max 1 min_chunk))
+  if n <= 0 then 1
+  else max 1 (min (effective_cap t) (n / max 1 min_chunk))
 
 let chunk_bounds ~n ~chunks k =
   (* Near-equal contiguous chunks: the first [n mod chunks] get one
@@ -162,43 +454,37 @@ let map_reduce t ?min_chunk ~n ~map ~reduce init =
 
 let map_array t f a =
   let n = Array.length a in
-  if t.jobs = 1 || n <= 1 then Array.map f a
+  if effective_cap t = 1 || n <= 1 then Array.map f a
   else begin
     let results = Array.make n None in
     run_all t (Array.init n (fun i () -> results.(i) <- Some (f a.(i))));
     Array.map (function Some r -> r | None -> assert false) results
   end
 
-(* Domains are a bounded OS resource (the runtime caps live domains at
-   ~128), so callers that create engines freely must not each own a
-   worker set.  [shared] memoizes one pool per jobs count for the whole
-   process; tearing a shared pool down is safe — workers respawn on the
-   next parallel call. *)
-let shared_lock = Mutex.create ()
-let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+(* ------------------------------------------------------------------ *)
+(* Teardown                                                           *)
 
-let shared ~jobs =
-  if jobs < 1 then invalid_arg "Pool.shared: jobs must be >= 1";
-  Mutex.lock shared_lock;
-  let p =
-    match Hashtbl.find_opt shared_pools jobs with
-    | Some p -> p
-    | None ->
-        let p = create ~jobs in
-        Hashtbl.add shared_pools jobs p;
-        p
-  in
-  Mutex.unlock shared_lock;
-  p
+(* [ensure_workers] and [park] serialize on [sm], and spawning is
+   refused while [closing] holds — so a concurrent submission during a
+   teardown can never strand freshly spawned workers that observe
+   [closing] and exit unjoined (the historic deadlock); it just runs
+   its batch on the submitting domain and workers respawn on the next
+   submission after the teardown completes. *)
+let park () =
+  Mutex.lock sched.sm;
+  if sched.workers = [] then Mutex.unlock sched.sm
+  else begin
+    Atomic.set sched.closing true;
+    Condition.broadcast sched.has_work;
+    let ws = sched.workers in
+    sched.workers <- [];
+    sched.n_workers <- 0;
+    Metrics.gauge_set m_workers_live 0;
+    Mutex.unlock sched.sm;
+    List.iter Domain.join ws;
+    Mutex.lock sched.sm;
+    Atomic.set sched.closing false;
+    Mutex.unlock sched.sm
+  end
 
-let teardown t =
-  Mutex.lock t.mutex;
-  t.closing <- true;
-  Condition.broadcast t.has_work;
-  let workers = t.workers in
-  t.workers <- [];
-  Mutex.unlock t.mutex;
-  List.iter Domain.join workers;
-  Mutex.lock t.mutex;
-  t.closing <- false;
-  Mutex.unlock t.mutex
+let teardown _t = park ()

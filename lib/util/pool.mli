@@ -1,55 +1,107 @@
-(** A fixed-size pool of OCaml 5 domains for data-parallel execution.
+(** The process-wide work-stealing scheduler for data-parallel
+    execution.
 
-    The pool owns [jobs - 1] worker domains (spawned lazily on the
-    first parallel call) plus the calling domain, which always
-    participates in draining the task queue — so a pool with [jobs = n]
-    runs at most [n] tasks concurrently and [jobs = 1] never spawns a
-    domain at all: every entry point degenerates to a plain sequential
-    loop on the caller's domain, making the sequential behaviour
-    bit-identical to code that never heard of the pool.
+    One domain budget for the whole process, sized against
+    [Domain.recommended_domain_count ()] (override with the
+    [STANDOFF_DOMAIN_BUDGET] environment variable, or
+    {!set_domain_budget}): at most [budget - 1] worker domains ever
+    exist, shared by every handle.  A {!t} is a lightweight handle
+    whose [jobs] is a {e per-batch max-parallelism cap} — [jobs = n]
+    means a batch submitted through the handle occupies at most [n]
+    domains (the submitting domain always participates), and
+    [jobs = 1] never touches the scheduler at all: every entry point
+    degenerates to a plain sequential loop on the caller's domain,
+    making the sequential behaviour bit-identical to code that never
+    heard of the scheduler.
 
-    Nested parallelism is safe: a task may itself submit a batch to the
-    same pool.  While a batch waits for its own tasks, the waiting
-    domain keeps executing queued tasks (its own or other batches'), so
-    the pool cannot deadlock on nesting.
+    Workers own deques and steal from each other when their own runs
+    dry; a domain waiting for its batch keeps helping (its own batch
+    first, then anything stealable), which is what makes nested
+    submission deadlock-free.  Caps inherit: a task running under a
+    batch capped at [c] that submits its own batch runs it at
+    [min c jobs'], so recursive sweeps cannot oversubscribe the budget
+    by multiplying caps.  Batch completion never depends on worker
+    availability — with a zero-worker budget the submitting domain
+    drains the batch alone.
 
     Exceptions raised by tasks are caught per task and re-raised on the
     submitting domain once the batch has drained, lowest task index
     first — a [Timing.Deadline_exceeded] escaping a chunk therefore
-    surfaces to the caller exactly like in sequential code. *)
+    surfaces to the caller exactly like in sequential code.
+
+    Scheduler observability lives in {!Standoff_obs.Metrics}:
+    [standoff_pool_tasks_total], [standoff_pool_queue_depth],
+    [standoff_pool_queue_wait_seconds], [standoff_pool_steals_total],
+    [standoff_pool_cap_clamps_total], [standoff_pool_workers], and
+    per-worker [standoff_pool_worker_busy{worker="i"}] gauges. *)
 
 type t
 
-(** [create ~jobs] makes a pool running at most [jobs] tasks
-    concurrently ([jobs >= 1]; worker domains are spawned lazily).
+(** [create ~jobs] makes a handle capping batches at [jobs] concurrent
+    tasks ([jobs >= 1]).  Handles are two words; workers are global
+    and spawned lazily on the first parallel submission.
     @raise Invalid_argument if [jobs < 1]. *)
 val create : jobs:int -> t
 
-(** [jobs t] is the configured parallelism. *)
+(** [jobs t] is the handle's parallelism cap. *)
 val jobs : t -> int
 
-(** [shared ~jobs] is the process-wide pool for this jobs count,
-    created on first request.  Prefer this over {!create} when pools
-    are made per engine or per test: live domains are capped at ~128
-    by the runtime, and sharing keeps the worker count bounded no
-    matter how many engines exist.
+(** [shared ~jobs] is {!create}: kept for callers written against the
+    historic per-jobs-count memoized pools.  All handles share the one
+    process-wide worker set, so a process using [jobs = 4] and
+    [jobs = 8] no longer holds two disjoint worker sets.
     @raise Invalid_argument if [jobs < 1]. *)
 val shared : jobs:int -> t
 
 (** [default_jobs ()] reads the [STANDOFF_JOBS] environment variable
-    (an integer >= 1); unset or unparsable means [1]. *)
+    (an integer >= 0); unset or unparsable means [0], which callers
+    (the engine) interpret as "pick adaptively per request". *)
 val default_jobs : unit -> int
 
+(** [domain_budget ()] is the process domain budget: the total number
+    of domains (workers + the main domain + reserved external domains)
+    execution is sized against. *)
+val domain_budget : unit -> int
+
+(** [set_domain_budget n] resizes the budget (clamped to [>= 1]).
+    Takes effect on the next submission; live workers beyond the new
+    target retire at the next {!park}. *)
+val set_domain_budget : int -> unit
+
+(** [reserve_domains n] registers [n] externally owned domains (the
+    HTTP server's connection workers) against the budget: the
+    scheduler spawns at most [budget - 1 - reserved] workers, so
+    server workers and engine parallelism share cores instead of
+    multiplying.  Balanced by {!release_domains}. *)
+val reserve_domains : int -> unit
+
+(** [release_domains n] returns [n] reserved domains to the budget. *)
+val release_domains : int -> unit
+
+(** [max_parallelism ()] is the parallelism left for query execution:
+    [max 1 (budget - reserved)].  The engine's adaptive jobs choice
+    clamps to it. *)
+val max_parallelism : unit -> int
+
+(** [worker_count ()] is the number of live scheduler worker domains
+    (for tests and diagnostics). *)
+val worker_count : unit -> int
+
+(** [current_cap ()] is the effective cap of the batch the calling
+    domain is currently executing a task of, or [None] outside any
+    batch.  Nested {!run_all} calls clamp their handle's cap to it. *)
+val current_cap : unit -> int option
+
 (** [run_all t tasks] runs every task to completion, at most
-    [jobs t] concurrently.  The calling domain participates.  The
-    first exception (by task index) is re-raised after all tasks have
-    finished or failed. *)
+    [min (jobs t) inherited-cap] concurrently.  The calling domain
+    participates.  The first exception (by task index) is re-raised
+    after all tasks have finished or failed. *)
 val run_all : t -> (unit -> unit) array -> unit
 
 (** [chunk_count t ?min_chunk ~n ()] is the number of contiguous
     chunks [parallel_chunks] would split a length-[n] input into:
-    [min jobs (n / min_chunk)], at least 1.  [min_chunk] defaults to
-    [1]. *)
+    [min effective-cap (n / min_chunk)], at least 1.  [min_chunk]
+    defaults to [1]. *)
 val chunk_count : t -> ?min_chunk:int -> n:int -> unit -> int
 
 (** [parallel_chunks t ?min_chunk ~n f] partitions the index range
@@ -77,7 +129,12 @@ val map_reduce :
     element) and returns the results in input order. *)
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [teardown t] asks the worker domains to exit and joins them.  The
-    pool is reusable afterwards (workers respawn on the next parallel
-    call).  Must not run concurrently with a batch.  Idempotent. *)
+(** [park ()] asks the scheduler's worker domains to exit and joins
+    them.  Safe concurrently with submissions: a batch submitted
+    during the teardown runs on its submitting domain alone, and
+    workers respawn on the next submission afterwards.  Idempotent. *)
+val park : unit -> unit
+
+(** [teardown t] is {!park} — the handle only selects the historic
+    signature. *)
 val teardown : t -> unit

@@ -67,6 +67,10 @@ type prepared = {
   p_globals : (string * Plan.t) list;
   p_config : Config.t;
   p_strategy : Config.strategy option;
+  p_cost : int;
+      (** estimated rows touched ({!Optimize.estimate_cost}), taken at
+          prepare time; steers the adaptive jobs choice only, so a
+          stale estimate under a cached plan can never change results *)
   p_fingerprint : string;
       (** digest of the rendered physical plan + config + strategy;
           the result cache keys on it *)
@@ -115,8 +119,11 @@ type t = {
 }
 
 let create ?strategy ?jobs ?slow_ms ?cache coll =
+  (* [jobs = 0] means adaptive: each request picks its parallelism
+     from the prepared plan's cost estimate, clamped to what the
+     domain budget has left after external reservations. *)
   let jobs =
-    match jobs with Some n -> max 1 n | None -> Config.default_jobs ()
+    match jobs with Some n -> max 0 n | None -> Config.default_jobs ()
   in
   let slow_ms =
     match slow_ms with Some _ -> slow_ms | None -> Slow_log.env_threshold_ms ()
@@ -148,7 +155,7 @@ let catalog t = t.cat
 let set_strategy t s = t.strategy <- Some s
 let set_auto_strategy t = t.strategy <- None
 let jobs t = t.jobs
-let set_jobs t n = t.jobs <- max 1 n
+let set_jobs t n = t.jobs <- max 0 n
 let slow_ms t = t.slow_ms
 let set_slow_ms t ms = t.slow_ms <- ms
 let cache_mode t = t.cache
@@ -164,14 +171,29 @@ let trace_forced () =
   | Some ("1" | "true" | "yes" | "on") -> true
   | _ -> false
 
-let shutdown t =
-  if t.jobs > 1 then Pool.teardown (Pool.shared ~jobs:t.jobs)
+let shutdown _t = Pool.park ()
 
-(* Engines with the same jobs count share one process-wide pool (live
-   domains are a bounded resource); [None] when sequential, so jobs=1
-   never even consults it. *)
+(* All engines share the one process-wide scheduler; a handle is just
+   a parallelism cap.  [None] when sequential, so jobs=1 never even
+   consults it. *)
 let pool_for jobs = if jobs <= 1 then None else Some (Pool.shared ~jobs)
-let pool_of t = pool_for t.jobs
+
+(* The adaptive jobs choice: threshold the prepared plan's cost
+   estimate, then clamp to the parallelism the domain budget has left
+   (server workers reserve their share).  The thresholds sit around
+   the region index's own parallel-sort threshold (4096 rows) — below
+   it, parallel code paths would not even engage. *)
+let adaptive_jobs cost =
+  let wanted =
+    if cost < 4_096 then 1
+    else if cost < 16_384 then 2
+    else if cost < 65_536 then 4
+    else 8
+  in
+  max 1 (min wanted (Pool.max_parallelism ()))
+
+let effective_jobs t prepared =
+  if t.jobs > 0 then t.jobs else adaptive_jobs prepared.p_cost
 
 type result = {
   items : Item.t list;
@@ -289,11 +311,13 @@ let prepare_uncached t ?strategy ~optimize ?trace query_text =
     | None, Some s -> Some s
     | None, None -> t.strategy
   in
+  (* Statistics steer the optimizer's pushdown rule and the adaptive
+     jobs estimate; both are heuristics, so stale numbers can only
+     mis-steer performance, never results. *)
+  let stats = Optimize.collection_stats t.coll t.cat config in
   let rewrite =
-    if optimize then begin
-      let stats = Optimize.collection_stats t.coll t.cat config in
-      fun plan -> Optimize.optimize ?pin_strategy:resolved ~stats plan
-    end
+    if optimize then fun plan ->
+      Optimize.optimize ?pin_strategy:resolved ~stats plan
     else Fun.id
   in
   let lower e = rewrite (Plan.lower ~is_udf e) in
@@ -308,16 +332,26 @@ let prepare_uncached t ?strategy ~optimize ?trace query_text =
               fn_body = lower fn.Ast.fn_body;
             })
         ast_functions;
+      let body = lower q.Ast.body in
+      let globals =
+        List.map (fun (var, value) -> (var, lower value)) ast_globals
+      in
+      let cost =
+        List.fold_left
+          (fun acc (_, g) -> acc + Optimize.estimate_cost ~stats g)
+          (Optimize.estimate_cost ~stats body)
+          globals
+      in
       let p =
         {
           p_text = query_text;
           p_prolog = q.Ast.prolog;
-          p_plan = lower q.Ast.body;
+          p_plan = body;
           p_functions = functions;
-          p_globals =
-            List.map (fun (var, value) -> (var, lower value)) ast_globals;
+          p_globals = globals;
           p_config = config;
           p_strategy = resolved;
+          p_cost = cost;
           p_fingerprint = "";
         }
       in
@@ -355,7 +389,7 @@ let prepare t ?strategy ?(optimize = true) ?trace query_text =
 (* Record a finished run in the engine metrics and, past the
    threshold, the slow-query log.  Runs on success and on error alike
    (the finally of [run_prepared]). *)
-let account t prepared trace ~seconds ~failed =
+let account t prepared trace ~jobs ~seconds ~failed =
   Metrics.incr m_queries_total;
   if failed then Metrics.incr m_query_errors_total;
   Metrics.observe m_query_seconds seconds;
@@ -367,7 +401,7 @@ let account t prepared trace ~seconds ~failed =
           e_query = prepared.p_text;
           e_seconds = seconds;
           e_strategy = strategy_label prepared.p_strategy;
-          e_jobs = t.jobs;
+          e_jobs = jobs;
           e_summary =
             (match trace with Some tr -> Trace.summary tr | None -> "");
         }
@@ -411,8 +445,10 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
     ?(rollback_constructed = false) ?(use_cache = true) ?jobs ?trace prepared =
   (* [jobs] overrides the engine-wide parallelism for this one run (the
      HTTP server maps a per-request [?jobs=] knob onto it); the engine
-     field is left alone so concurrent runs are unaffected. *)
-  let jobs = match jobs with Some n -> max 1 n | None -> t.jobs in
+     field is left alone so concurrent runs are unaffected.  With no
+     override and the engine in adaptive mode ([jobs t = 0]) the run is
+     sized from the plan's cost estimate. *)
+  let jobs = match jobs with Some n -> max 1 n | None -> effective_jobs t prepared in
   let trace =
     match trace with
     | Some _ -> trace
@@ -438,7 +474,8 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
       let t0 = Timing.now () in
       set_root_attrs trace prepared ~jobs ~cache:"hit";
       Option.iter (fun tr -> ignore (Trace.finish tr)) trace;
-      account t prepared trace ~seconds:(Timing.now () -. t0) ~failed:false;
+      account t prepared trace ~jobs ~seconds:(Timing.now () -. t0)
+        ~failed:false;
       {
         items = cr.cr_items;
         serialized = cr.cr_serialized;
@@ -463,7 +500,7 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
              killed by [Deadline_exceeded] (or any evaluation error)
              well-formed. *)
           Option.iter (fun tr -> ignore (Trace.finish tr)) trace;
-          account t prepared trace ~seconds:(Timing.now () -. t0)
+          account t prepared trace ~jobs ~seconds:(Timing.now () -. t0)
             ~failed:!failed;
           (* Constructed-node scratch documents are dropped when the caller
              does not need the node handles (benchmark loops), and always
@@ -565,7 +602,7 @@ let run_prepared_sharded t ?(deadline = Timing.no_deadline)
         ~finally:(fun () ->
           if rollback_constructed then Collection.rollback t.coll mark)
         (fun () ->
-          let pool = pool_of t in
+          let pool = pool_for (effective_jobs t prepared) in
           let run_one doc_id =
             let context = Some (Item.Node { Collection.doc_id; pre = 0 }) in
             let env =

@@ -50,10 +50,16 @@ val default_cache_mode : unit -> cache_mode
     Without [strategy], each StandOff operator picks its own strategy
     from annotation statistics ({!Standoff.Join.auto_strategy}).
     [jobs] (default {!Standoff.Config.default_jobs}, i.e.
-    [STANDOFF_JOBS] or 1) is the parallelism of query execution: with
-    [jobs = 1] every run takes the exact sequential code path; with
-    more, runs share a lazily created domain pool driving parallel
-    merge sweeps, index builds, and per-document sharding.  [slow_ms]
+    [STANDOFF_JOBS] or 0) caps the parallelism of query execution:
+    with [jobs = 1] every run takes the exact sequential code path;
+    with more, runs submit to the process-wide work-stealing scheduler
+    ({!Standoff_util.Pool}) driving parallel merge sweeps, index
+    builds, and per-document sharding.  [jobs = 0] means {e adaptive}:
+    each run is sized from its plan's cost estimate
+    ({!Optimize.estimate_cost}) — cheap requests run sequentially,
+    expensive ones scale up to {!Standoff_util.Pool.max_parallelism} —
+    so concurrent requests share the domain budget instead of each
+    claiming a fixed slice.  [slow_ms]
     is the slow-query-log threshold in milliseconds (default:
     [STANDOFF_SLOW_MS], else disabled); runs at least that slow are
     recorded in {!Standoff_obs.Slow_log}.  [cache] (default:
@@ -85,10 +91,11 @@ val plan_cache_stats : t -> Standoff_cache.Lru.stats
 
 val result_cache_stats : t -> Standoff_cache.Lru.stats
 
-(** [jobs t] is the configured parallelism. *)
+(** [jobs t] is the configured parallelism cap; [0] means adaptive. *)
 val jobs : t -> int
 
-(** [set_jobs t n] reconfigures the parallelism (clamped to >= 1). *)
+(** [set_jobs t n] reconfigures the parallelism (clamped to >= 0;
+    [0] selects adaptive sizing). *)
 val set_jobs : t -> int -> unit
 
 (** [slow_ms t] is the slow-query-log threshold, if any. *)
@@ -98,12 +105,12 @@ val slow_ms : t -> float option
     [None] disables logging. *)
 val set_slow_ms : t -> float option -> unit
 
-(** [shutdown t] joins the worker domains of the engine's pool, if
-    running.  Engines with the same jobs count share one process-wide
-    pool ({!Standoff_util.Pool.shared}), so this affects them too —
-    harmlessly: workers respawn on the next parallel run.  Call it
-    when going quiet (domains are a bounded OS resource); never while
-    another engine is mid-run. *)
+(** [shutdown _] parks the process-wide scheduler's worker domains
+    ({!Standoff_util.Pool.park}).  All engines share the one worker
+    set, so this affects them all — harmlessly: a run submitting
+    during the teardown completes on its own domain, and workers
+    respawn on the next parallel run.  Call it when going quiet
+    (domains are a bounded OS resource). *)
 val shutdown : t -> unit
 
 (** [collection t] is the underlying collection. *)
@@ -190,6 +197,12 @@ val prepare :
     [jobs] overrides the engine-wide parallelism for this run only
     (clamped to [>= 1]); the engine configuration is untouched, so
     concurrent runs with different overrides do not interfere.
+    Without an override, an engine in adaptive mode ([jobs t = 0])
+    sizes the run from the prepared plan's cost estimate.
+
+    Results are byte-identical across every jobs setting: parallel
+    runs merge chunk results in chunk order, so parallelism changes
+    timing, never output.
 
     The deadline covers serialization too: a timeout firing while the
     result is rendered raises like one firing during evaluation, and no
@@ -226,7 +239,8 @@ val run :
     fans a prepared query out across every document of the collection
     — one shard per document, the shard's document root as context
     item — and concatenates the shard results in collection order.
-    Shards run in parallel on the engine's pool when [jobs > 1].
+    Shards run in parallel on the shared scheduler when the engine's
+    effective jobs (configured, or adaptive from plan cost) exceeds 1.
     StandOff steps match only nodes from the same fragment (§3.3), so
     for document-scoped queries this is semantics-preserving.  A
     single checkpoint brackets the fan-out; with

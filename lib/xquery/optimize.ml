@@ -316,3 +316,70 @@ let optimize ?pin_strategy ?(stats = no_stats) plan =
     | _ -> p
   in
   go plan
+
+(* ------------------------------------------------------------------ *)
+(* Cost estimation                                                    *)
+
+(* A coarse work estimate in "rows touched": for every StandOff join,
+   the candidate-set size its merge sweep will scan (the named-element
+   count when the node test is pushed down into the region index, the
+   whole annotation population otherwise), and for every named axis
+   step the matching-element count.  The estimate only has to separate
+   cheap requests (run sequential, leave domains to concurrent
+   requests) from heavy ones (worth a parallel sweep), so additive
+   and loop-blind is enough — the loop-lifted strategy amortizes
+   iteration counts away by construction. *)
+let estimate_cost ~stats plan =
+  let total = ref 0 in
+  let add n = total := !total + max 0 n in
+  let rec go (p : Plan.t) =
+    match p.Plan.desc with
+    | Plan.Literal _ | Plan.Var _ | Plan.Context_item -> ()
+    | Plan.Sequence es -> List.iter go es
+    | Plan.For { source; order_by; body; _ } ->
+        go source;
+        List.iter (fun s -> go s.Plan.key) order_by;
+        go body
+    | Plan.Let { value; body; _ } ->
+        go value;
+        go body
+    | Plan.Where { cond; body } ->
+        go cond;
+        go body
+    | Plan.Quantified { source; satisfies; _ } ->
+        go source;
+        go satisfies
+    | Plan.If { cond; then_; else_ } ->
+        go cond;
+        go then_;
+        go else_
+    | Plan.Binop (_, a, b) ->
+        go a;
+        go b
+    | Plan.Unary_minus e -> go e
+    | Plan.Axis_step { input; test; _ } ->
+        (match Node_test.name_filter test with
+        | Some name -> add (stats.st_named name)
+        | None -> ());
+        go input
+    | Plan.Attribute_step { input; _ } -> go input
+    | Plan.Standoff_join { input; test; pushdown; candidates; _ } ->
+        (match (candidates, Node_test.name_filter test) with
+        | None, Some name when pushdown -> add (stats.st_named name)
+        | _ -> add (stats.st_annotations ()));
+        go input;
+        Option.iter go candidates
+    | Plan.Filter { input; predicate } ->
+        go input;
+        go predicate
+    | Plan.Path_map { input; body } ->
+        go input;
+        go body
+    | Plan.Call { args; _ } -> List.iter go args
+    | Plan.Elem_ctor { attrs; content; _ } ->
+        let part = function Plan.Fixed _ -> () | Plan.Enclosed e -> go e in
+        List.iter (fun (_, ps) -> List.iter part ps) attrs;
+        List.iter part content
+  in
+  go plan;
+  !total

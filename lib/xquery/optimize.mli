@@ -29,3 +29,12 @@ val collection_stats :
     {!Plan.strategy_choice}. *)
 val optimize :
   ?pin_strategy:Standoff.Config.strategy -> ?stats:stats -> Plan.t -> Plan.t
+
+(** [estimate_cost ~stats p] is a coarse work estimate for evaluating
+    [p], in rows touched: per StandOff join, the candidate-set size
+    its merge sweep scans (named-element count under pushdown, the
+    whole annotation population otherwise); per named axis step, the
+    matching-element count.  The engine's adaptive parallelism choice
+    thresholds on it — cheap requests run sequential and leave domains
+    to concurrent requests. *)
+val estimate_cost : stats:stats -> Plan.t -> int

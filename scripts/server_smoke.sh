@@ -30,6 +30,10 @@ done
 echo "== healthz"
 [ "$(curl -fsS "$BASE/healthz")" = "ok" ] || fail "healthz body"
 
+echo "== startup budget line"
+grep -q 'domain budget' "$log" \
+  || { cat "$log" >&2; fail "no resolved-domain-budget line in startup log"; }
+
 echo "== query"
 headers=$(mktemp)
 body=$(curl -fsS -D "$headers" -X POST --data-binary \

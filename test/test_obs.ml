@@ -393,8 +393,10 @@ let test_slow_log_threshold () =
   (match Slow_log.recent () with
   | [ entry ] ->
       Alcotest.(check string) "query text recorded" q entry.Slow_log.e_query;
-      Alcotest.(check int) "jobs recorded" (Engine.jobs e)
-        entry.Slow_log.e_jobs;
+      (* The engine defaults to adaptive sizing ([jobs e = 0]); the log
+         records the jobs the run actually resolved to, always >= 1. *)
+      Alcotest.(check bool) "jobs recorded (resolved >= 1)" true
+        (entry.Slow_log.e_jobs >= 1);
       Alcotest.(check string) "strategy recorded" "auto"
         entry.Slow_log.e_strategy;
       Alcotest.(check bool) "duration non-negative" true

@@ -15,7 +15,13 @@ module Queries = Standoff_xmark.Queries
 module Timing = Standoff_util.Timing
 module Pool = Standoff_util.Pool
 
-let jobs_sweep = [ 2; 3; 8 ]
+let jobs_sweep = [ 2; 3; 4; 8 ]
+
+(* CI containers may expose a single core, which would size the domain
+   budget to 1 and quietly turn every "parallel" run sequential.  Force
+   a budget of 8 so the sweeps exercise real worker domains and
+   work stealing regardless of the machine. *)
+let () = Pool.set_domain_budget 8
 
 (* The §3.1 video/audio example (Figure 1). *)
 let figure1_doc =
@@ -171,6 +177,66 @@ let test_xmark_sharded_run () =
         sequential (run jobs))
     jobs_sweep
 
+let test_nested_cap_inheritance () =
+  (* Sharded fan-out over a multi-document collection nests batches:
+     the outer per-document batch caps at the engine's jobs, and each
+     shard's evaluation submits its own chunked sweeps, which must
+     inherit that cap rather than multiply it (8 docs x jobs 8 would
+     ask for 64 domains).  The observable contract is byte-identical
+     output at every cap. *)
+  let coll = Collection.create () in
+  for d = 1 to 8 do
+    let parts =
+      List.init 40 (fun i ->
+          Printf.sprintf
+            "<a start=\"%d\" end=\"%d\"/><b start=\"%d\" end=\"%d\"/>"
+            (i * 7) ((i * 7) + 10) ((i * 7) + 3) ((i * 7) + 5))
+    in
+    ignore
+      (Collection.load_string coll
+         ~name:(Printf.sprintf "n%d.xml" d)
+         ("<t>" ^ String.concat "" parts ^ "</t>"))
+  done;
+  let q = "for $x in //a return <g>{count($x/select-wide::b)}</g>" in
+  let run jobs =
+    let e = Engine.create ~strategy:Config.Loop_lifted ~jobs coll in
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown e)
+      (fun () ->
+        let prepared = Engine.prepare e q in
+        (Engine.run_prepared_sharded e ~rollback_constructed:true prepared)
+          .Engine.serialized)
+  in
+  let sequential = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "nested sharded: jobs=%d = jobs=1" jobs)
+        sequential (run jobs))
+    [ 2; 4; 8 ];
+  Alcotest.(check bool) "workers stayed within the budget" true
+    (Pool.worker_count () <= Pool.domain_budget () - 1)
+
+let test_adaptive_jobs_identical () =
+  (* jobs=0 (adaptive) must be invisible in results too: whatever
+     parallelism the cost estimate picks, output equals sequential. *)
+  let setup = Setup.build ~with_standard:false ~scale:0.003 () in
+  Engine.shutdown setup.Setup.engine;
+  let run jobs text =
+    let e = Engine.create ~jobs setup.Setup.coll in
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown e)
+      (fun () ->
+        (Engine.run e ~rollback_constructed:true text).Engine.serialized)
+  in
+  List.iter
+    (fun q ->
+      let text = q.Queries.standoff setup.Setup.standoff_doc in
+      Alcotest.(check string)
+        (Printf.sprintf "adaptive %s = jobs=1" q.Queries.id)
+        (run 1 text) (run 0 text))
+    Queries.all
+
 (* ------------------------------------------------------------------ *)
 (* Deadlines fire inside parallel chunks                               *)
 
@@ -260,6 +326,10 @@ let () =
           Alcotest.test_case "xmark Q1/Q2/Q6/Q7" `Slow test_xmark_queries;
           Alcotest.test_case "engine-level sharded run" `Slow
             test_xmark_sharded_run;
+          Alcotest.test_case "nested batches: sharded multi-doc caps" `Quick
+            test_nested_cap_inheritance;
+          Alcotest.test_case "adaptive jobs identical" `Slow
+            test_adaptive_jobs_identical;
           QCheck_alcotest.to_alcotest qcheck_parallel_equals_sequential;
         ] );
       ( "deadlines",
