@@ -12,6 +12,7 @@
      main.exe parallel-scaling [opts]  jobs sweep: speedup curves (CSV/JSON)
      main.exe obs-overhead [opts]      metrics-enabled vs disabled latency
      main.exe cache [opts]             result cache: cold vs warm, hit rate
+     main.exe dataguide [opts]         DataGuide path index: guide-on vs off
      main.exe serve [opts]             HTTP server: latency/throughput, 503 probe
      main.exe micro                    Bechamel micro-benchmarks
 
@@ -43,6 +44,13 @@
      --repeats N          timed runs per mode (median)  (default 5)
      --queries Q1,...     subset of Q1 Q2 Q6 Q7         (default all)
      --json FILE          output file                   (default BENCH_cache.json)
+     --no-json            skip the JSON file
+
+   dataguide options:
+     --scales s1,s2,...   XMark scale factors           (default 0.1,0.2)
+     --repeats N          timed runs per point (median) (default 5)
+     --queries Q1,...     subset of Q1 Q2 Q6 Q7         (default all)
+     --json FILE          output file                   (default BENCH_dataguide.json)
      --no-json            skip the JSON file
 
    serve options:
@@ -1105,6 +1113,197 @@ let bench_cache ?(scale = 0.02) ?(repeats = 5) ?json ~queries () =
     json
 
 (* ------------------------------------------------------------------ *)
+(* DataGuide path index: guide-on vs guide-off on the Figure 6 set    *)
+
+type dg_row = {
+  dg_scale : float;
+  dg_query : string;
+  dg_form : string;  (* "standard" | "standoff" *)
+  dg_off_ms : float;
+  dg_on_ms : float;
+  dg_speedup : float;
+  dg_identical : bool;  (* serialized bytes equal guide-on vs guide-off *)
+}
+
+type dg_build = {
+  dgb_scale : float;
+  dgb_bytes : int;
+  dgb_build_ms : float;  (* cold sequential build, all stored documents *)
+  dgb_paths : int;  (* distinct label paths across the collection *)
+}
+
+let bench_dataguide ?(scales = [ 0.1; 0.2 ]) ?(repeats = 5) ?json ~queries () =
+  section "DataGuide path index: guide-on vs guide-off";
+  let median a =
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let rows = ref [] in
+  let builds = ref [] in
+  List.iter
+    (fun scale ->
+      let setup = Setup.build ~scale ~with_standard:true ~jobs:1 () in
+      let coll = setup.Setup.coll in
+      (* Two engines over the same stored collection, identical except
+         for the DataGuide flag, so the on/off difference isolates the
+         path index (cache off: every run pays a real evaluation). *)
+      let off_engine =
+        Engine.create ~jobs:1 ~cache:Engine.Cache_off ~dataguide:false coll
+      in
+      let on_engine =
+        Engine.create ~jobs:1 ~cache:Engine.Cache_off ~dataguide:true coll
+      in
+      (* Region index built outside the measurements (§4.3: part of
+         the stored document). *)
+      ignore
+        (Engine.run off_engine ~rollback_constructed:true
+           (Printf.sprintf "count(doc(\"%s\")//site/select-narrow::people)"
+              setup.Setup.standoff_doc));
+      (* Cold guide construction, before any probe has cached one:
+         the one-off price a first query pays per document. *)
+      let build_ms, paths =
+        Collection.fold_docs
+          (fun (ms, np) _ d ->
+            let g, t =
+              Timing.time (fun () ->
+                  Standoff_store.Dataguide.build ~generation:0 d)
+            in
+            (ms +. (t *. 1e3), np + Standoff_store.Dataguide.path_count g))
+          (0.0, 0) coll
+      in
+      builds :=
+        {
+          dgb_scale = scale;
+          dgb_bytes = setup.Setup.serialized_size;
+          dgb_build_ms = build_ms;
+          dgb_paths = paths;
+        }
+        :: !builds;
+      Printf.printf
+        "\nxmark scale %g (%s), loop-lifted, jobs=1, median of %d\n\
+         cold guide build: %.2fms (%d label paths)\n\n"
+        scale
+        (Setup.size_label setup.Setup.serialized_size)
+        repeats build_ms paths;
+      Printf.printf "%-8s%-10s%12s%12s%10s%11s\n" "query" "form" "guide-off"
+        "guide-on" "speedup" "identical";
+      Printf.printf "%s\n" (String.make 63 '-');
+      List.iter
+        (fun q ->
+          List.iter
+            (fun (form, text) ->
+              let time_engine engine =
+                let prepared =
+                  Engine.prepare engine ~strategy:Config.Loop_lifted text
+                in
+                (* Priming run: warms the lazy per-document structures
+                   (element index; the guide itself on the on-engine),
+                   so the medians compare steady-state evaluation and
+                   the cold build cost stays in its own row. *)
+                ignore
+                  (Engine.run_prepared engine ~rollback_constructed:true
+                     prepared);
+                let times =
+                  Array.init repeats (fun _ ->
+                      Gc.full_major ();
+                      let _, t =
+                        Timing.time (fun () ->
+                            ignore
+                              (Engine.run_prepared engine
+                                 ~rollback_constructed:true prepared))
+                      in
+                      t)
+                in
+                ( median times,
+                  (Engine.run engine ~rollback_constructed:true text)
+                    .Engine.serialized )
+              in
+              let off, off_bytes = time_engine off_engine in
+              let on, on_bytes = time_engine on_engine in
+              let row =
+                {
+                  dg_scale = scale;
+                  dg_query = q.Queries.id;
+                  dg_form = form;
+                  dg_off_ms = off *. 1e3;
+                  dg_on_ms = on *. 1e3;
+                  dg_speedup = off /. Float.max 1e-9 on;
+                  dg_identical = String.equal off_bytes on_bytes;
+                }
+              in
+              rows := row :: !rows;
+              Printf.printf "%-8s%-10s%10.3fms%10.3fms%9.2fx%11b\n%!"
+                row.dg_query row.dg_form row.dg_off_ms row.dg_on_ms
+                row.dg_speedup row.dg_identical)
+            [
+              ("standard", q.Queries.standard setup.Setup.standard_doc);
+              ("standoff", q.Queries.standoff setup.Setup.standoff_doc);
+            ])
+        queries)
+    scales;
+  let rows = List.rev !rows in
+  let builds = List.rev !builds in
+  (* The tentpole target: the paper's Figure 5 form of Q2 at the
+     largest benched scale must run at least twice as fast with the
+     guide; and the guide must never change a byte of output. *)
+  let largest = List.fold_left (fun acc s -> Float.max acc s) 0.0 scales in
+  let q2_speedup =
+    List.fold_left
+      (fun acc r ->
+        if r.dg_query = "Q2" && r.dg_form = "standoff" && r.dg_scale = largest
+        then Some r.dg_speedup
+        else acc)
+      None rows
+  in
+  let identical = List.for_all (fun r -> r.dg_identical) rows in
+  let q2_ok = match q2_speedup with Some s -> s >= 2.0 | None -> true in
+  let pass = q2_ok && identical in
+  Printf.printf "\nbyte-identical results guide-on vs guide-off: %s\n"
+    (if identical then "PASS" else "FAIL");
+  (match q2_speedup with
+  | Some s ->
+      Printf.printf "Q2 standoff speedup at scale %g (target >= 2x): %.2fx %s\n"
+        largest s
+        (if q2_ok then "PASS" else "FAIL")
+  | None -> ());
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n  \"scales\": [%s],\n  \"repeats\": %d,\n  \"identical\": %b,\n\
+        \  \"q2_standoff_speedup_largest\": %s,\n  \"pass\": %b,\n\
+        \  \"builds\": [\n"
+        (String.concat ", " (List.map (Printf.sprintf "%g") scales))
+        repeats identical
+        (match q2_speedup with
+        | Some s -> Printf.sprintf "%.2f" s
+        | None -> "null")
+        pass;
+      List.iteri
+        (fun i b ->
+          Printf.fprintf oc
+            "    {\"scale\": %g, \"bytes\": %d, \"build_ms\": %.4f, \
+             \"paths\": %d}%s\n"
+            b.dgb_scale b.dgb_bytes b.dgb_build_ms b.dgb_paths
+            (if i = List.length builds - 1 then "" else ","))
+        builds;
+      Printf.fprintf oc "  ],\n  \"rows\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"scale\": %g, \"query\": \"%s\", \"form\": \"%s\", \
+             \"off_ms\": %.4f, \"on_ms\": %.4f, \"speedup\": %.2f, \
+             \"identical\": %b}%s\n"
+            r.dg_scale r.dg_query r.dg_form r.dg_off_ms r.dg_on_ms
+            r.dg_speedup r.dg_identical
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
+(* ------------------------------------------------------------------ *)
 (* Network service: concurrent socket clients against the HTTP server  *)
 
 type sv_row = {
@@ -1585,6 +1784,33 @@ let parse_cache_args args =
   go args;
   (!scale, !repeats, !queries, !json)
 
+let parse_dataguide_args args =
+  let scales = ref [ 0.1; 0.2 ] in
+  let repeats = ref 5 in
+  let queries = ref Queries.all in
+  let json = ref (Some "BENCH_dataguide.json") in
+  let rec go = function
+    | [] -> ()
+    | "--scales" :: v :: rest ->
+        scales := List.map float_of_string (String.split_on_char ',' v);
+        go rest
+    | "--repeats" :: v :: rest ->
+        repeats := max 1 (int_of_string v);
+        go rest
+    | "--queries" :: v :: rest ->
+        queries := List.map Queries.find (String.split_on_char ',' v);
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | "--no-json" :: rest ->
+        json := None;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "dataguide: unknown argument %s" arg)
+  in
+  go args;
+  (!scales, !repeats, !queries, !json)
+
 let parse_serve_args args =
   let scale = ref 0.02 in
   let clients = ref 8 in
@@ -1667,6 +1893,9 @@ let () =
   | _ :: "cache" :: rest ->
       let scale, repeats, queries, json = parse_cache_args rest in
       bench_cache ~scale ~repeats ?json ~queries ()
+  | _ :: "dataguide" :: rest ->
+      let scales, repeats, queries, json = parse_dataguide_args rest in
+      bench_dataguide ~scales ~repeats ?json ~queries ()
   | _ :: "serve" :: rest ->
       let scale, clients, requests, worker_counts, queries, json =
         parse_serve_args rest

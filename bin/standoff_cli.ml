@@ -139,6 +139,18 @@ let cache_arg =
            off.  The result-cache byte budget is 64 MiB, overridable with \
            \\$(b,STANDOFF_CACHE_MB).")
 
+let dataguide_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "dataguide" ] ~docv:"BOOL"
+        ~doc:
+          "Use the DataGuide path index: downward child/descendant name \
+           paths collapse into single index probes and the planner's \
+           statistics answer from per-path cardinalities.  Results are \
+           byte-identical either way.  Defaults to \
+           \\$(b,STANDOFF_DATAGUIDE), else on.")
+
 (* ---------------- query ---------------- *)
 
 let query_cmd =
@@ -206,7 +218,7 @@ let query_cmd =
              are reported on stderr.  Defaults to \\$(b,STANDOFF_SLOW_MS), \
              else disabled.")
   in
-  let run docs blobs db strategy jobs cache context timeout explain
+  let run docs blobs db strategy jobs cache dataguide context timeout explain
       explain_analyze metrics trace_json slow_ms query =
     handle_errors (fun () ->
         let query =
@@ -228,7 +240,9 @@ let query_cmd =
             with _ -> Collection.create ()
           else load_collection ?db docs blobs
         in
-        let engine = Engine.create ?strategy ~jobs ?slow_ms ?cache coll in
+        let engine =
+          Engine.create ?strategy ~jobs ?slow_ms ?cache ?dataguide coll
+        in
         (* Slow queries (threshold from --slow-ms or STANDOFF_SLOW_MS)
            are reported on stderr as they happen. *)
         if Engine.slow_ms engine <> None then
@@ -298,7 +312,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Evaluate an XQuery with StandOff axis support")
     Term.(
       const run $ docs_arg $ blobs_arg $ db_arg $ strategy_arg $ jobs_arg
-      $ cache_arg $ context_arg $ timeout_arg $ explain_arg
+      $ cache_arg $ dataguide_arg $ context_arg $ timeout_arg $ explain_arg
       $ explain_analyze_arg $ metrics_arg $ trace_json_arg $ slow_ms_arg
       $ query_arg)
 

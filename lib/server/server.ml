@@ -361,6 +361,18 @@ let use_cache_param req =
       | "on" | "1" | "true" | "yes" | "result" | "plan" -> true
       | v -> raise (Bad_param (Printf.sprintf "malformed cache=%S" v)))
 
+(* [?dataguide=off] prepares this request without the DataGuide path
+   index (no collapse rewrite, name-count statistics) — a pure
+   performance knob, results are byte-identical either way. *)
+let dataguide_param req =
+  match Http.param req "dataguide" with
+  | None -> None
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "off" | "0" | "false" | "no" -> Some false
+      | "on" | "1" | "true" | "yes" -> Some true
+      | v -> raise (Bad_param (Printf.sprintf "malformed dataguide=%S" v)))
+
 let deadline_of t req =
   let requested = float_param req "timeout-ms" in
   let effective =
@@ -386,6 +398,7 @@ let handle_query t req =
     let strategy = strategy_param req in
     let jobs = int_param req "jobs" in
     let use_cache = use_cache_param req in
+    let dataguide = dataguide_param req in
     let context_doc = Http.param req "context" in
     let deadline, timeout_ms = deadline_of t req in
     let trace = Trace.create () in
@@ -397,7 +410,7 @@ let handle_query t req =
          else, so it gets the exclusive side. *)
       let prepared =
         Rw_lock.read t.lock (fun () ->
-            Engine.prepare t.eng ?strategy ~trace req.Http.body)
+            Engine.prepare t.eng ?strategy ?dataguide ~trace req.Http.body)
       in
       let constructs = Engine.prepared_constructs prepared in
       let run () =
@@ -506,9 +519,11 @@ let handle_explain t req =
     | Some ("false" | "0" | "no") -> Some false
     | _ -> None
   in
+  let dataguide = dataguide_param req in
   try
     Rw_lock.read t.lock (fun () ->
-        text_reply 200 (Engine.explain t.eng ?strategy ?optimize text ^ "\n"))
+        text_reply 200
+          (Engine.explain t.eng ?strategy ?optimize ?dataguide text ^ "\n"))
   with
   | Err.Error msg -> json_error 400 msg
   | Lexer.Syntax_error { line; col; msg } ->

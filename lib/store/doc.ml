@@ -8,6 +8,26 @@ type kind =
   | Comment
   | Pi
 
+(* Strong-DataGuide summary: one node per distinct root-to-node label
+   path, each holding the sorted pres of the elements on that path.
+   The type lives here (rather than in [Dataguide], which owns the
+   construction and lookup algorithms) so the per-document cache slot
+   below can hold it without a module cycle. *)
+type guide_node = {
+  g_name : int;  (** interned element name; [-1] on the document root *)
+  mutable g_pres : int array;
+      (** sorted pres of the elements reached by this label path *)
+  g_children : (int, guide_node) Hashtbl.t;  (** keyed on interned name *)
+}
+
+type guide = {
+  guide_root : guide_node;  (** stands for the document node *)
+  guide_paths : int;  (** distinct label paths = guide-tree nodes - 1 *)
+  guide_generation : int;
+      (** the catalogue generation the guide was built under; a
+          mismatch at probe time means rebuild *)
+}
+
 type t = {
   doc_name : string;
   doc_uid : int;
@@ -22,7 +42,9 @@ type t = {
   attr_value : string array;
   attr_first : int array;
   names : Name_pool.t;
+  index_lock : Mutex.t;
   mutable elem_index : (int, int array) Hashtbl.t option;
+  mutable dataguide : guide option;
 }
 
 (* Process-unique document identities.  Names are unique only while a
@@ -99,7 +121,9 @@ let of_dom ~name:doc_name (dom : Dom.document) =
     attr_value = Vec.to_array attr_value;
     attr_first;
     names;
+    index_lock = Mutex.create ();
     elem_index = None;
+    dataguide = None;
   }
 
 let parse ~name s = of_dom ~name (Standoff_xml.Parser.parse_string s)
@@ -155,7 +179,9 @@ let of_columns ~doc_name ~names ~kind ~size ~level ~parent ~name ~value
       attr_value;
       attr_first;
       names = pool;
+      index_lock = Mutex.create ();
       elem_index = None;
+      dataguide = None;
     }
   in
   !check_invariants_ref d;
@@ -235,17 +261,23 @@ let string_value d pre =
       done;
       Buffer.contents buf
 
-(* One process-wide lock for lazy index builds: the build happens once
-   per document, so contention is negligible, and serialising the
-   [elem_index <- Some idx] publication keeps concurrent domains from
-   ever observing a partially built table. *)
-let elem_index_lock = Mutex.create ()
+(* Lazy index builds serialise on the document's own lock: builds on
+   distinct documents proceed concurrently (a process-wide lock here
+   once serialised every first-touch index build in the collection),
+   while the locked [<- Some idx] publication keeps concurrent domains
+   from ever observing a partially built table on the same document. *)
+let with_index_lock d f =
+  Mutex.lock d.index_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.index_lock) f
+
+let dataguide_cache d = d.dataguide
+let publish_dataguide d g = d.dataguide <- Some g
 
 let build_elem_index d =
   match d.elem_index with
   | Some idx -> idx
   | None ->
-      Mutex.lock elem_index_lock;
+      Mutex.lock d.index_lock;
       let idx =
         match d.elem_index with
         | Some idx -> idx (* another domain built it meanwhile *)
@@ -273,7 +305,7 @@ let build_elem_index d =
             d.elem_index <- Some idx;
             idx
       in
-      Mutex.unlock elem_index_lock;
+      Mutex.unlock d.index_lock;
       idx
 
 let elements_named d name =

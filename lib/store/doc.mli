@@ -18,6 +18,29 @@ type kind =
   | Comment
   | Pi
 
+(** One node of a strong-DataGuide summary ({!Dataguide}): a distinct
+    root-to-node label path, its sorted element pres, and the child
+    paths extending it.  Defined here so the per-document cache slot in
+    {!t} can hold a built guide; construction and lookup live in
+    {!Dataguide}. *)
+type guide_node = {
+  g_name : int;  (** interned element name; [-1] on the document root *)
+  mutable g_pres : int array;
+      (** sorted pres of the elements reached by this label path.
+          Shared with every consumer — never mutate. *)
+  g_children : (int, guide_node) Hashtbl.t;  (** keyed on interned name *)
+}
+
+(** A built strong DataGuide for one document. *)
+type guide = {
+  guide_root : guide_node;  (** stands for the document node (pre 0) *)
+  guide_paths : int;  (** distinct label paths in the document *)
+  guide_generation : int;
+      (** the catalogue generation the guide was built under
+          ({!Standoff.Catalog.generation}); {!Dataguide.get} rebuilds
+          on mismatch, so updated documents never serve stale pres *)
+}
+
 type t = private {
   doc_name : string;
   doc_uid : int;
@@ -37,7 +60,11 @@ type t = private {
   attr_first : int array;   (** length [n+1]; attrs of [p] are rows
                                 [attr_first.(p) .. attr_first.(p+1) - 1] *)
   names : Name_pool.t;
+  index_lock : Mutex.t;
+      (** serialises this document's lazy index builds; builds on
+          distinct documents proceed concurrently *)
   mutable elem_index : (int, int array) Hashtbl.t option;
+  mutable dataguide : guide option;
 }
 
 (** [of_dom ~name dom] shreds a DOM document. *)
@@ -126,6 +153,20 @@ val elements_named : t -> string -> int array
 
 (** [all_elements d] is the sorted array of all element pres. *)
 val all_elements : t -> int array
+
+(** [with_index_lock d f] runs [f] holding [d]'s index-build lock —
+    the double-checked publication discipline {!Dataguide.get} shares
+    with the element index. *)
+val with_index_lock : t -> (unit -> 'a) -> 'a
+
+(** [dataguide_cache d] is the cached guide, if one has been built
+    (possibly for an older generation — the caller checks). *)
+val dataguide_cache : t -> guide option
+
+(** [publish_dataguide d g] installs [g] as the cached guide,
+    replacing any older-generation one.  Call under
+    {!with_index_lock}. *)
+val publish_dataguide : t -> guide -> unit
 
 (** [to_dom d pre] re-materialises the subtree rooted at [pre] as a DOM
     node.  [pre] may be the document node, in which case the root

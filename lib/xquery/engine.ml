@@ -47,6 +47,16 @@ let default_cache_mode () =
   | Some s -> cache_mode_of_string s
   | None -> Cache_off
 
+(* The DataGuide path index defaults on; STANDOFF_DATAGUIDE=off turns
+   it off process-wide (per-request knobs still override). *)
+let default_dataguide () =
+  match Sys.getenv_opt "STANDOFF_DATAGUIDE" with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "off" | "0" | "false" | "no" -> false
+      | _ -> true)
+  | None -> true
+
 (* Result-cache byte budget; the entry cap is secondary. *)
 let result_cache_bytes () =
   match Sys.getenv_opt "STANDOFF_CACHE_MB" with
@@ -108,8 +118,12 @@ type t = {
   mutable slow_ms : float option;
       (* slow-query log threshold; [None] disables logging *)
   mutable cache : cache_mode;
+  mutable dataguide : bool;
+      (* path-collapse rewrite + DataGuide statistics; purely a
+         performance knob, results are byte-identical either way *)
   plan_cache : (string, prepared) Lru.t;
-      (* keyed on (query text, effective strategy, optimize flag);
+      (* keyed on (query text, effective strategy, optimize flag,
+         dataguide flag);
          deliberately not generation-stamped — collection statistics
          only steer strategy choice, and all strategies are
          result-equivalent *)
@@ -118,7 +132,7 @@ type t = {
          stamped with the catalogue version at lookup time *)
 }
 
-let create ?strategy ?jobs ?slow_ms ?cache coll =
+let create ?strategy ?jobs ?slow_ms ?cache ?dataguide coll =
   (* [jobs = 0] means adaptive: each request picks its parallelism
      from the prepared plan's cost estimate, clamped to what the
      domain budget has left after external reservations. *)
@@ -131,6 +145,9 @@ let create ?strategy ?jobs ?slow_ms ?cache coll =
   let cache =
     match cache with Some c -> c | None -> default_cache_mode ()
   in
+  let dataguide =
+    match dataguide with Some b -> b | None -> default_dataguide ()
+  in
   {
     coll;
     cat = Catalog.create ();
@@ -138,6 +155,7 @@ let create ?strategy ?jobs ?slow_ms ?cache coll =
     jobs;
     slow_ms;
     cache;
+    dataguide;
     plan_cache =
       Lru.create ~name:"plan" ~max_entries:128
         ~weight:(fun p -> String.length p.p_text + 512)
@@ -160,6 +178,8 @@ let slow_ms t = t.slow_ms
 let set_slow_ms t ms = t.slow_ms <- ms
 let cache_mode t = t.cache
 let set_cache_mode t m = t.cache <- m
+let dataguide t = t.dataguide
+let set_dataguide t b = t.dataguide <- b
 let plan_cache_stats t = Lru.stats t.plan_cache
 let result_cache_stats t = Lru.stats t.result_cache
 
@@ -296,7 +316,7 @@ let fingerprint_of prepared =
 (* ------------------------------------------------------------------ *)
 (* Prepare, behind the plan cache                                     *)
 
-let prepare_uncached t ?strategy ~optimize ?trace query_text =
+let prepare_uncached t ?strategy ~optimize ~dataguide ?trace query_text =
   let q = phase_span trace "parse" (fun () -> Parse.parse_query query_text) in
   let ast_functions, config, strategy_override, ast_globals =
     process_prolog q
@@ -305,6 +325,12 @@ let prepare_uncached t ?strategy ~optimize ?trace query_text =
      form of the StandOff operators, so lowering must not turn calls to
      it into join nodes. *)
   let is_udf name = Hashtbl.mem ast_functions name in
+  (* The path-collapse rewrite treats [doc]/[root] calls as document
+     sources; a user function of either name shadows the builtin, so
+     collapse must stand down for the whole query. *)
+  let dataguide =
+    dataguide && not (is_udf "doc") && not (is_udf "root")
+  in
   let resolved =
     match (strategy_override, strategy) with
     | Some s, _ -> Some s
@@ -314,10 +340,10 @@ let prepare_uncached t ?strategy ~optimize ?trace query_text =
   (* Statistics steer the optimizer's pushdown rule and the adaptive
      jobs estimate; both are heuristics, so stale numbers can only
      mis-steer performance, never results. *)
-  let stats = Optimize.collection_stats t.coll t.cat config in
+  let stats = Optimize.collection_stats ~dataguide t.coll t.cat config in
   let rewrite =
     if optimize then fun plan ->
-      Optimize.optimize ?pin_strategy:resolved ~stats plan
+      Optimize.optimize ?pin_strategy:resolved ~stats ~dataguide plan
     else Fun.id
   in
   let lower e = rewrite (Plan.lower ~is_udf e) in
@@ -357,16 +383,21 @@ let prepare_uncached t ?strategy ~optimize ?trace query_text =
       in
       { p with p_fingerprint = fingerprint_of p })
 
-let prepare t ?strategy ?(optimize = true) ?trace query_text =
+let prepare t ?strategy ?(optimize = true) ?dataguide ?trace query_text =
+  let dataguide =
+    match dataguide with Some b -> b | None -> t.dataguide
+  in
   if t.cache = Cache_off then
-    prepare_uncached t ?strategy ~optimize ?trace query_text
+    prepare_uncached t ?strategy ~optimize ~dataguide ?trace query_text
   else begin
     (* The key is everything outside the text that steers lowering: the
        effective strategy (the [?strategy] argument, else the engine
-       pin — a prolog override is inside the text) and the optimize
-       flag.  Not generation-stamped on purpose: stale collection
-       statistics can only mis-steer strategy choice, never change the
-       result, and replanning on every update would defeat the cache. *)
+       pin — a prolog override is inside the text), the optimize flag,
+       and the dataguide flag (it gates the path-collapse rewrite, so
+       the physical plan differs).  Not generation-stamped on purpose:
+       stale collection statistics can only mis-steer strategy choice,
+       never change the result, and replanning on every update would
+       defeat the cache. *)
     let effective =
       match strategy with Some _ -> strategy | None -> t.strategy
     in
@@ -376,12 +407,15 @@ let prepare t ?strategy ?(optimize = true) ?trace query_text =
           query_text;
           strategy_label effective;
           (if optimize then "opt" else "raw");
+          (if dataguide then "dg" else "nodg");
         ]
     in
     match Lru.find t.plan_cache key with
     | Some p -> p
     | None ->
-        let p = prepare_uncached t ?strategy ~optimize ?trace query_text in
+        let p =
+          prepare_uncached t ?strategy ~optimize ~dataguide ?trace query_text
+        in
         Lru.add t.plan_cache key p;
         p
   end
@@ -644,8 +678,8 @@ let run_prepared_sharded t ?(deadline = Timing.no_deadline)
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN / EXPLAIN ANALYZE                                          *)
 
-let explain t ?strategy ?optimize query_text =
-  render_prepared (prepare t ?strategy ?optimize query_text)
+let explain t ?strategy ?optimize ?dataguide query_text =
+  render_prepared (prepare t ?strategy ?optimize ?dataguide query_text)
 
 (* Fold the span tree of one traced run into a per-plan-node table.
    A node can be evaluated many times (loop bodies, function bodies):
@@ -689,6 +723,10 @@ let analysis_of_trace root =
           (fun a -> a.Plan.a_chunks)
           (fun a n -> a.Plan.a_chunks <- n)
           "chunks";
+        add
+          (fun a -> a.Plan.a_guide_rows)
+          (fun a n -> a.Plan.a_guide_rows <- n)
+          "guide_rows";
         match Trace.str_attr sp "strategy" with
         | Some s -> a.Plan.a_strategy <- Some (Config.strategy_of_string s)
         | None -> ()
@@ -696,10 +734,10 @@ let analysis_of_trace root =
     root;
   tbl
 
-let explain_analyze t ?strategy ?(deadline = Timing.no_deadline) ?context_doc
-    query_text =
+let explain_analyze t ?strategy ?dataguide ?(deadline = Timing.no_deadline)
+    ?context_doc query_text =
   let trace = Trace.create () in
-  let prepared = prepare t ?strategy ~trace query_text in
+  let prepared = prepare t ?strategy ?dataguide ~trace query_text in
   (* [use_cache:false]: the whole point is to observe the evaluation,
      so a result-cache hit (which evaluates nothing and would render
      every operator "(not executed)") must be bypassed. *)

@@ -46,7 +46,13 @@ val cache_mode_to_string : cache_mode -> string
     else [Cache_off]. *)
 val default_cache_mode : unit -> cache_mode
 
-(** [create ?strategy ?jobs ?slow_ms ?cache coll] wraps a collection.
+(** [default_dataguide ()] is [false] when [STANDOFF_DATAGUIDE] is set
+    to ["off"], ["0"], ["false"] or ["no"] in the environment, else
+    [true] — the DataGuide path index defaults on. *)
+val default_dataguide : unit -> bool
+
+(** [create ?strategy ?jobs ?slow_ms ?cache ?dataguide coll] wraps a
+    collection.
     Without [strategy], each StandOff operator picks its own strategy
     from annotation statistics ({!Standoff.Join.auto_strategy}).
     [jobs] (default {!Standoff.Config.default_jobs}, i.e.
@@ -65,12 +71,18 @@ val default_cache_mode : unit -> cache_mode
     recorded in {!Standoff_obs.Slow_log}.  [cache] (default:
     [STANDOFF_CACHE], else {!Cache_off}) selects the caching level;
     the result cache's byte budget is 64 MiB, overridable with
-    [STANDOFF_CACHE_MB]. *)
+    [STANDOFF_CACHE_MB].  [dataguide] (default: {!default_dataguide},
+    i.e. [STANDOFF_DATAGUIDE], else on) enables the DataGuide path
+    index: downward child/descendant name paths collapse into single
+    index probes and the optimizer's statistics answer from per-path
+    cardinalities — a pure performance knob, results are
+    byte-identical either way. *)
 val create :
   ?strategy:Standoff.Config.strategy ->
   ?jobs:int ->
   ?slow_ms:float ->
   ?cache:cache_mode ->
+  ?dataguide:bool ->
   Standoff_store.Collection.t ->
   t
 
@@ -104,6 +116,14 @@ val slow_ms : t -> float option
 (** [set_slow_ms t ms] reconfigures the slow-query-log threshold;
     [None] disables logging. *)
 val set_slow_ms : t -> float option -> unit
+
+(** [dataguide t] is the engine-wide DataGuide default. *)
+val dataguide : t -> bool
+
+(** [set_dataguide t b] reconfigures the engine-wide DataGuide
+    default.  Already-cached plans keep the flag they were prepared
+    under (the plan-cache key includes it). *)
+val set_dataguide : t -> bool -> unit
 
 (** [shutdown _] parks the process-wide scheduler's worker domains
     ({!Standoff_util.Pool.park}).  All engines share the one worker
@@ -156,14 +176,17 @@ val prepared_config : prepared -> Standoff.Config.t
     documents. *)
 val prepared_constructs : prepared -> bool
 
-(** [prepare t ?strategy ?optimize ?trace query] parses [query] and
-    lowers it to a plan.  With [optimize:false] (default [true]) the
-    optimizer pass is skipped and the structural lowering is evaluated
-    as-is — the direct path, used to validate rewrites.  With [trace],
-    the parse and lowering/optimize phases are recorded as ["parse"]
-    and ["optimize"] spans.  When the engine caches plans
-    ({!cache_mode} other than [Cache_off]), a repeat [prepare] with
-    the same text, effective strategy and [optimize] flag returns the
+(** [prepare t ?strategy ?optimize ?dataguide ?trace query] parses
+    [query] and lowers it to a plan.  With [optimize:false] (default
+    [true]) the optimizer pass is skipped and the structural lowering
+    is evaluated as-is — the direct path, used to validate rewrites.
+    [dataguide] overrides the engine-wide DataGuide default for this
+    preparation only (collapse rewrite + per-path statistics); it
+    never changes results.  With [trace], the parse and
+    lowering/optimize phases are recorded as ["parse"] and
+    ["optimize"] spans.  When the engine caches plans ({!cache_mode}
+    other than [Cache_off]), a repeat [prepare] with the same text,
+    effective strategy, [optimize] and [dataguide] flags returns the
     cached prepared query and records no parse/optimize spans.
     @raise Err.Error on static errors
     @raise Lexer.Syntax_error on parse errors. *)
@@ -171,6 +194,7 @@ val prepare :
   t ->
   ?strategy:Standoff.Config.strategy ->
   ?optimize:bool ->
+  ?dataguide:bool ->
   ?trace:Standoff_obs.Trace.t ->
   string ->
   prepared
@@ -260,9 +284,15 @@ val run_prepared_sharded :
     declarations, then the plan trees of user functions, global
     variables, and the query body, with candidate-pushdown and
     strategy decisions visible on every StandOff join.  Evaluates
-    nothing.  [optimize:false] shows the raw lowering instead. *)
+    nothing.  [optimize:false] shows the raw lowering instead;
+    [dataguide:false] shows the plan without path collapse. *)
 val explain :
-  t -> ?strategy:Standoff.Config.strategy -> ?optimize:bool -> string -> string
+  t ->
+  ?strategy:Standoff.Config.strategy ->
+  ?optimize:bool ->
+  ?dataguide:bool ->
+  string ->
+  string
 
 (** [explain_analyze t query] runs the query under a trace collector,
     aggregates the span tree into per-node {!Plan.analysis} records,
@@ -274,6 +304,7 @@ val explain :
 val explain_analyze :
   t ->
   ?strategy:Standoff.Config.strategy ->
+  ?dataguide:bool ->
   ?deadline:Standoff_util.Timing.deadline ->
   ?context_doc:string ->
   string ->

@@ -4,6 +4,7 @@ module Timing = Standoff_util.Timing
 module Pool = Standoff_util.Pool
 module Dom = Standoff_xml.Dom
 module Doc = Standoff_store.Doc
+module Dataguide = Standoff_store.Dataguide
 module Collection = Standoff_store.Collection
 module Item = Standoff_relalg.Item
 module Table = Standoff_relalg.Table
@@ -496,6 +497,50 @@ and eval_live env (plan : Plan.t) =
       let ctx = eval env input in
       record_rows_in env ctx;
       Step.attribute_step env.coll ~test ctx
+  | Plan.Path_lookup { input; steps } ->
+      (* One DataGuide probe answers the whole collapsed path per
+         document.  The input evaluates to document nodes only (the
+         optimizer collapses over doc()/root() sources exclusively),
+         so per context row the matches are the probe's sorted
+         duplicate-free pre list verbatim. *)
+      let ctx = eval env input in
+      record_rows_in env ctx;
+      let per_doc : (int, int array) Hashtbl.t = Hashtbl.create 4 in
+      let lookup doc_id =
+        match Hashtbl.find_opt per_doc doc_id with
+        | Some pres -> pres
+        | None ->
+            let doc = Collection.doc env.coll doc_id in
+            let generation = Catalog.generation env.catalog doc.Doc.doc_name in
+            let guide = Dataguide.get ?pool:env.pool ~generation doc in
+            let pres = Dataguide.lookup doc guide steps in
+            Hashtbl.add per_doc doc_id pres;
+            pres
+      in
+      let iters = Vec.create () in
+      let items = Vec.create () in
+      let total = ref 0 in
+      for r = 0 to Table.row_count ctx - 1 do
+        let iter = Table.iter_at ctx r in
+        match Table.item_at ctx r with
+        | Item.Node { Collection.doc_id; pre = 0 } ->
+            let pres = lookup doc_id in
+            total := !total + Array.length pres;
+            Array.iter
+              (fun pre ->
+                Vec.push iters iter;
+                Vec.push items (Item.Node { Collection.doc_id; pre }))
+              pres
+        | item ->
+            Err.raisef "path lookup applied to non-document item %s"
+              (Item.to_string item)
+      done;
+      (match env.span with
+      | Some sp ->
+          Trace.set_str sp "path" (Plan.path_to_string steps);
+          Trace.add_int sp "guide_rows" !total
+      | None -> ());
+      Table.make (Vec.to_array iters) (Vec.to_array items)
   | Plan.Standoff_join
       { input; op; test; position; pushdown; strategy; candidates } ->
       let ctx = eval env input in

@@ -30,16 +30,24 @@ module Catalog = Standoff.Catalog
 module Annots = Standoff.Annots
 module Collection = Standoff_store.Collection
 module Doc = Standoff_store.Doc
+module Dataguide = Standoff_store.Dataguide
 
 type stats = {
   st_annotations : unit -> int;
       (** total area-annotations across the collection *)
   st_named : string -> int;  (** total elements with this name *)
+  st_path : (bool * string) list -> int;
+      (** elements a collapsed path reaches, from the DataGuide *)
 }
 
-let no_stats = { st_annotations = (fun () -> 0); st_named = (fun _ -> 0) }
+let no_stats =
+  {
+    st_annotations = (fun () -> 0);
+    st_named = (fun _ -> 0);
+    st_path = (fun _ -> 0);
+  }
 
-let collection_stats coll catalog config =
+let collection_stats ?(dataguide = false) coll catalog config =
   let annots =
     lazy
       (Collection.fold_docs
@@ -59,6 +67,25 @@ let collection_stats coll catalog config =
         Collection.fold_docs
           (fun acc _ doc -> acc + Array.length (Doc.elements_named doc name))
           0 coll);
+    st_path =
+      (fun steps ->
+        if not dataguide then
+          (* Guide off: fall back on the final step's name count, the
+             same number the step-by-step plan would cost. *)
+          match List.rev steps with
+          | (_, name) :: _ ->
+              Collection.fold_docs
+                (fun acc _ doc ->
+                  acc + Array.length (Doc.elements_named doc name))
+                0 coll
+          | [] -> 0
+        else
+          Collection.fold_docs
+            (fun acc _ doc ->
+              let generation = Catalog.generation catalog doc.Doc.doc_name in
+              let guide = Dataguide.get ~generation doc in
+              acc + Dataguide.count doc guide steps)
+            0 coll);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -155,9 +182,40 @@ let unnamed_test = function
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Path collapse (strong DataGuide)                                    *)
+
+(* The base of a collapsible path chain: a source that evaluates to
+   document nodes only — the builtin [doc(uri)], the builtin [root(x)]
+   (the lowering of a leading [/]) — or an already-collapsed
+   [Path_lookup], whose steps the next step extends.  The engine turns
+   collapse off altogether when the prolog declares a user function
+   named [doc] or [root] (user functions shadow builtins, so the
+   document-node guarantee would be gone). *)
+let path_base (p : Plan.t) =
+  match p.Plan.desc with
+  | Plan.Call { name = "doc" | "root"; args = [ _ ] } -> Some (p, [])
+  | Plan.Path_lookup { input; steps } -> Some (input, steps)
+  | _ -> None
+
+(* [a//b] lowers to [child::b] over [descendant-or-self::node()]; a
+   descendant-or-self step directly over a path base contributes the
+   pending [//] of the next child step. *)
+let desc_or_self_over_base (p : Plan.t) =
+  match p.Plan.desc with
+  | Plan.Axis_step
+      {
+        input;
+        axis = Axes.Descendant_or_self;
+        test = Node_test.Kind_node;
+        position = None;
+      } ->
+      path_base input
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* The rewriter                                                       *)
 
-let optimize ?pin_strategy ?(stats = no_stats) plan =
+let optimize ?pin_strategy ?(stats = no_stats) ?(dataguide = false) plan =
   let pushdown_pays name =
     let total = stats.st_annotations () in
     (* With no statistics (empty collection) restricting is the safe
@@ -203,6 +261,7 @@ let optimize ?pin_strategy ?(stats = no_stats) plan =
     | Plan.Axis_step s -> mk (Plan.Axis_step { s with input = go s.input })
     | Plan.Attribute_step s ->
         mk (Plan.Attribute_step { s with input = go s.input })
+    | Plan.Path_lookup l -> mk (Plan.Path_lookup { l with input = go l.input })
     | Plan.Standoff_join j ->
         mk
           (Plan.Standoff_join
@@ -299,6 +358,36 @@ let optimize ?pin_strategy ?(stats = no_stats) plan =
                   j with
                   test = Node_test.Name (Option.get (self_name_test predicate));
                 }))
+    (* -------- path collapse (strong DataGuide) -------- *)
+    (* A child or descendant name step whose input chain bottoms out
+       in a document-node source folds into one [Path_lookup]; the
+       pass is bottom-up, so multi-step prefixes collapse
+       incrementally: doc(…)/a -> PL[/a], PL[/a]//b -> PL[/a//b].
+       Positional steps never collapse (the fused position is
+       per-context-node, which the flattened candidate set cannot
+       express); [a//b] arrives as child::b over
+       descendant-or-self::node(), matched as one descendant step. *)
+    | Plan.Axis_step
+        { input; axis = Axes.Child; test = Node_test.Name n; position = None }
+      when dataguide && Option.is_some (desc_or_self_over_base input) ->
+        let root, steps = Option.get (desc_or_self_over_base input) in
+        Plan.make (Plan.Path_lookup { input = root; steps = steps @ [ (true, n) ] })
+    | Plan.Axis_step
+        { input; axis = Axes.Child; test = Node_test.Name n; position = None }
+      when dataguide && Option.is_some (path_base input) ->
+        let root, steps = Option.get (path_base input) in
+        Plan.make
+          (Plan.Path_lookup { input = root; steps = steps @ [ (false, n) ] })
+    | Plan.Axis_step
+        {
+          input;
+          axis = Axes.Descendant;
+          test = Node_test.Name n;
+          position = None;
+        }
+      when dataguide && Option.is_some (path_base input) ->
+        let root, steps = Option.get (path_base input) in
+        Plan.make (Plan.Path_lookup { input = root; steps = steps @ [ (true, n) ] })
     (* -------- node-test pushdown + strategy pinning -------- *)
     | Plan.Standoff_join j ->
         let pushdown =
@@ -363,6 +452,9 @@ let estimate_cost ~stats plan =
         | None -> ());
         go input
     | Plan.Attribute_step { input; _ } -> go input
+    | Plan.Path_lookup { input; steps } ->
+        add (stats.st_path steps);
+        go input
     | Plan.Standoff_join { input; test; pushdown; candidates; _ } ->
         (match (candidates, Node_test.name_filter test) with
         | None, Some name when pushdown -> add (stats.st_named name)

@@ -69,6 +69,12 @@ and desc =
       candidates : t option;
           (** explicit candidate sequence (function form, Figure 3) *)
     }
+  | Path_lookup of {
+      input : t;  (** evaluates to document nodes (doc()/root() calls) *)
+      steps : (bool * string) list;
+          (** the collapsed child ([false]) / descendant ([true]) name
+              steps, answered in one DataGuide probe per document *)
+    }
   | Filter of { input : t; predicate : t }
   | Path_map of { input : t; body : t }
   | Call of { name : string; args : t list }
@@ -228,7 +234,8 @@ let free_vars plan =
     | Binop (_, a, b) -> go bound (go bound acc a) b
     | Unary_minus e
     | Axis_step { input = e; _ }
-    | Attribute_step { input = e; _ } ->
+    | Attribute_step { input = e; _ }
+    | Path_lookup { input = e; _ } ->
         go bound acc e
     | Standoff_join { input; candidates; _ } ->
         let acc = go bound acc input in
@@ -265,8 +272,10 @@ let rec constructs p =
   | If { cond; then_; else_ } ->
       constructs cond || constructs then_ || constructs else_
   | Binop (_, a, b) -> constructs a || constructs b
-  | Unary_minus e | Axis_step { input = e; _ } | Attribute_step { input = e; _ }
-    ->
+  | Unary_minus e
+  | Axis_step { input = e; _ }
+  | Attribute_step { input = e; _ }
+  | Path_lookup { input = e; _ } ->
       constructs e
   | Standoff_join { input; candidates; _ } ->
       constructs input
@@ -317,6 +326,12 @@ let strategy_choice_to_string = function
    print them with a display-safe underscore. *)
 let var_name v = String.map (function '#' -> '_' | c -> c) v
 
+let path_to_string steps =
+  String.concat ""
+    (List.map
+       (fun (desc, name) -> (if desc then "//" else "/") ^ name)
+       steps)
+
 let label plan =
   match plan.desc with
   | Literal l -> Printf.sprintf "literal %s" (literal_to_string l)
@@ -356,6 +371,8 @@ let label plan =
         (Op.to_string op) (test_to_string test) (position_suffix position)
         cand_desc
         (strategy_choice_to_string strategy)
+  | Path_lookup { steps; _ } ->
+      Printf.sprintf "path-lookup %s [dataguide]" (path_to_string steps)
   | Filter _ -> "filter"
   | Path_map _ -> "path-map"
   | Call { name = "#ddo"; _ } -> "distinct-doc-order"
@@ -383,7 +400,8 @@ let children plan =
       [ (Some "cond", cond); (Some "then", then_); (Some "else", else_) ]
   | Binop (_, a, b) -> [ (None, a); (None, b) ]
   | Unary_minus e -> [ (None, e) ]
-  | Axis_step { input; _ } | Attribute_step { input; _ } ->
+  | Axis_step { input; _ } | Attribute_step { input; _ }
+  | Path_lookup { input; _ } ->
       [ (Some "in", input) ]
   | Standoff_join { input; candidates; _ } -> (
       (Some "in", input)
@@ -411,6 +429,8 @@ type analysis = {
   mutable a_seconds : float;  (** inclusive wall time *)
   mutable a_index_rows : int;  (** region-index rows the joins scanned *)
   mutable a_chunks : int;  (** parallel sweep chunks the joins ran *)
+  mutable a_guide_rows : int;
+      (** candidate pres the DataGuide probes returned (path lookups) *)
   mutable a_strategy : Config.strategy option;
       (** last strategy an auto operator resolved to *)
 }
@@ -423,6 +443,7 @@ let fresh_analysis () =
     a_seconds = 0.0;
     a_index_rows = 0;
     a_chunks = 0;
+    a_guide_rows = 0;
     a_strategy = None;
   }
 
@@ -435,12 +456,18 @@ let analyze_suffix plan analysis =
         (Printf.sprintf "  (calls=%d rows=%d" m.a_calls m.a_rows_out);
       let step_like =
         match plan.desc with
-        | Axis_step _ | Attribute_step _ | Standoff_join _ | Filter _ -> true
+        | Axis_step _ | Attribute_step _ | Standoff_join _ | Filter _
+        | Path_lookup _ ->
+            true
         | _ -> false
       in
       if step_like then
         Buffer.add_string buf (Printf.sprintf " rows_in=%d" m.a_rows_in);
       (match plan.desc with
+      | Path_lookup { steps; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf " path=%s guide_rows=%d" (path_to_string steps)
+               m.a_guide_rows)
       | Standoff_join _ ->
           Buffer.add_string buf (Printf.sprintf " index_rows=%d" m.a_index_rows);
           if m.a_chunks > 1 then

@@ -55,6 +55,13 @@ and desc =
       strategy : strategy_choice;
       candidates : t option;  (** explicit candidates (function form) *)
     }
+  | Path_lookup of {
+      input : t;  (** evaluates to document nodes (doc()/root() calls) *)
+      steps : (bool * string) list;
+          (** collapsed child ([false]) / descendant ([true]) name
+              steps, answered in one {!Standoff_store.Dataguide} probe
+              per document *)
+    }
   | Filter of { input : t; predicate : t }
   | Path_map of { input : t; body : t }
   | Call of { name : string; args : t list }
@@ -101,6 +108,8 @@ type analysis = {
   mutable a_seconds : float;  (** inclusive wall time *)
   mutable a_index_rows : int;  (** region-index rows the joins scanned *)
   mutable a_chunks : int;  (** parallel sweep chunks the joins ran *)
+  mutable a_guide_rows : int;
+      (** candidate pres the DataGuide probes returned (path lookups) *)
   mutable a_strategy : Standoff.Config.strategy option;
       (** last strategy an auto operator resolved to *)
 }
@@ -122,3 +131,7 @@ val render : ?annotate:(t -> string) -> t -> string
 (** [label p] is the one-line operator description {!render} uses for
     the root of [p] (exposed for tests). *)
 val label : t -> string
+
+(** [path_to_string steps] renders a {!desc.Path_lookup} step list as
+    the path it collapsed, e.g. [//site/open_auctions]. *)
+val path_to_string : (bool * string) list -> string

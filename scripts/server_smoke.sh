@@ -44,6 +44,19 @@ grep -qi '^x-request-id:' "$headers" || fail "missing X-Request-Id"
 grep -qi '^x-standoff-cache:' "$headers" || fail "missing X-Standoff-Cache"
 rm -f "$headers"
 
+echo "== dataguide knob"
+# ?dataguide=off must evaluate without the path index yet return the
+# exact bytes of the default-on run above — the index is a pure
+# performance knob.
+body_nodg=$(curl -fsS -X POST --data-binary \
+  "count(doc(\"$DOC\")//site/select-narrow::regions)" \
+  "$BASE/query?strategy=loop-lifted&dataguide=off")
+[ "$body_nodg" = "$body" ] \
+  || fail "dataguide=off answered '$body_nodg', default-on said '$body'"
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST --data-binary \
+  "count(doc(\"$DOC\")//site)" "$BASE/query?dataguide=sideways")
+[ "$code" = 400 ] || fail "malformed dataguide= answered $code, expected 400"
+
 echo "== query errors"
 code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST --data-binary \
   'this is not xquery (' "$BASE/query")

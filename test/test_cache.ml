@@ -179,6 +179,28 @@ let test_plan_cache_hits () =
   let rs = Engine.result_cache_stats engine in
   Alcotest.(check int) "result cache untouched" 0 (rs.Lru.hits + rs.Lru.misses)
 
+(* Regression: the plan-cache key must separate dataguide-on plans
+   from dataguide-off plans.  Before the flag joined the key, a
+   guide-off request could be served a cached guide-on plan (wrong
+   operators, just not wrong bytes) — and this check would see a hit
+   where it demands a miss. *)
+let test_plan_cache_dataguide_key () =
+  let engine, _ = engine_with_region_doc Engine.Cache_plan in
+  let q = narrow_count in
+  ignore (Engine.prepare engine ~dataguide:true q);
+  let s0 = Engine.plan_cache_stats engine in
+  (* Same text, other dataguide flag: must miss and prepare afresh. *)
+  ignore (Engine.prepare engine ~dataguide:false q);
+  let s1 = Engine.plan_cache_stats engine in
+  Alcotest.(check int) "flipped flag misses" (s0.Lru.misses + 1) s1.Lru.misses;
+  Alcotest.(check int) "flipped flag never hits" s0.Lru.hits s1.Lru.hits;
+  (* Each flag value keeps its own entry: repeats on both sides hit. *)
+  ignore (Engine.prepare engine ~dataguide:true q);
+  ignore (Engine.prepare engine ~dataguide:false q);
+  let s2 = Engine.plan_cache_stats engine in
+  Alcotest.(check int) "both repeats hit" (s1.Lru.hits + 2) s2.Lru.hits;
+  Alcotest.(check int) "no further misses" s1.Lru.misses s2.Lru.misses
+
 let test_result_cache_byte_identical () =
   let engine, _ = engine_with_region_doc Engine.Cache_result in
   let q = "doc(\"upd.xml\")//p/select-narrow::c" in
@@ -265,6 +287,8 @@ let () =
           Alcotest.test_case "stale read regression (query-update-query)"
             `Quick test_stale_read_regression;
           Alcotest.test_case "plan cache hits" `Quick test_plan_cache_hits;
+          Alcotest.test_case "plan cache keys on the dataguide flag" `Quick
+            test_plan_cache_dataguide_key;
           Alcotest.test_case "result cache byte-identical" `Quick
             test_result_cache_byte_identical;
           Alcotest.test_case "cache off never consults" `Quick

@@ -19,6 +19,11 @@ module Trace = Standoff_obs.Trace
 let ops = [ "select-narrow"; "select-wide"; "reject-narrow"; "reject-wide" ]
 let jobs_sweep = [ 1; 4 ]
 
+(* The DataGuide path index is a pure performance knob: the collapse
+   rewrite and the probe-based evaluation must be invisible in the
+   bytes, so every strategy x jobs point runs both ways. *)
+let dataguide_sweep = [ false; true ]
+
 (* ------------------------------------------------------------------ *)
 (* Generators                                                          *)
 
@@ -85,8 +90,10 @@ let coll_of_case case =
   ignore (Collection.load_string coll ~name:"r.xml" (doc_of_layers case.layers));
   coll
 
-let run_case coll ?trace ~strategy ~jobs case =
-  let e = Engine.create ~strategy ~jobs ~cache:Engine.Cache_off coll in
+let run_case coll ?trace ~strategy ~jobs ~dataguide case =
+  let e =
+    Engine.create ~strategy ~jobs ~cache:Engine.Cache_off ~dataguide coll
+  in
   Fun.protect
     ~finally:(fun () -> Engine.shutdown e)
     (fun () ->
@@ -96,8 +103,10 @@ let run_case coll ?trace ~strategy ~jobs case =
 (* One engine with the result cache on, the query run twice: the first
    run misses and fills, the second must be served back byte-identical.
    Returns both serializations. *)
-let run_case_cached coll ~strategy ~jobs case =
-  let e = Engine.create ~strategy ~jobs ~cache:Engine.Cache_result coll in
+let run_case_cached coll ~strategy ~jobs ~dataguide case =
+  let e =
+    Engine.create ~strategy ~jobs ~cache:Engine.Cache_result ~dataguide coll
+  in
   Fun.protect
     ~finally:(fun () -> Engine.shutdown e)
     (fun () ->
@@ -111,39 +120,47 @@ let run_case_cached coll ~strategy ~jobs case =
 (* Byte-identical serialization across all strategies and jobs         *)
 
 let qcheck_strategies_identical =
-  QCheck.Test.make ~name:"all strategies x jobs {1,4} x cache byte-identical"
+  QCheck.Test.make
+    ~name:"all strategies x jobs {1,4} x dataguide x cache byte-identical"
     ~count:30
     (QCheck.make ~print:print_case gen_case)
     (fun case ->
       let coll = coll_of_case case in
       let reference =
-        run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1 case
+        run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1
+          ~dataguide:false case
       in
       List.for_all
         (fun strategy ->
           List.for_all
             (fun jobs ->
-              let out = run_case coll ~strategy ~jobs case in
-              if not (String.equal out reference) then
-                QCheck.Test.fail_reportf
-                  "strategy=%s jobs=%d diverged:\n%s\n  vs reference:\n%s"
-                  (Config.strategy_to_string strategy)
-                  jobs out reference
-              else
-                let cold, warm = run_case_cached coll ~strategy ~jobs case in
-                if not (String.equal cold reference) then
-                  QCheck.Test.fail_reportf
-                    "strategy=%s jobs=%d cache-on cold run diverged:\n\
-                     %s\n  vs reference:\n%s"
-                    (Config.strategy_to_string strategy)
-                    jobs cold reference
-                else if not (String.equal warm reference) then
-                  QCheck.Test.fail_reportf
-                    "strategy=%s jobs=%d cached repeat diverged:\n\
-                     %s\n  vs reference:\n%s"
-                    (Config.strategy_to_string strategy)
-                    jobs warm reference
-                else true)
+              List.for_all
+                (fun dataguide ->
+                  let out = run_case coll ~strategy ~jobs ~dataguide case in
+                  if not (String.equal out reference) then
+                    QCheck.Test.fail_reportf
+                      "strategy=%s jobs=%d dataguide=%b diverged:\n\
+                       %s\n  vs reference:\n%s"
+                      (Config.strategy_to_string strategy)
+                      jobs dataguide out reference
+                  else
+                    let cold, warm =
+                      run_case_cached coll ~strategy ~jobs ~dataguide case
+                    in
+                    if not (String.equal cold reference) then
+                      QCheck.Test.fail_reportf
+                        "strategy=%s jobs=%d dataguide=%b cache-on cold run \
+                         diverged:\n%s\n  vs reference:\n%s"
+                        (Config.strategy_to_string strategy)
+                        jobs dataguide cold reference
+                    else if not (String.equal warm reference) then
+                      QCheck.Test.fail_reportf
+                        "strategy=%s jobs=%d dataguide=%b cached repeat \
+                         diverged:\n%s\n  vs reference:\n%s"
+                        (Config.strategy_to_string strategy)
+                        jobs dataguide warm reference
+                    else true)
+                dataguide_sweep)
             jobs_sweep)
         Config.all_strategies)
 
@@ -173,7 +190,7 @@ let qcheck_trace_rows_agree =
       let coll = coll_of_case case in
       let rows_of strategy =
         let trace = Trace.create () in
-        ignore (run_case coll ~trace ~strategy ~jobs:1 case);
+        ignore (run_case coll ~trace ~strategy ~jobs:1 ~dataguide:false case);
         join_rows_out (Trace.root trace)
       in
       let reference = rows_of Config.Udf_no_candidates in
@@ -223,29 +240,37 @@ let test_corner_cases () =
     (fun case ->
       let coll = coll_of_case case in
       let reference =
-        run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1 case
+        run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1
+          ~dataguide:false case
       in
       List.iter
         (fun strategy ->
           List.iter
             (fun jobs ->
-              Alcotest.(check string)
-                (Printf.sprintf "%s @ %s jobs=%d" case.query
-                   (Config.strategy_to_string strategy)
-                   jobs)
-                reference
-                (run_case coll ~strategy ~jobs case);
-              let cold, warm = run_case_cached coll ~strategy ~jobs case in
-              Alcotest.(check string)
-                (Printf.sprintf "%s @ %s jobs=%d cache-on cold" case.query
-                   (Config.strategy_to_string strategy)
-                   jobs)
-                reference cold;
-              Alcotest.(check string)
-                (Printf.sprintf "%s @ %s jobs=%d cached repeat" case.query
-                   (Config.strategy_to_string strategy)
-                   jobs)
-                reference warm)
+              List.iter
+                (fun dataguide ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s @ %s jobs=%d dataguide=%b" case.query
+                       (Config.strategy_to_string strategy)
+                       jobs dataguide)
+                    reference
+                    (run_case coll ~strategy ~jobs ~dataguide case);
+                  let cold, warm =
+                    run_case_cached coll ~strategy ~jobs ~dataguide case
+                  in
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s @ %s jobs=%d dataguide=%b cache-on cold"
+                       case.query
+                       (Config.strategy_to_string strategy)
+                       jobs dataguide)
+                    reference cold;
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s @ %s jobs=%d dataguide=%b cached repeat"
+                       case.query
+                       (Config.strategy_to_string strategy)
+                       jobs dataguide)
+                    reference warm)
+                dataguide_sweep)
             jobs_sweep)
         Config.all_strategies)
     cases

@@ -266,24 +266,31 @@ let test_explain () =
   (* Explain needs no documents: the plan prints against an empty
      collection. *)
   let engine = Standoff_xquery.Engine.create (Collection.create ()) in
-  let out =
-    Standoff_xquery.Engine.explain engine
-      "declare option standoff-start \"from\";\n\
-       for $b in doc(\"a\")//open_auction return $b/bidder[1]"
+  let query =
+    "declare option standoff-start \"from\";\n\
+     for $b in doc(\"a\")//open_auction return $b/bidder[1]"
   in
+  let contains out sub =
+    let n = String.length sub in
+    let rec scan i =
+      i + n <= String.length out && (String.sub out i n = sub || scan (i + 1))
+    in
+    scan 0
+  in
+  (* Default: the DataGuide collapse turns doc(…)//name into one
+     path-lookup; the variable-rooted step stays a step. *)
+  let out = Standoff_xquery.Engine.explain engine query in
   Alcotest.(check bool) "prolog survives" true
     (String.length out > 0
-    &&
-    let contains sub =
-      let n = String.length sub in
-      let rec scan i =
-        i + n <= String.length out && (String.sub out i n = sub || scan (i + 1))
-      in
-      scan 0
-    in
-    contains "declare option standoff-start"
-    && contains "descendant-or-self::node()"
-    && contains "child::bidder")
+    && contains out "declare option standoff-start"
+    && contains out "path-lookup //open_auction"
+    && contains out "child::bidder");
+  (* Guide off: the structural expansion of // is visible again. *)
+  let out = Standoff_xquery.Engine.explain engine ~dataguide:false query in
+  Alcotest.(check bool) "dataguide off keeps the steps" true
+    (contains out "descendant-or-self::node()"
+    && contains out "child::open_auction"
+    && not (contains out "path-lookup"))
 
 (* ------------------------------------------------------------ *)
 (* Serialization                                                 *)
