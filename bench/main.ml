@@ -14,6 +14,7 @@
      main.exe cache [opts]             result cache: cold vs warm, hit rate
      main.exe dataguide [opts]         DataGuide path index: guide-on vs off
      main.exe serve [opts]             HTTP server: latency/throughput, 503 probe
+     main.exe persist [opts]           WAL throughput, recovery time, snapshots
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
@@ -60,6 +61,12 @@
      --workers w1,w2,...  worker counts to sweep        (default 1,4,8)
      --queries Q1,...     subset of Q1 Q2 Q6 Q7         (default all)
      --json FILE          output file                   (default BENCH_server.json)
+     --no-json            skip the JSON file
+
+   persist options:
+     --updates N          updates per throughput point  (default 5000)
+     --sweep n1,n2,...    WAL lengths for recovery sweep (default 1000,5000,10000)
+     --json FILE          output file                   (default BENCH_persist.json)
      --no-json            skip the JSON file
 
    The paper benchmarked 11MB-1100MB documents (scale 0.1-10) with a
@@ -1542,6 +1549,222 @@ let bench_serve ?(scale = 0.02) ?(clients = 8) ?(requests = 40)
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Durability: WAL append throughput per fsync policy, recovery time
+   vs WAL length, snapshot write + snapshot-based recovery             *)
+
+module Wal = Standoff_store.Wal
+module Durable = Standoff.Durable
+
+type wt_row = {
+  wt_policy : string;
+  wt_updates : int;
+  wt_seconds : float;
+  wt_ups : float;  (* acknowledged updates per second *)
+}
+
+type rc_row = {
+  rc_records : int;
+  rc_seconds : float;
+  rc_rps : float;  (* replayed records per second *)
+  rc_ok : bool;  (* recovery replayed exactly the logged count *)
+}
+
+let bench_persist ?(updates = 5000) ?(sweep = [ 1000; 5000; 10_000 ]) ?json ()
+    =
+  section "Durability: WAL throughput, recovery time, snapshots";
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let fresh_dir =
+    let root = Filename.temp_file "standoff-bench-persist" "" in
+    Sys.remove root;
+    Unix.mkdir root 0o755;
+    at_exit (fun () -> try rm_rf root with Sys_error _ | Unix.Unix_error _ -> ());
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Filename.concat root (Printf.sprintf "d%d" !n)
+  in
+  (* Synthetic store: one document, ~10k disjoint word annotations —
+     the shape of a shredded text corpus under annotation editing. *)
+  let n_annot = 10_000 in
+  let doc_name = "persist.xml" in
+  let seed () =
+    let buf = Buffer.create (n_annot * 28) in
+    Buffer.add_string buf "<t>";
+    for i = 0 to n_annot - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "<w start=\"%d\" end=\"%d\"/>" (i * 10) ((i * 10) + 9))
+    done;
+    Buffer.add_string buf "</t>";
+    let coll = Collection.create () in
+    ignore (Collection.load_string coll ~name:doc_name (Buffer.contents buf));
+    coll
+  in
+  let cfg = Config.default in
+  (* One acknowledged update through the durable path: validate + apply
+     against the store, then log — exactly the server's write path. *)
+  let apply_and_log dur cat d words k =
+    let pre = words.(k mod Array.length words) in
+    let region = Region.make_int (k * 7 mod 90_000) ((k * 7 mod 90_000) + 40) in
+    Standoff.Update.set_region cat cfg d ~pre region;
+    ignore
+      (Durable.log dur
+         (Wal.Set_region
+            {
+              doc = doc_name;
+              start_attr = cfg.Config.start_name;
+              end_attr = cfg.Config.end_name;
+              ptype = cfg.Config.position_type;
+              pre;
+              start_pos = Region.start_pos region;
+              end_pos = Region.end_pos region;
+            }))
+  in
+  let open_store ~policy dir =
+    let dur, recovery = Durable.open_dir ~policy ~seed dir in
+    let coll = Durable.collection dur in
+    let d =
+      Collection.doc coll
+        (Option.get (Collection.doc_id_of_name coll doc_name))
+    in
+    (dur, recovery, d, Doc.elements_named d "w")
+  in
+  (* --- 1. append throughput per fsync policy ----------------------- *)
+  Printf.printf
+    "document: %d annotations; %d set_region updates per point\n\n" n_annot
+    updates;
+  Printf.printf "%-12s%12s%16s\n" "fsync" "wall" "updates/sec";
+  Printf.printf "%s\n" (String.make 40 '-');
+  let wt_rows =
+    List.map
+      (fun policy ->
+        let dir = fresh_dir () in
+        let dur, _, d, words = open_store ~policy dir in
+        let cat = Standoff.Catalog.create () in
+        (* Warm the update path (lazy region index) outside the clock. *)
+        apply_and_log dur cat d words 0;
+        let _, t =
+          Timing.time (fun () ->
+              for k = 1 to updates do
+                apply_and_log dur cat d words k
+              done)
+        in
+        Durable.close dur;
+        let row =
+          {
+            wt_policy = Wal.fsync_policy_to_string policy;
+            wt_updates = updates;
+            wt_seconds = t;
+            wt_ups = float_of_int updates /. t;
+          }
+        in
+        Printf.printf "%-12s%10.1fms%16.0f\n%!" row.wt_policy
+          (t *. 1000.0) row.wt_ups;
+        row)
+      [ Wal.Always; Wal.Batch 64; Wal.Never ]
+  in
+  (* --- 2. recovery time vs WAL length ------------------------------ *)
+  Printf.printf "\n%-12s%12s%16s%8s\n" "records" "recovery" "records/sec" "ok";
+  Printf.printf "%s\n" (String.make 48 '-');
+  let rc_rows =
+    List.map
+      (fun n ->
+        let dir = fresh_dir () in
+        (let dur, _, d, words = open_store ~policy:Wal.Never dir in
+         let cat = Standoff.Catalog.create () in
+         for k = 1 to n do
+           apply_and_log dur cat d words k
+         done;
+         Durable.close dur);
+        let (_, recovery), t =
+          Timing.time (fun () ->
+              let dur, recovery = Durable.open_dir ~seed dir in
+              Durable.close dur;
+              (dur, recovery))
+        in
+        let row =
+          {
+            rc_records = n;
+            rc_seconds = t;
+            rc_rps = float_of_int n /. t;
+            rc_ok = recovery.Durable.rec_replayed = n;
+          }
+        in
+        Printf.printf "%-12d%10.1fms%16.0f%8b\n%!" n (t *. 1000.0) row.rc_rps
+          row.rc_ok;
+        row)
+      sweep
+  in
+  (* --- 3. snapshot write and snapshot-based recovery --------------- *)
+  let snap_n = List.fold_left max 0 sweep in
+  let dir = fresh_dir () in
+  (let dur, _, d, words = open_store ~policy:Wal.Never dir in
+   let cat = Standoff.Catalog.create () in
+   for k = 1 to snap_n do
+     apply_and_log dur cat d words k
+   done;
+   let path, snap_t = Timing.time (fun () -> Durable.snapshot dur ~generation:1) in
+   Durable.close dur;
+   let snap_bytes = (Unix.stat path).Unix.st_size in
+   let (recovery, rec_t) =
+     Timing.time (fun () ->
+         let dur, recovery = Durable.open_dir ~seed dir in
+         Durable.close dur;
+         recovery)
+   in
+   let from_snapshot = recovery.Durable.rec_snapshot <> None in
+   let snap_ok = from_snapshot && recovery.Durable.rec_replayed = 0 in
+   Printf.printf
+     "\nsnapshot after %d updates: write %.1fms (%d bytes); recovery from \
+      snapshot %.1fms, %d WAL record(s) replayed -> %s\n"
+     snap_n (snap_t *. 1000.0) snap_bytes (rec_t *. 1000.0)
+     recovery.Durable.rec_replayed
+     (if snap_ok then "PASS" else "FAIL");
+   let recovery_ok = List.for_all (fun r -> r.rc_ok) rc_rows in
+   let pass = recovery_ok && snap_ok in
+   Printf.printf
+     "durability criteria (every WAL record replayed, snapshot recovery \
+      replays 0): %s\n"
+     (if pass then "PASS" else "FAIL");
+   Option.iter
+     (fun file ->
+       let oc = open_out file in
+       Printf.fprintf oc
+         "{\n  \"annotations\": %d,\n  \"updates\": %d,\n\
+         \  \"snapshot\": {\"updates\": %d, \"write_ms\": %.3f, \"bytes\": \
+          %d, \"recover_ms\": %.3f, \"replayed\": %d, \"ok\": %b},\n\
+         \  \"pass\": %b,\n  \"throughput\": [\n"
+         n_annot updates snap_n (snap_t *. 1000.0) snap_bytes
+         (rec_t *. 1000.0) recovery.Durable.rec_replayed snap_ok pass;
+       List.iteri
+         (fun i r ->
+           Printf.fprintf oc
+             "    {\"fsync\": \"%s\", \"updates\": %d, \"seconds\": %.6f, \
+              \"updates_per_sec\": %.1f}%s\n"
+             r.wt_policy r.wt_updates r.wt_seconds r.wt_ups
+             (if i = List.length wt_rows - 1 then "" else ","))
+         wt_rows;
+       Printf.fprintf oc "  ],\n  \"recovery\": [\n";
+       List.iteri
+         (fun i r ->
+           Printf.fprintf oc
+             "    {\"records\": %d, \"seconds\": %.6f, \"records_per_sec\": \
+              %.1f, \"ok\": %b}%s\n"
+             r.rc_records r.rc_seconds r.rc_rps r.rc_ok
+             (if i = List.length rc_rows - 1 then "" else ","))
+         rc_rows;
+       Printf.fprintf oc "  ]\n}\n";
+       close_out oc;
+       Printf.printf "wrote %s\n" file)
+     json;
+   if not pass then exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family    *)
 
 let micro () =
@@ -1848,6 +2071,31 @@ let parse_serve_args args =
   go args;
   (!scale, !clients, !requests, !worker_counts, !queries, !json)
 
+let parse_persist_args args =
+  let updates = ref 5000 in
+  let sweep = ref [ 1000; 5000; 10_000 ] in
+  let json = ref (Some "BENCH_persist.json") in
+  let rec go = function
+    | [] -> ()
+    | "--updates" :: v :: rest ->
+        updates := max 1 (int_of_string v);
+        go rest
+    | "--sweep" :: v :: rest ->
+        sweep :=
+          List.map (fun s -> max 1 (int_of_string s))
+            (String.split_on_char ',' v);
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | "--no-json" :: rest ->
+        json := None;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "persist: unknown argument %s" arg)
+  in
+  go args;
+  (!updates, !sweep, !json)
+
 let parse_scale_jobs_args ~cmd ~default_scale args =
   let scale = ref default_scale in
   let jobs = ref (Config.default_jobs ()) in
@@ -1901,6 +2149,9 @@ let () =
         parse_serve_args rest
       in
       bench_serve ~scale ~clients ~requests ~worker_counts ?json ~queries ()
+  | _ :: "persist" :: rest ->
+      let updates, sweep, json = parse_persist_args rest in
+      bench_persist ~updates ~sweep ?json ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
@@ -1916,7 +2167,8 @@ let () =
       Printf.eprintf
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
          staircase-vs-standoff | active-set | scaling | planner | \
-         parallel-scaling | obs-overhead | cache | serve | micro | all)\n"
+         parallel-scaling | obs-overhead | cache | serve | persist | micro | \
+         all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -193,26 +193,103 @@ let slow_ms_arg =
            slow-query log (GET /slow) and on stderr.  Defaults to \
            \\$(b,STANDOFF_SLOW_MS), else disabled.")
 
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable data directory (created if missing).  Boot recovers \
+           the newest snapshot plus the WAL suffix; updates are logged \
+           before they are acknowledged; shutdown writes a compacting \
+           snapshot.  Without it the store is purely in-memory.")
+
+let fsync_conv =
+  Arg.conv
+    ( (fun s ->
+        try Ok (Standoff_store.Wal.fsync_policy_of_string s)
+        with Invalid_argument m -> Error (`Msg m)),
+      fun fmt p ->
+        Format.pp_print_string fmt (Standoff_store.Wal.fsync_policy_to_string p)
+    )
+
+let fsync_arg =
+  Arg.(
+    value
+    & opt fsync_conv Standoff_store.Wal.Always
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "WAL fsync policy: always (acknowledged implies durable), \
+           batch[:N] (fsync every N appends; bounded loss window), or \
+           never (leave it to the OS).  Only meaningful with --data-dir.")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Write a compacting snapshot (and reset the WAL) every N \
+           updates; 0 disables periodic snapshots (POST /admin/snapshot \
+           and clean shutdown still compact).  Only meaningful with \
+           --data-dir.")
+
 let serve docs blobs db xmark host port workers queue max_body keep_alive
     timeout_ms max_timeout_ms socket_timeout grace strategy jobs cache slow_ms
-    =
+    data_dir fsync snapshot_every =
   try
-    let coll = load_collection ?db docs blobs in
-    (match xmark with
-    | Some scale ->
-        let setup = Setup.build ~scale ~with_standard:false ~jobs:1 () in
-        (* Re-register the generated documents and BLOB in our own
-           collection so --doc/--db loads can coexist with --xmark. *)
-        Collection.fold_docs
-          (fun () _ d -> ignore (Collection.add coll d))
-          () setup.Setup.coll;
-        Collection.fold_blobs
-          (fun () b -> Collection.add_blob coll b)
-          () setup.Setup.coll;
-        Printf.printf "loaded XMark scale %g as %S (%s)\n%!" scale
-          setup.Setup.standoff_doc
-          (Setup.size_label setup.Setup.serialized_size)
-    | None -> ());
+    let seed () =
+      let coll = load_collection ?db docs blobs in
+      (match xmark with
+      | Some scale ->
+          let setup = Setup.build ~scale ~with_standard:false ~jobs:1 () in
+          (* Re-register the generated documents and BLOB in our own
+             collection so --doc/--db loads can coexist with --xmark. *)
+          Collection.fold_docs
+            (fun () _ d -> ignore (Collection.add coll d))
+            () setup.Setup.coll;
+          Collection.fold_blobs
+            (fun () b -> Collection.add_blob coll b)
+            () setup.Setup.coll;
+          Printf.printf "loaded XMark scale %g as %S (%s)\n%!" scale
+            setup.Setup.standoff_doc
+            (Setup.size_label setup.Setup.serialized_size)
+      | None -> ());
+      coll
+    in
+    let durable, coll =
+      match data_dir with
+      | None -> (None, seed ())
+      | Some dir ->
+          let d, recovery =
+            Standoff.Durable.open_dir ~policy:fsync
+              ~snapshot_every:(max 0 snapshot_every) ~seed dir
+          in
+          let snap_label =
+            match recovery.Standoff.Durable.rec_snapshot with
+            | Some (lsn, _) -> Printf.sprintf "snapshot lsn=%d" lsn
+            | None -> "no snapshot"
+          in
+          Printf.printf
+            "standoff-server: recovered %s (fsync=%s): %s, replayed %d WAL \
+             record(s)%s\n\
+             %!"
+            dir
+            (Standoff_store.Wal.fsync_policy_to_string fsync)
+            snap_label recovery.Standoff.Durable.rec_replayed
+            (match recovery.Standoff.Durable.rec_torn with
+            | Some reason -> Printf.sprintf " (torn tail dropped: %s)" reason
+            | None -> "");
+          if
+            recovery.Standoff.Durable.rec_snapshot <> None
+            && (docs <> [] || db <> None || xmark <> None)
+          then
+            Printf.printf
+              "standoff-server: note: --doc/--db/--xmark ignored — %s \
+               already holds a snapshot\n\
+               %!"
+              dir;
+          (Some d, Standoff.Durable.collection d)
+    in
     let engine = Engine.create ?strategy ~jobs ?slow_ms ?cache coll in
     if Engine.slow_ms engine <> None then
       Standoff_obs.Slow_log.set_sink
@@ -235,7 +312,7 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
         grace_s = grace;
       }
     in
-    let server = Server.create ~config engine in
+    let server = Server.create ~config ?durable engine in
     (* Handlers only flag the request; the actual stop runs on the
        main thread (a signal handler must not join domains). *)
     let stop_requested = Atomic.make false in
@@ -254,8 +331,8 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
        engine jobs %s\n\
        standoff-server listening on %s:%d (queue=%d cache=%s) — %d \
        document(s) loaded\n\
-       endpoints: POST /query, POST /update, GET /explain, GET /metrics, \
-       GET /slow, GET /healthz\n\
+       endpoints: POST /query, POST /update, POST /admin/snapshot, \
+       GET /explain, GET /metrics, GET /slow, GET /healthz\n\
        %!"
       (Pool.domain_budget ()) (Server.workers server) jobs_label host
       (Server.port server) queue
@@ -266,6 +343,15 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
     done;
     Printf.printf "standoff-server: shutting down (grace %gs)...\n%!" grace;
     Server.stop server;
+    (* Workers are gone: no writer can race the final compaction. *)
+    (match durable with
+    | Some d ->
+        if Standoff.Durable.dirty d then
+          Printf.printf "standoff-server: writing shutdown snapshot\n%!";
+        Standoff.Durable.close
+          ~generation:(Standoff.Catalog.version (Engine.catalog engine))
+          d
+    | None -> ());
     Engine.shutdown engine;
     Printf.printf "standoff-server: drained, bye\n%!";
     exit 0
@@ -278,6 +364,12 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
       exit 1
   | Standoff_store.Persist.Corrupt msg ->
       Printf.eprintf "corrupt database file: %s\n" msg;
+      exit 1
+  | Standoff_store.Wal.Corrupt msg ->
+      Printf.eprintf "corrupt write-ahead log: %s\n" msg;
+      exit 1
+  | Standoff.Durable.Recovery_error msg ->
+      Printf.eprintf "recovery failed: %s\n" msg;
       exit 1
   | Sys_error msg ->
       Printf.eprintf "i/o error: %s\n" msg;
@@ -298,4 +390,5 @@ let () =
             $ port_arg $ workers_arg $ queue_arg $ max_body_arg
             $ keep_alive_arg $ timeout_ms_arg $ max_timeout_ms_arg
             $ socket_timeout_arg $ grace_arg $ strategy_arg $ jobs_arg
-            $ cache_arg $ slow_ms_arg)))
+            $ cache_arg $ slow_ms_arg $ data_dir_arg $ fsync_arg
+            $ snapshot_every_arg)))

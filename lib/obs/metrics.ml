@@ -203,6 +203,13 @@ let observe h v =
     ignore (Atomic.fetch_and_add h.h_sum_nanos.(s) (int_of_float (v *. 1e9)))
   end
 
+(* [time h f] runs [f] and observes its wall-clock duration — on
+   success and on exception alike, so latency histograms of fallible
+   operations (fsync, snapshot writes) count the failures too. *)
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
 let histogram_count h =
   Array.fold_left (fun acc cells -> acc + sum_cells cells) 0 h.h_counts
 

@@ -8,7 +8,7 @@ module Slow_log = Standoff_obs.Slow_log
 module Collection = Standoff_store.Collection
 module Config = Standoff.Config
 module Catalog = Standoff.Catalog
-module Update = Standoff.Update
+module Durable = Standoff.Durable
 module Region = Standoff_interval.Region
 module Pool = Standoff_util.Pool
 
@@ -205,6 +205,9 @@ type state = Created | Running | Stopping | Stopped
 type t = {
   cfg : config;
   eng : Engine.t;
+  durable : Durable.t option;
+      (* durability coordinator; [None] means purely in-memory (no
+         --data-dir), in which case /admin/snapshot answers 409 *)
   lock : Rw_lock.t;
   listen_fd : Unix.file_descr;
   (* Self-pipe waking the acceptor out of [select]: closing a listening
@@ -238,7 +241,14 @@ let running t =
   Mutex.unlock t.state_m;
   r
 
-let create ?(config = default_config) eng =
+let create ?(config = default_config) ?durable eng =
+  (* Every successful in-place update flows through the engine's
+     durability hook into the WAL; under the Always policy the record
+     is on disk before the HTTP response is written, so an
+     acknowledged update survives any crash. *)
+  (match durable with
+  | Some d -> Engine.set_on_update eng (Some (fun op -> ignore (Durable.log d op)))
+  | None -> ());
   let config =
     {
       config with
@@ -265,6 +275,7 @@ let create ?(config = default_config) eng =
   {
     cfg = config;
     eng;
+    durable;
     lock = Rw_lock.create ();
     listen_fd = fd;
     wake_r;
@@ -471,6 +482,10 @@ let handle_update t req =
           let doc = Collection.doc (Engine.collection t.eng) doc_id in
           let cat = Engine.catalog t.eng in
           try
+            (* The engine wrappers apply the update and, on success,
+               feed its WAL record to the durability hook — so by the
+               time we build the 200 below, an [--fsync always] server
+               has the record on disk. *)
             let detail =
               match op with
               | "set-region" | "set" ->
@@ -481,7 +496,7 @@ let handle_update t req =
                   let end_ =
                     require "end parameter" (int64_param req "end")
                   in
-                  Update.set_region cat config doc ~pre
+                  Engine.set_region t.eng config doc ~pre
                     (Region.make start end_);
                   Printf.sprintf "\"op\": \"set-region\", \"pre\": %d" pre
               | "shift" ->
@@ -490,21 +505,46 @@ let handle_update t req =
                   in
                   let by = require "by parameter" (int64_param req "by") in
                   let moved =
-                    Update.shift_annotations cat config doc ~from ~by
+                    Engine.shift_annotations t.eng config doc ~from ~by
                   in
                   Printf.sprintf "\"op\": \"shift\", \"moved\": %d" moved
               | op -> raise (Bad_param (Printf.sprintf "unknown op=%S" op))
             in
+            (* Periodic compaction rides the update path: we already
+               hold the writer lock, which [Durable.snapshot] requires. *)
+            (match t.durable with
+            | Some d ->
+                ignore
+                  (Durable.maybe_snapshot d ~generation:(Catalog.version cat))
+            | None -> ());
             json_reply 200
               ~headers:[ ("X-Request-Id", request_id) ]
               (Printf.sprintf
                  "{\"ok\": true, %s, \"doc\": \"%s\", \"generation\": %d, \
-                  \"version\": %d}\n"
+                  \"version\": %d, \"durable\": %b}\n"
                  detail
                  (Metrics.json_escape doc_name)
                  (Catalog.generation cat doc_name)
-                 (Catalog.version cat))
+                 (Catalog.version cat)
+                 (t.durable <> None))
           with Invalid_argument msg -> json_error ~request_id 400 msg))
+
+(* Operator-triggered compaction: snapshot now, under the writer lock.
+   409 when the server runs without a data directory. *)
+let handle_snapshot t _req =
+  let request_id = fresh_request_id t in
+  match t.durable with
+  | None ->
+      json_error ~request_id 409 "server is running without --data-dir"
+  | Some d ->
+      Rw_lock.write t.lock (fun () ->
+          let generation = Catalog.version (Engine.catalog t.eng) in
+          let path = Durable.snapshot d ~generation in
+          json_reply 200
+            ~headers:[ ("X-Request-Id", request_id) ]
+            (Printf.sprintf
+               "{\"ok\": true, \"snapshot\": \"%s\", \"generation\": %d}\n"
+               (Metrics.json_escape path) generation))
 
 let handle_explain t req =
   let text =
@@ -534,6 +574,7 @@ let known_paths =
   [
     ("/query", [ "POST" ]);
     ("/update", [ "POST" ]);
+    ("/admin/snapshot", [ "POST" ]);
     ("/explain", [ "GET"; "POST" ]);
     ("/metrics", [ "GET" ]);
     ("/slow", [ "GET" ]);
@@ -554,6 +595,7 @@ let route t (req : Http.request) =
   | ("GET" | "POST"), "/explain" -> handle_explain t req
   | "POST", "/query" -> handle_query t req
   | "POST", "/update" -> handle_update t req
+  | "POST", "/admin/snapshot" -> handle_snapshot t req
   | meth, path -> (
       match List.assoc_opt path known_paths with
       | Some allowed ->

@@ -20,7 +20,13 @@
       [?doc=NAME&op=shift&from=F&by=B] shifts annotations.  Runs under
       the exclusive side of the server's readers–writer lock and ends
       in {!Standoff.Catalog.invalidate}, so concurrent queries can
-      never observe a stale cached result.
+      never observe a stale cached result.  When the server was created
+      with a durability coordinator, the update's WAL record is on disk
+      (per the fsync policy) before the 200 is written, and every
+      [snapshot-every] updates a compacting snapshot is taken in-line.
+    - [POST /admin/snapshot] — operator-triggered compaction: write a
+      snapshot and reset the WAL, under the writer lock.  [409] when
+      the server runs without a data directory.
     - [GET /explain?q=…] (or [POST /explain] with the query as body) —
       the optimized physical plan, evaluated nothing.
     - [GET /metrics] — the process-wide
@@ -71,10 +77,16 @@ val default_config : config
 
 type t
 
-(** [create ?config engine] binds and listens (so {!port} is known),
-    but serves nothing until {!start}.
+(** [create ?config ?durable engine] binds and listens (so {!port} is
+    known), but serves nothing until {!start}.  When [durable] is
+    given, the engine's update hook is pointed at
+    {!Standoff.Durable.log} — acknowledged updates are durable per the
+    coordinator's fsync policy — and [/admin/snapshot] plus periodic
+    compaction are enabled.  The engine's collection must be the one
+    the coordinator recovered.
     @raise Unix.Unix_error when binding fails. *)
-val create : ?config:config -> Standoff_xquery.Engine.t -> t
+val create :
+  ?config:config -> ?durable:Standoff.Durable.t -> Standoff_xquery.Engine.t -> t
 
 (** The bound port — the configured one, or the kernel-chosen one when
     the configuration said [0]. *)

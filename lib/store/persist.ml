@@ -123,7 +123,7 @@ let read_file path =
 let save_doc d path = write_file path (doc_to_string d)
 let load_doc path = doc_of_string (read_file path)
 
-let save_collection coll path =
+let collection_to_string coll =
   let w = Codec.Writer.create () in
   let docs =
     Collection.fold_docs (fun acc _ d -> d :: acc) [] coll |> List.rev
@@ -145,10 +145,12 @@ let save_collection coll path =
       Codec.Writer.string w (Blob.name b);
       Codec.Writer.string w (Blob.contents b))
     blobs;
-  write_file path (seal ~tag:"collection" (Codec.Writer.contents w))
+  seal ~tag:"collection" (Codec.Writer.contents w)
 
-let load_collection path =
-  let payload = unseal ~tag:"collection" (read_file path) in
+let save_collection coll path = write_file path (collection_to_string coll)
+
+let collection_of_string s =
+  let payload = unseal ~tag:"collection" s in
   let r = Codec.Reader.create payload in
   try
     let coll = Collection.create () in
@@ -172,3 +174,5 @@ let load_collection path =
     if not (Codec.Reader.at_end r) then raise (Corrupt "trailing bytes");
     coll
   with Codec.Reader.Corrupt msg -> raise (Corrupt msg)
+
+let load_collection path = collection_of_string (read_file path)

@@ -33,3 +33,17 @@ val save_collection : Collection.t -> string -> unit
 (** [load_collection path] reassembles the collection (document ids are
     re-assigned densely in the saved order). *)
 val load_collection : string -> Collection.t
+
+(** In-memory variants of [save_collection]/[load_collection]; the
+    snapshot layer embeds these strings inside its own sealed frame. *)
+val collection_to_string : Collection.t -> string
+
+val collection_of_string : string -> Collection.t
+
+(** [seal ~tag payload] wraps a payload in the common persistence frame
+    (magic + version + tag + payload + Fletcher-32 checksum); [unseal]
+    validates and strips it.  Exposed so sibling on-disk formats (WAL
+    snapshots) share the same envelope.  @raise Corrupt on mismatch. *)
+val seal : tag:string -> string -> string
+
+val unseal : tag:string -> string -> string

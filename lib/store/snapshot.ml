@@ -1,0 +1,145 @@
+module Codec = Standoff_util.Codec
+module Failpoint = Standoff_util.Failpoint
+module Metrics = Standoff_obs.Metrics
+
+let m_snapshots =
+  Metrics.counter "standoff_wal_snapshots_total"
+    ~help:"Snapshots written (clean shutdowns included)"
+
+let m_snapshot_seconds =
+  Metrics.histogram "standoff_wal_snapshot_seconds"
+    ~buckets:Metrics.duration_buckets
+    ~help:"Wall-clock time to encode, write and fsync a snapshot"
+
+(* A snapshot is the collection sealed with a generation stamp and the
+   LSN it covers: every WAL record with lsn <= snapshot lsn is already
+   folded in, so recovery replays only the suffix.  Files are named by
+   that LSN so "newest" is a lexicographic max, and they are written
+   tmp + fsync + rename so a crash leaves either the old set or the
+   old set plus one complete new file — never a half-written one under
+   the real name. *)
+
+let file_re = "snapshot-"
+let suffix = ".sodb"
+
+let filename lsn = Printf.sprintf "snapshot-%012d%s" lsn suffix
+
+let lsn_of_filename name =
+  let pre = String.length file_re and suf = String.length suffix in
+  if
+    String.length name > pre + suf
+    && String.sub name 0 pre = file_re
+    && String.sub name (String.length name - suf) suf = suffix
+  then int_of_string_opt (String.sub name pre (String.length name - pre - suf))
+  else None
+
+let list dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match lsn_of_filename name with
+           | Some lsn -> Some (lsn, Filename.concat dir name)
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+(* newest first *)
+
+let encode ~lsn ~generation coll =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w lsn;
+  Codec.Writer.varint w generation;
+  Codec.Writer.string w (Persist.collection_to_string coll);
+  Persist.seal ~tag:"snapshot" (Codec.Writer.contents w)
+
+let decode s =
+  let payload = Persist.unseal ~tag:"snapshot" s in
+  let r = Codec.Reader.create payload in
+  try
+    let lsn = Codec.Reader.varint r in
+    let generation = Codec.Reader.varint r in
+    let coll = Persist.collection_of_string (Codec.Reader.string r) in
+    if not (Codec.Reader.at_end r) then
+      raise (Persist.Corrupt "trailing snapshot bytes");
+    (lsn, generation, coll)
+  with Codec.Reader.Corrupt msg -> raise (Persist.Corrupt msg)
+
+let fsync_dir dir =
+  (* Make the rename itself durable.  Directory fsync is best-effort:
+     some filesystems refuse O_RDONLY fsync on directories. *)
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write ~dir ~lsn ~generation coll =
+  Metrics.time m_snapshot_seconds (fun () ->
+      let contents = encode ~lsn ~generation coll in
+      let final = Filename.concat dir (filename lsn) in
+      let tmp = final ^ ".tmp" in
+      let fd =
+        Unix.openfile tmp
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+          0o644
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let b = Bytes.of_string contents in
+          let len = Bytes.length b in
+          let write_range from upto =
+            let w = ref from in
+            while !w < upto do
+              w := !w + Unix.write fd b !w (upto - !w)
+            done
+          in
+          if Failpoint.would_fire "snapshot.mid_write" then begin
+            (* Half the bytes land, then the injected crash. *)
+            write_range 0 (len / 2);
+            Failpoint.hit "snapshot.mid_write";
+            write_range (len / 2) len
+          end
+          else begin
+            write_range 0 len;
+            Failpoint.hit "snapshot.mid_write"
+          end;
+          Unix.fsync fd);
+      Failpoint.hit "snapshot.before_rename";
+      Unix.rename tmp final;
+      fsync_dir dir;
+      Metrics.incr m_snapshots;
+      final)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_latest ~dir =
+  let rec try_files = function
+    | [] -> None
+    | (_, path) :: older -> (
+        match decode (read_file path) with
+        | lsn, generation, coll -> Some (lsn, generation, coll, path)
+        | exception (Persist.Corrupt _ | Sys_error _) ->
+            (* A damaged snapshot must not take the store down when an
+               older intact one can still bound the replay. *)
+            try_files older)
+  in
+  try_files (list dir)
+
+let prune ~dir ~keep =
+  if keep < 1 then invalid_arg "Snapshot.prune: keep must be >= 1";
+  let all = list dir in
+  let doomed = if List.length all <= keep then [] else List.filteri (fun i _ -> i >= keep) all in
+  List.iter
+    (fun (_, path) -> try Sys.remove path with Sys_error _ -> ())
+    doomed;
+  (* Leftover tmp files from crashed writes are garbage by definition. *)
+  (if Sys.file_exists dir then
+     Sys.readdir dir |> Array.iter (fun name ->
+         if Filename.check_suffix name ".tmp" then
+           try Sys.remove (Filename.concat dir name) with Sys_error _ -> ()));
+  List.length doomed

@@ -1,0 +1,29 @@
+(** Compact on-disk snapshots of a collection, bounding WAL replay.
+
+    A snapshot file ([snapshot-<lsn>.sodb]) holds the whole collection
+    in {!Persist}'s sealed format plus the LSN it covers and the
+    catalog generation it was taken at.  Files are written to a temp
+    name, fsynced and renamed, so a crash mid-snapshot leaves the
+    previous snapshots untouched. *)
+
+val filename : int -> string
+(** [filename lsn] — the basename a snapshot covering [lsn] gets. *)
+
+val write : dir:string -> lsn:int -> generation:int -> Collection.t -> string
+(** Atomically writes a snapshot into [dir] and returns its path.
+    [lsn] is the last WAL LSN folded into the collection;
+    [generation] is the catalog version at that moment (an
+    informational stamp carried back by {!load_latest}). *)
+
+val load_latest : dir:string -> (int * int * Collection.t * string) option
+(** Newest snapshot that decodes and validates, as
+    [(lsn, generation, collection, path)].  Corrupt or torn snapshot
+    files are skipped in favour of older intact ones; [None] when no
+    usable snapshot exists. *)
+
+val prune : dir:string -> keep:int -> int
+(** Deletes all but the [keep] newest snapshot files (and any leftover
+    [.tmp] from crashed writes); returns how many were removed. *)
+
+val list : string -> (int * string) list
+(** Snapshot files in [dir], newest first, as [(lsn, path)]. *)

@@ -1,0 +1,120 @@
+(* Test-only failure injection.  Durability code calls [hit "name"] at
+   its crash-critical points (mid-append, before-fsync, mid-snapshot,
+   ...); a test arms a point and the next hit either raises
+   [Injected_crash] (in-process crash simulation: the store handle is
+   abandoned exactly as a killed process would leave the files) or
+   hard-exits the process (subprocess harnesses).
+
+   Arming is programmatic ([arm]) or via the environment:
+
+     STANDOFF_FAILPOINT="wal.mid_append"        crash on the first hit
+     STANDOFF_FAILPOINT="wal.after_append:3"    crash on the third hit
+
+   Environment-armed points hard-exit with status 137 (the SIGKILL
+   convention), skipping every at_exit/flush — the whole point is to
+   leave files in the state an abrupt death would.
+
+   When nothing is armed, [hit] is a single atomic load. *)
+
+exception Injected_crash of string
+
+type mode =
+  | Raise  (** raise {!Injected_crash} — in-process tests *)
+  | Exit of int  (** [Unix._exit code] — subprocess harnesses *)
+
+type armed = {
+  mutable remaining : int;  (* fires when this reaches 0 *)
+  a_mode : mode;
+}
+
+let table : (string, armed) Hashtbl.t = Hashtbl.create 4
+let lock = Mutex.create ()
+
+(* Fast-path guard: number of armed points.  [hit] returns immediately
+   when zero, so production code pays one atomic read per crash point. *)
+let active = Atomic.make 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm ?(after = 1) ?(mode = Raise) name =
+  if after < 1 then invalid_arg "Failpoint.arm: after must be >= 1";
+  locked (fun () ->
+      if not (Hashtbl.mem table name) then Atomic.incr active;
+      Hashtbl.replace table name { remaining = after; a_mode = mode })
+
+let disarm name =
+  locked (fun () ->
+      if Hashtbl.mem table name then begin
+        Hashtbl.remove table name;
+        Atomic.decr active
+      end)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Atomic.set active 0)
+
+(* True when the very next [hit name] will fire — callers that need to
+   prepare the crash site (e.g. split one write into two so the torn
+   state is real) check this first. *)
+let would_fire name =
+  Atomic.get active > 0
+  && locked (fun () ->
+         match Hashtbl.find_opt table name with
+         | Some a -> a.remaining <= 1
+         | None -> false)
+
+let hit name =
+  if Atomic.get active > 0 then begin
+    let fire =
+      locked (fun () ->
+          match Hashtbl.find_opt table name with
+          | None -> None
+          | Some a ->
+              a.remaining <- a.remaining - 1;
+              if a.remaining <= 0 then begin
+                (* One-shot: the recovery that follows the injected
+                   crash must run through the same code unimpeded. *)
+                Hashtbl.remove table name;
+                Atomic.decr active;
+                Some a.a_mode
+              end
+              else None)
+    in
+    match fire with
+    | None -> ()
+    | Some Raise -> raise (Injected_crash name)
+    | Some (Exit code) ->
+        (* No flush, no at_exit: leave buffers and files exactly as an
+           abrupt kill would. *)
+        Unix._exit code
+  end
+
+(* Environment arming, parsed once at load: "name[:count][,name...]". *)
+let () =
+  match Sys.getenv_opt "STANDOFF_FAILPOINT" with
+  | None | Some "" -> ()
+  | Some spec ->
+      List.iter
+        (fun one ->
+          let one = String.trim one in
+          if one <> "" then
+            match String.index_opt one ':' with
+            | None -> arm ~mode:(Exit 137) one
+            | Some i ->
+                let name = String.sub one 0 i in
+                let count =
+                  String.sub one (i + 1) (String.length one - i - 1)
+                in
+                let after =
+                  match int_of_string_opt count with
+                  | Some n when n >= 1 -> n
+                  | _ ->
+                      invalid_arg
+                        (Printf.sprintf "STANDOFF_FAILPOINT: bad count %S"
+                           count)
+                in
+                arm ~after ~mode:(Exit 137) name)
+        (String.split_on_char ',' spec)

@@ -1,0 +1,48 @@
+(** Test-only failure injection.
+
+    Durability code calls {!hit} at its crash-critical points
+    (mid-append, before-fsync, mid-snapshot, ...); a test arms a point
+    and the next hit either raises {!Injected_crash} — an in-process
+    crash simulation: the store handle is abandoned exactly as a
+    killed process would leave the files — or hard-exits the process
+    (subprocess harnesses).
+
+    Points can also be armed from the environment at program load:
+
+    {v
+    STANDOFF_FAILPOINT="wal.mid_append"        crash on the first hit
+    STANDOFF_FAILPOINT="wal.after_append:3"    crash on the third hit
+    v}
+
+    Environment-armed points hard-exit with status 137 (the SIGKILL
+    convention), skipping every [at_exit]/flush — the whole point is
+    to leave files in the state an abrupt death would.
+
+    When nothing is armed, {!hit} costs a single atomic load. *)
+
+exception Injected_crash of string
+
+type mode =
+  | Raise  (** raise {!Injected_crash} — in-process tests *)
+  | Exit of int  (** [Unix._exit code] — subprocess harnesses *)
+
+val arm : ?after:int -> ?mode:mode -> string -> unit
+(** [arm name] makes the [after]th subsequent [hit name] fire (default
+    the very next one).  Firing is one-shot: the point disarms itself,
+    so the recovery that follows the injected crash runs through the
+    same code unimpeded.  @raise Invalid_argument when [after < 1]. *)
+
+val disarm : string -> unit
+(** Remove one armed point; no-op if it is not armed. *)
+
+val clear : unit -> unit
+(** Disarm everything. *)
+
+val would_fire : string -> bool
+(** True when the very next [hit name] will fire — callers that need
+    to prepare the crash site (e.g. split one write into two so the
+    torn state is real) check this first. *)
+
+val hit : string -> unit
+(** Cross a crash point: fires if the point is armed and its count is
+    due, otherwise returns immediately. *)

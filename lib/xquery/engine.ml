@@ -130,6 +130,10 @@ type t = {
   result_cache : (string, cached_result) Lru.t;
       (* keyed on (plan fingerprint, context, document-uid set),
          stamped with the catalogue version at lookup time *)
+  mutable on_update : (Standoff_store.Wal.op -> unit) option;
+      (* durability hook: called after each successful in-place update
+         with its self-contained WAL record; the server points this at
+         [Durable.log] *)
 }
 
 let create ?strategy ?jobs ?slow_ms ?cache ?dataguide coll =
@@ -166,6 +170,7 @@ let create ?strategy ?jobs ?slow_ms ?cache ?dataguide coll =
         ~weight:(fun r ->
           String.length r.cr_serialized + (64 * List.length r.cr_items) + 128)
         ();
+    on_update = None;
   }
 
 let collection t = t.coll
@@ -182,6 +187,47 @@ let dataguide t = t.dataguide
 let set_dataguide t b = t.dataguide <- b
 let plan_cache_stats t = Lru.stats t.plan_cache
 let result_cache_stats t = Lru.stats t.result_cache
+let set_on_update t f = t.on_update <- f
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+
+(* Apply-then-log: the update validates against the live collection
+   first (raising [Invalid_argument] exactly as [Update.*] does), and
+   only a successful mutation reaches the hook — so a WAL replay can
+   never encounter a record the store once rejected.  The caller is
+   responsible for write exclusion, as with [Update.*] directly. *)
+
+let notify t op = match t.on_update with None -> () | Some f -> f op
+
+let set_region t config doc ~pre region =
+  Standoff.Update.set_region t.cat config doc ~pre region;
+  notify t
+    (Standoff_store.Wal.Set_region
+       {
+         doc = doc.Doc.doc_name;
+         start_attr = config.Config.start_name;
+         end_attr = config.Config.end_name;
+         ptype = config.Config.position_type;
+         pre;
+         start_pos = Standoff_interval.Region.start_pos region;
+         end_pos = Standoff_interval.Region.end_pos region;
+       })
+
+let shift_annotations t config doc ~from ~by =
+  let moved = Standoff.Update.shift_annotations t.cat config doc ~from ~by in
+  if moved > 0 then
+    notify t
+      (Standoff_store.Wal.Shift
+         {
+           doc = doc.Doc.doc_name;
+           start_attr = config.Config.start_name;
+           end_attr = config.Config.end_name;
+           ptype = config.Config.position_type;
+           from;
+           by;
+         });
+  moved
 
 (* STANDOFF_TRACE=1 forces a trace collector onto every run that was
    not handed one explicitly (CI uses this to catch

@@ -139,6 +139,36 @@ val collection : t -> Standoff_store.Collection.t
 (** [catalog t] is the annotation catalogue (region indexes). *)
 val catalog : t -> Standoff.Catalog.t
 
+(** [set_on_update t hook] installs (or clears) the durability hook:
+    it receives the self-contained WAL record of every successful
+    in-place update made through {!set_region} /
+    {!shift_annotations}.  The server points it at
+    [Standoff.Durable.log]. *)
+val set_on_update : t -> (Standoff_store.Wal.op -> unit) option -> unit
+
+(** [set_region t config doc ~pre region] is
+    {!Standoff.Update.set_region} on the engine's catalogue, followed —
+    only on success — by the durability hook.  The caller provides
+    write exclusion, exactly as with [Update.set_region]. *)
+val set_region :
+  t ->
+  Standoff.Config.t ->
+  Standoff_store.Doc.t ->
+  pre:int ->
+  Standoff_interval.Region.t ->
+  unit
+
+(** [shift_annotations t config doc ~from ~by] — as {!set_region}, for
+    {!Standoff.Update.shift_annotations}.  Returns the number of
+    annotations moved; a no-op shift (0 moved) is not logged. *)
+val shift_annotations :
+  t ->
+  Standoff.Config.t ->
+  Standoff_store.Doc.t ->
+  from:int64 ->
+  by:int64 ->
+  int
+
 (** [set_strategy t s] pins the engine-wide strategy. *)
 val set_strategy : t -> Standoff.Config.strategy -> unit
 

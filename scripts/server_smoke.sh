@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-test the network query service end to end: boot it against a
 # generated XMark instance, exercise the endpoints with curl, then
-# SIGTERM it and require a clean, drained exit (status 0).
+# SIGTERM it and require a clean, drained exit (status 0).  A second
+# scenario boots with --data-dir, SIGKILLs the server mid-stream, and
+# requires the restart to recover every acknowledged update.
 #
 #   scripts/server_smoke.sh [path/to/standoff_server.exe]
 set -euo pipefail
@@ -12,6 +14,18 @@ BASE="http://127.0.0.1:$PORT"
 DOC='xmark-standoff-0.01.xml'
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# wait_up PID LOG — spin until /healthz answers or PID dies.
+wait_up() {
+  local pid=$1 logfile=$2 i
+  for i in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$pid" 2>/dev/null \
+      || { cat "$logfile" >&2; fail "server died during startup"; }
+    sleep 0.2
+  done
+  cat "$logfile" >&2; fail "server never became healthy"
+}
 
 log=$(mktemp)
 "$BIN" --xmark 0.01 --port "$PORT" --workers 2 >"$log" 2>&1 &
@@ -82,5 +96,76 @@ wait $server_pid || status=$?
 [ "$status" = 0 ] || { cat "$log" >&2; fail "server exited $status on SIGTERM"; }
 grep -q 'drained' "$log" || { cat "$log" >&2; fail "no drain message in server log"; }
 trap 'rm -f "$log"' EXIT
+
+# ------------------------------------------------------------------
+# Durability: acknowledged updates must survive kill -9.
+
+workdir=$(mktemp -d)
+datadir="$workdir/data"
+dlog="$workdir/server.log"
+printf '<t><p start="0" end="10"/><c start="2" end="8"/></t>' \
+  >"$workdir/anno.xml"
+trap 'kill -9 ${server_pid:-0} 2>/dev/null || true; rm -rf "$log" "$workdir"' EXIT
+PROBE='count(doc("anno.xml")//p/select-narrow::c)'
+
+echo "== durability: updates, then kill -9"
+"$BIN" --doc "$workdir/anno.xml" --port "$PORT" --workers 2 \
+  --data-dir "$datadir" --fsync always >"$dlog" 2>&1 &
+server_pid=$!
+wait_up $server_pid "$dlog"
+# Two acknowledged updates; --fsync always means both are on disk the
+# moment their 200s arrive.
+curl -fsS -X POST \
+  "$BASE/update?doc=anno.xml&op=set-region&pre=2&start=100&end=110" \
+  | grep -q '"durable": true' || fail "update 1 not acknowledged as durable"
+curl -fsS -X POST \
+  "$BASE/update?doc=anno.xml&op=set-region&pre=3&start=102&end=108" \
+  | grep -q '"ok": true' || fail "update 2 not acknowledged"
+before=$(curl -fsS -X POST --data-binary "$PROBE" "$BASE/query")
+[ "$before" = "1" ] || fail "pre-crash probe answered '$before', expected '1'"
+kill -9 $server_pid
+wait $server_pid 2>/dev/null || true
+
+echo "== durability: recovery replays the acknowledged updates"
+"$BIN" --doc "$workdir/anno.xml" --port "$PORT" --workers 2 \
+  --data-dir "$datadir" --fsync always >"$dlog" 2>&1 &
+server_pid=$!
+wait_up $server_pid "$dlog"
+grep -q 'replayed 2 WAL record' "$dlog" \
+  || { cat "$dlog" >&2; fail "restart did not replay 2 WAL records"; }
+after=$(curl -fsS -X POST --data-binary "$PROBE" "$BASE/query")
+[ "$after" = "$before" ] \
+  || fail "post-crash probe answered '$after', pre-crash said '$before'"
+
+echo "== durability: operator snapshot, then a dirty SIGTERM"
+curl -fsS -X POST "$BASE/admin/snapshot" | grep -q '"ok": true' \
+  || fail "/admin/snapshot did not succeed"
+# One more update after the snapshot, so shutdown has something to
+# compact: p moves away from c and the probe flips to 0.
+curl -fsS -X POST \
+  "$BASE/update?doc=anno.xml&op=set-region&pre=2&start=200&end=210" \
+  | grep -q '"ok": true' || fail "post-snapshot update not acknowledged"
+kill -TERM $server_pid
+status=0
+wait $server_pid || status=$?
+[ "$status" = 0 ] || { cat "$dlog" >&2; fail "durable server exited $status on SIGTERM"; }
+grep -q 'writing shutdown snapshot' "$dlog" \
+  || { cat "$dlog" >&2; fail "no shutdown-snapshot message"; }
+
+echo "== durability: snapshot-only boot (no --doc)"
+# The snapshot *is* the store now: boot without any seed documents.
+"$BIN" --port "$PORT" --workers 2 --data-dir "$datadir" >"$dlog" 2>&1 &
+server_pid=$!
+wait_up $server_pid "$dlog"
+grep -q 'snapshot lsn=' "$dlog" \
+  || { cat "$dlog" >&2; fail "boot did not recover from a snapshot"; }
+grep -q 'replayed 0 WAL record' "$dlog" \
+  || { cat "$dlog" >&2; fail "snapshot boot replayed a non-empty WAL"; }
+final=$(curl -fsS -X POST --data-binary "$PROBE" "$BASE/query")
+[ "$final" = "0" ] || fail "snapshot boot probe answered '$final', expected '0'"
+kill -TERM $server_pid
+status=0
+wait $server_pid || status=$?
+[ "$status" = 0 ] || { cat "$dlog" >&2; fail "snapshot-boot server exited $status on SIGTERM"; }
 
 echo "PASS: server smoke test"

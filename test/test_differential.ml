@@ -12,6 +12,7 @@
    the qcheck random seed is printed at startup for replay. *)
 
 module Collection = Standoff_store.Collection
+module Persist = Standoff_store.Persist
 module Config = Standoff.Config
 module Engine = Standoff_xquery.Engine
 module Trace = Standoff_obs.Trace
@@ -90,6 +91,12 @@ let coll_of_case case =
   ignore (Collection.load_string coll ~name:"r.xml" (doc_of_layers case.layers));
   coll
 
+(* The persistence dimension: a collection that went through the
+   binary codec (the same round-trip a snapshot + recovery performs)
+   must be indistinguishable from the in-memory one at the bytes level,
+   under every strategy/jobs/cache/dataguide point. *)
+let reload coll = Persist.collection_of_string (Persist.collection_to_string coll)
+
 let run_case coll ?trace ~strategy ~jobs ~dataguide case =
   let e =
     Engine.create ~strategy ~jobs ~cache:Engine.Cache_off ~dataguide coll
@@ -126,6 +133,7 @@ let qcheck_strategies_identical =
     (QCheck.make ~print:print_case gen_case)
     (fun case ->
       let coll = coll_of_case case in
+      let reloaded = reload coll in
       let reference =
         run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1
           ~dataguide:false case
@@ -159,7 +167,17 @@ let qcheck_strategies_identical =
                          diverged:\n%s\n  vs reference:\n%s"
                         (Config.strategy_to_string strategy)
                         jobs dataguide warm reference
-                    else true)
+                    else
+                      let persisted =
+                        run_case reloaded ~strategy ~jobs ~dataguide case
+                      in
+                      if not (String.equal persisted reference) then
+                        QCheck.Test.fail_reportf
+                          "strategy=%s jobs=%d dataguide=%b reloaded \
+                           collection diverged:\n%s\n  vs reference:\n%s"
+                          (Config.strategy_to_string strategy)
+                          jobs dataguide persisted reference
+                      else true)
                 dataguide_sweep)
             jobs_sweep)
         Config.all_strategies)
@@ -239,6 +257,7 @@ let test_corner_cases () =
   List.iter
     (fun case ->
       let coll = coll_of_case case in
+      let reloaded = reload coll in
       let reference =
         run_case coll ~strategy:Config.Udf_no_candidates ~jobs:1
           ~dataguide:false case
@@ -249,27 +268,37 @@ let test_corner_cases () =
             (fun jobs ->
               List.iter
                 (fun dataguide ->
-                  Alcotest.(check string)
-                    (Printf.sprintf "%s @ %s jobs=%d dataguide=%b" case.query
-                       (Config.strategy_to_string strategy)
-                       jobs dataguide)
-                    reference
-                    (run_case coll ~strategy ~jobs ~dataguide case);
-                  let cold, warm =
-                    run_case_cached coll ~strategy ~jobs ~dataguide case
-                  in
-                  Alcotest.(check string)
-                    (Printf.sprintf "%s @ %s jobs=%d dataguide=%b cache-on cold"
-                       case.query
-                       (Config.strategy_to_string strategy)
-                       jobs dataguide)
-                    reference cold;
-                  Alcotest.(check string)
-                    (Printf.sprintf "%s @ %s jobs=%d dataguide=%b cached repeat"
-                       case.query
-                       (Config.strategy_to_string strategy)
-                       jobs dataguide)
-                    reference warm)
+                  (* Each point runs over the in-memory collection and
+                     over its persisted round-trip: plain, cache-on
+                     cold, and cached repeat must all match the one
+                     reference. *)
+                  List.iter
+                    (fun (label, coll) ->
+                      Alcotest.(check string)
+                        (Printf.sprintf "%s @ %s jobs=%d dataguide=%b%s"
+                           case.query
+                           (Config.strategy_to_string strategy)
+                           jobs dataguide label)
+                        reference
+                        (run_case coll ~strategy ~jobs ~dataguide case);
+                      let cold, warm =
+                        run_case_cached coll ~strategy ~jobs ~dataguide case
+                      in
+                      Alcotest.(check string)
+                        (Printf.sprintf
+                           "%s @ %s jobs=%d dataguide=%b%s cache-on cold"
+                           case.query
+                           (Config.strategy_to_string strategy)
+                           jobs dataguide label)
+                        reference cold;
+                      Alcotest.(check string)
+                        (Printf.sprintf
+                           "%s @ %s jobs=%d dataguide=%b%s cached repeat"
+                           case.query
+                           (Config.strategy_to_string strategy)
+                           jobs dataguide label)
+                        reference warm)
+                    [ ("", coll); (" reloaded", reloaded) ])
                 dataguide_sweep)
             jobs_sweep)
         Config.all_strategies)

@@ -156,6 +156,136 @@ let qcheck_doc_roundtrip =
       Dom.equal_node (Doc.to_dom d (Doc.root d)) (Doc.to_dom d' (Doc.root d')))
 
 (* ------------------------------------------------------------ *)
+(* Hostile shapes: empty documents, unicode and odd names, sparse
+   name-pool ids                                                 *)
+
+(* Attribute/element names and values the XML layer accepts but a
+   format with hidden ASCII or density assumptions would mangle. *)
+let odd_names =
+  [ "a"; "ns:b"; "_x"; "\xc3\xa9"; "\xe5\xb1\x9e\xe6\x80\xa7"; "a-b.c"; "xml:lang"; "A.B" ]
+
+let odd_values =
+  [ ""; " "; "\t"; "\xc3\xbc"; "\xf0\x9f\x98\x80"; "line\nbreak"; "&<>\"'"; "\x00\x01" ]
+
+let gen_hostile_tree =
+  let open QCheck.Gen in
+  let name = oneofl odd_names in
+  let value = oneofl odd_values in
+  let attrs =
+    map
+      (fun kvs ->
+        (* XML wants attribute names unique per element. *)
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) kvs)
+      (list_size (0 -- 3) (pair name value))
+  in
+  let rec node depth =
+    if depth = 0 then map Dom.text (oneofl [ "t"; "\xe2\x98\x83"; " " ])
+    else
+      frequency
+        [
+          (1, map Dom.text (oneofl [ "x"; "\xc3\xa9t\xc3\xa9" ]));
+          ( 4,
+            map3
+              (fun tag attrs children -> Dom.element ~attrs tag children)
+              name attrs
+              (list_size (0 -- 2) (node (depth - 1))) );
+        ]
+  in
+  frequency
+    [
+      (* The empty document: a childless, attribute-less root. *)
+      (1, return (Dom.document (Dom.element "root" [])));
+      ( 6,
+        map2
+          (fun attrs children ->
+            Dom.document (Dom.element ~attrs "root" children))
+          attrs
+          (list_size (0 -- 3) (node 2)) );
+    ]
+
+let qcheck_hostile_roundtrip =
+  QCheck.Test.make ~name:"binary roundtrip on hostile documents" ~count:300
+    (QCheck.make
+       ~print:(fun dom -> Standoff_xml.Serializer.to_string dom)
+       gen_hostile_tree)
+    (fun dom ->
+      let d = Doc.of_dom ~name:"hostile \xc3\xa4.xml" dom in
+      let d' = Persist.doc_of_string (Persist.doc_to_string d) in
+      Doc.check_invariants d';
+      d'.Doc.doc_name = d.Doc.doc_name
+      && Doc.attribute_count d = Doc.attribute_count d'
+      && Dom.equal_node (Doc.to_dom d (Doc.root d)) (Doc.to_dom d' (Doc.root d')))
+
+(* Name-pool ids need not be dense: build a document whose pool has
+   unused slots between the used ids (as an editor that deleted layers
+   might leave behind) and require the persisted form to carry it. *)
+let test_sparse_name_pool () =
+  let d =
+    Doc.parse ~name:"sparse.xml"
+      "<a x=\"1\"><b y=\"2\"><c/></b><b/>text</a>"
+  in
+  let spread = 3 in
+  let pool_size = Standoff_store.Name_pool.count d.Doc.names in
+  let names' =
+    Array.init
+      ((pool_size * spread) + 1)
+      (fun i ->
+        if i mod spread = 0 && i / spread < pool_size then
+          Standoff_store.Name_pool.name d.Doc.names (i / spread)
+        else Printf.sprintf "unused-%d" i)
+  in
+  (* [-1] marks unnamed kinds (text, the document node): not an id. *)
+  let remap = Array.map (fun id -> if id < 0 then id else id * spread) in
+  let d' =
+    Doc.of_columns ~doc_name:d.Doc.doc_name ~names:names' ~kind:d.Doc.kind
+      ~size:d.Doc.size ~level:d.Doc.level ~parent:d.Doc.parent
+      ~name:(remap d.Doc.name) ~value:d.Doc.value
+      ~attr_owner:d.Doc.attr_owner ~attr_name:(remap d.Doc.attr_name)
+      ~attr_value:d.Doc.attr_value
+  in
+  Doc.check_invariants d';
+  let d'' = Persist.doc_of_string (Persist.doc_to_string d') in
+  Doc.check_invariants d'';
+  Alcotest.(check bool) "sparse-pool tree survives" true
+    (Dom.equal_node (Doc.to_dom d (Doc.root d)) (Doc.to_dom d'' (Doc.root d'')));
+  Alcotest.(check int) "attributes survive" (Doc.attribute_count d)
+    (Doc.attribute_count d'')
+
+(* The in-memory collection codec (used by WAL snapshots) agrees with
+   the file-based one, hostile contents included. *)
+let test_collection_string_roundtrip () =
+  let coll = Collection.create () in
+  ignore (Collection.load_string coll ~name:"empty.xml" "<root/>");
+  (* The parser only admits ASCII names; hostile names enter through
+     the DOM constructor, as a transformation pipeline would add them. *)
+  ignore
+    (Collection.add coll
+       (Doc.of_dom ~name:"odd \xc3\xa9.xml"
+          (Dom.document
+             (Dom.element
+                ~attrs:[ ("xml:lang", "fr"); ("\xc3\xa9", "\xf0\x9f\x98\x80") ]
+                "a"
+                [ Dom.element "b" [] ]))));
+  Collection.add_blob coll
+    (Blob.of_string ~name:"bin" "\x00\x01\xff binary \n bytes");
+  let coll' = Persist.collection_of_string (Persist.collection_to_string coll) in
+  Alcotest.(check int) "doc count" 2 (Collection.doc_count coll');
+  Alcotest.(check (option int)) "empty doc kept" (Some 0)
+    (Collection.doc_id_of_name coll' "empty.xml");
+  Alcotest.(check (option int)) "odd-named doc kept" (Some 1)
+    (Collection.doc_id_of_name coll' "odd \xc3\xa9.xml");
+  (match Collection.blob coll' "bin" with
+  | Some b ->
+      Alcotest.(check string) "binary blob intact"
+        "\x00\x01\xff binary \n bytes" (Blob.contents b)
+  | None -> Alcotest.fail "blob lost");
+  (* Deterministic encoding: string -> collection -> string is a
+     fixpoint (documents in order, blobs sorted). *)
+  let s = Persist.collection_to_string coll in
+  Alcotest.(check string) "encoding is a fixpoint" s
+    (Persist.collection_to_string (Persist.collection_of_string s))
+
+(* ------------------------------------------------------------ *)
 (* Collections and query equivalence                             *)
 
 let test_collection_roundtrip () =
@@ -226,6 +356,14 @@ let () =
           Alcotest.test_case "corruption detected" `Quick
             test_corruption_detected;
           QCheck_alcotest.to_alcotest qcheck_doc_roundtrip;
+        ] );
+      ( "hostile",
+        [
+          QCheck_alcotest.to_alcotest qcheck_hostile_roundtrip;
+          Alcotest.test_case "sparse name-pool ids" `Quick
+            test_sparse_name_pool;
+          Alcotest.test_case "collection string roundtrip" `Quick
+            test_collection_string_roundtrip;
         ] );
       ( "collections",
         [
