@@ -15,6 +15,7 @@
      main.exe dataguide [opts]         DataGuide path index: guide-on vs off
      main.exe serve [opts]             HTTP server: latency/throughput, 503 probe
      main.exe persist [opts]           WAL throughput, recovery time, snapshots
+     main.exe ingest [opts]            bulk ingestion vs per-document loads
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
@@ -1554,6 +1555,8 @@ let bench_serve ?(scale = 0.02) ?(clients = 8) ?(requests = 40)
 
 module Wal = Standoff_store.Wal
 module Durable = Standoff.Durable
+module Parser = Standoff_xml.Parser
+module Convert = Standoff_convert.Convert
 
 type wt_row = {
   wt_policy : string;
@@ -1763,6 +1766,177 @@ let bench_persist ?(updates = 5000) ?(sweep = [ 1000; 5000; 10_000 ]) ?json ()
        Printf.printf "wrote %s\n" file)
      json;
    if not pass then exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk ingestion: batched WAL record vs per-document loads            *)
+
+let bench_ingest ?(docs = 40) ?json () =
+  section "Bulk ingestion: one batched WAL record vs per-document loads";
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let fresh_dir =
+    let root = Filename.temp_file "standoff-bench-ingest" "" in
+    Sys.remove root;
+    Unix.mkdir root 0o755;
+    at_exit (fun () -> try rm_rf root with Sys_error _ | Unix.Unix_error _ -> ());
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Filename.concat root (Printf.sprintf "d%d" !n)
+  in
+  (* Base document the probe query runs against.  It lives in the seed,
+     so recovery rebuilds it without consulting the WAL; every ingest
+     bumps the catalog version, so on the per-document path the probe
+     recomputes after each load — the cost batching amortizes away. *)
+  let n_base = 20_000 in
+  let base_xml =
+    let buf = Buffer.create (n_base * 28) in
+    Buffer.add_string buf
+      (Printf.sprintf "<t start=\"0\" end=\"%d\">" ((n_base * 10) - 1));
+    for i = 0 to n_base - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "<w start=\"%d\" end=\"%d\"/>" (i * 10) ((i * 10) + 9))
+    done;
+    Buffer.add_string buf "</t>";
+    Buffer.contents buf
+  in
+  let seed () =
+    let coll = Collection.create () in
+    ignore (Collection.load_string coll ~name:"base.xml" base_xml);
+    coll
+  in
+  let probe = "count(doc(\"base.xml\")//t/select-narrow::w)" in
+  let expected = string_of_int n_base in
+  (* Inline sources: small TEI-ish documents, converted to stand-off
+     form outside the clock (conversion cost is identical either way). *)
+  let words_per_doc = 50 in
+  let sources =
+    Array.init docs (fun i ->
+        let buf = Buffer.create 2048 in
+        Buffer.add_string buf "<doc><p>";
+        for k = 0 to words_per_doc - 1 do
+          Buffer.add_string buf (Printf.sprintf "<w>tok%d-%d</w> " i k)
+        done;
+        Buffer.add_string buf "</p></doc>";
+        (Printf.sprintf "ing%03d.xml" i, Buffer.contents buf))
+  in
+  let convert_all () =
+    Array.map
+      (fun (name, xml) ->
+        let conv = Convert.to_standoff (Parser.parse_string xml) in
+        ( Doc.of_dom ~name conv.Convert.doc,
+          (name ^ ".blob", conv.Convert.blob) ))
+      sources
+  in
+  let check_probe eng =
+    let r = Engine.run eng probe in
+    let got = String.trim r.Engine.serialized in
+    if got <> expected then
+      failwith
+        (Printf.sprintf "ingest probe answered %S (expected %s)" got expected)
+  in
+  (* One timed run: open a durable store (fsync on every record, the
+     server's acknowledged-write policy), wire the engine's durability
+     hook, then load all documents — one Engine.ingest per document or
+     a single batched call — probing after each load. *)
+  let run ~batched dir =
+    let inputs = convert_all () in
+    let dur, _ = Durable.open_dir ~policy:Wal.Always ~seed dir in
+    let coll = Durable.collection dur in
+    let eng = Engine.create ~jobs:1 ~cache:Engine.Cache_result coll in
+    Engine.set_on_update eng (Some (fun op -> ignore (Durable.log dur op)));
+    (* Warm the base doc's region index and the probe plan off-clock. *)
+    check_probe eng;
+    let (), t =
+      Timing.time (fun () ->
+          if batched then begin
+            ignore
+              (Engine.ingest eng
+                 (Array.to_list (Array.map fst inputs))
+                 (Array.to_list (Array.map snd inputs)));
+            Array.iter (fun _ -> check_probe eng) inputs
+          end
+          else
+            Array.iter
+              (fun (d, b) ->
+                ignore (Engine.ingest eng [ d ] [ b ]);
+                check_probe eng)
+              inputs)
+    in
+    Durable.close dur;
+    t
+  in
+  (* Reopen a run's directory and check everything came back. *)
+  let verify dir ~expect_replayed =
+    let dur, recovery = Durable.open_dir ~seed dir in
+    let coll = Durable.collection dur in
+    let name0, _ = sources.(0) in
+    let eng = Engine.create ~jobs:1 coll in
+    let r =
+      Engine.run eng (Printf.sprintf "count(doc(%S)//w)" name0)
+    in
+    let ok =
+      recovery.Durable.rec_replayed = expect_replayed
+      && Collection.doc_count coll = docs + 1
+      && Collection.blob coll (name0 ^ ".blob") <> None
+      && String.trim r.Engine.serialized = string_of_int words_per_doc
+    in
+    Durable.close dur;
+    (recovery.Durable.rec_replayed, ok)
+  in
+  Printf.printf
+    "%d documents (%d words each), probe after every load; fsync=always\n\n"
+    docs words_per_doc;
+  let dir_ind = fresh_dir () in
+  let t_ind = run ~batched:false dir_ind in
+  let dir_bulk = fresh_dir () in
+  let t_bulk = run ~batched:true dir_bulk in
+  let per_ind = t_ind /. float_of_int docs in
+  let per_bulk = t_bulk /. float_of_int docs in
+  let speedup = per_ind /. per_bulk in
+  Printf.printf "%-14s%12s%14s%14s\n" "path" "wall" "per-doc" "WAL records";
+  Printf.printf "%s\n" (String.make 54 '-');
+  Printf.printf "%-14s%10.1fms%12.3fms%14d\n" "per-document" (t_ind *. 1000.0)
+    (per_ind *. 1000.0) docs;
+  Printf.printf "%-14s%10.1fms%12.3fms%14d\n" "bulk" (t_bulk *. 1000.0)
+    (per_bulk *. 1000.0) 1;
+  let ind_replayed, ind_ok = verify dir_ind ~expect_replayed:docs in
+  let bulk_replayed, bulk_ok = verify dir_bulk ~expect_replayed:1 in
+  Printf.printf
+    "\nrecovery: per-document replayed %d record(s) -> %s; bulk replayed %d \
+     record(s) -> %s\n"
+    ind_replayed
+    (if ind_ok then "PASS" else "FAIL")
+    bulk_replayed
+    (if bulk_ok then "PASS" else "FAIL");
+  let pass = speedup >= 5.0 && ind_ok && bulk_ok in
+  Printf.printf
+    "bulk ingestion criterion (per-doc speedup %.1fx >= 5x, both stores \
+     recover): %s\n"
+    speedup
+    (if pass then "PASS" else "FAIL");
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n  \"docs\": %d,\n  \"words_per_doc\": %d,\n\
+        \  \"probe_annotations\": %d,\n\
+        \  \"individual\": {\"seconds\": %.6f, \"per_doc_ms\": %.4f, \
+         \"wal_records\": %d, \"recovered\": %b},\n\
+        \  \"bulk\": {\"seconds\": %.6f, \"per_doc_ms\": %.4f, \
+         \"wal_records\": %d, \"recovered\": %b},\n\
+        \  \"speedup\": %.2f,\n  \"pass\": %b\n}\n"
+        docs words_per_doc n_base t_ind (per_ind *. 1000.0) docs ind_ok t_bulk
+        (per_bulk *. 1000.0) 1 bulk_ok speedup pass;
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json;
+  if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family    *)
@@ -2096,6 +2270,25 @@ let parse_persist_args args =
   go args;
   (!updates, !sweep, !json)
 
+let parse_ingest_args args =
+  let docs = ref 40 in
+  let json = ref (Some "BENCH_ingest.json") in
+  let rec go = function
+    | [] -> ()
+    | "--docs" :: v :: rest ->
+        docs := max 1 (int_of_string v);
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | "--no-json" :: rest ->
+        json := None;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "ingest: unknown argument %s" arg)
+  in
+  go args;
+  (!docs, !json)
+
 let parse_scale_jobs_args ~cmd ~default_scale args =
   let scale = ref default_scale in
   let jobs = ref (Config.default_jobs ()) in
@@ -2152,6 +2345,9 @@ let () =
   | _ :: "persist" :: rest ->
       let updates, sweep, json = parse_persist_args rest in
       bench_persist ~updates ~sweep ?json ()
+  | _ :: "ingest" :: rest ->
+      let docs, json = parse_ingest_args rest in
+      bench_ingest ~docs ?json ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
@@ -2167,8 +2363,8 @@ let () =
       Printf.eprintf
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
          staircase-vs-standoff | active-set | scaling | planner | \
-         parallel-scaling | obs-overhead | cache | serve | persist | micro | \
-         all)\n"
+         parallel-scaling | obs-overhead | cache | serve | persist | ingest | \
+         micro | all)\n"
         cmd;
       exit 1
   | [] -> assert false

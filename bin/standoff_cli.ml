@@ -18,6 +18,7 @@ module Annots = Standoff.Annots
 module Engine = Standoff_xquery.Engine
 module Gen = Standoff_xmark.Gen
 module Standoffify = Standoff_xmark.Standoffify
+module Convert = Standoff_convert.Convert
 
 open Cmdliner
 
@@ -69,6 +70,9 @@ let handle_errors f =
       exit 1
   | Sys_error msg ->
       Printf.eprintf "i/o error: %s\n" msg;
+      exit 1
+  | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
       exit 1
 
 (* ---------------- shared options ---------------- *)
@@ -483,6 +487,159 @@ let index_cmd =
        ~doc:"Print the region index (start|end|id, clustered on start)")
     Term.(const run $ file_arg $ region_el_arg)
 
+(* ---------------- convert ---------------- *)
+
+(* "words=w,token;paras=p" -> [("words", ["w"; "token"]); ("paras", ["p"])] *)
+let parse_layer_spec spec =
+  String.split_on_char ';' spec
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map (fun part ->
+         match String.index_opt part '=' with
+         | Some i ->
+             let name = String.trim (String.sub part 0 i) in
+             let tags =
+               String.sub part (i + 1) (String.length part - i - 1)
+               |> String.split_on_char ','
+               |> List.map String.trim
+               |> List.filter (fun t -> t <> "")
+             in
+             if name = "" || tags = [] then
+               invalid_arg
+                 (Printf.sprintf "malformed layer %S (want NAME=TAG[,TAG...])"
+                    part)
+             else (name, tags)
+         | None ->
+             invalid_arg
+               (Printf.sprintf "malformed layer %S (want NAME=TAG[,TAG...])"
+                  part))
+
+let write_text path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let read_text path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let convert_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Input XML file(s).  $(b,--to-standoff) takes one inline \
+             document; $(b,--to-inline) accepts several annotation \
+             documents placed together.")
+  in
+  let to_standoff_arg =
+    Arg.(
+      value & flag
+      & info [ "to-standoff" ]
+          ~doc:
+            "Convert inline markup to stand-off: writes OUT (the \
+             annotation document), OUT.blob (the extracted text), and one \
+             OUT.LAYER.xml per $(b,--layers) entry.")
+  in
+  let to_inline_arg =
+    Arg.(
+      value & flag
+      & info [ "to-inline" ]
+          ~doc:
+            "Re-insert stand-off annotations into their BLOB as inline \
+             element tags (requires $(b,--blob)).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let blob_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "blob" ] ~docv:"FILE"
+          ~doc:"The BLOB the annotation extents refer to ($(b,--to-inline)).")
+  in
+  let layers_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "layers" ] ~docv:"SPEC"
+          ~doc:
+            "Layered output ($(b,--to-standoff)): \
+             NAME=TAG[,TAG...][;NAME=...]; each layer is a flat annotation \
+             document over the shared BLOB.")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw-extents" ]
+          ~doc:
+            "$(b,--to-inline) over foreign annotations: extents address \
+             plain text directly, so do not treat the first byte of every \
+             extent as a conversion separator.")
+  in
+  let run files to_so to_in out blob layers raw =
+    handle_errors (fun () ->
+        match (to_so, to_in) with
+        | true, false ->
+            let file =
+              match files with
+              | [ f ] -> f
+              | _ -> invalid_arg "--to-standoff takes exactly one input file"
+            in
+            let layers =
+              Option.value ~default:[] (Option.map parse_layer_spec layers)
+            in
+            let conv =
+              Convert.to_standoff ~layers
+                (Standoff_xml.Parser.parse_file file)
+            in
+            Standoff_xml.Serializer.to_file ~declaration:true out
+              conv.Convert.doc;
+            write_text (out ^ ".blob") conv.Convert.blob;
+            Printf.printf "wrote %s and %s.blob (%d bytes of text)\n" out out
+              (String.length conv.Convert.blob);
+            List.iter
+              (fun (name, layer_doc) ->
+                let path =
+                  Printf.sprintf "%s.%s.xml" (Filename.remove_extension out)
+                    name
+                in
+                Standoff_xml.Serializer.to_file ~declaration:true path
+                  layer_doc;
+                Printf.printf "wrote layer %s to %s (%d annotations)\n" name
+                  path
+                  (List.length layer_doc.Standoff_xml.Dom.root.Standoff_xml.Dom.children))
+              conv.Convert.layers
+        | false, true ->
+            let blob =
+              match blob with
+              | Some b -> read_text b
+              | None -> invalid_arg "--to-inline requires --blob FILE"
+            in
+            let docs = List.map Standoff_xml.Parser.parse_file files in
+            let dom =
+              Convert.to_inline ~consume_separator:(not raw) ~blob docs
+            in
+            Standoff_xml.Serializer.to_file ~declaration:true out dom;
+            Printf.printf "wrote %s\n" out
+        | _ -> invalid_arg "pass exactly one of --to-standoff / --to-inline")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert between inline markup and stand-off annotations \
+          (round-trip safe; layered output)")
+    Term.(
+      const run $ files_arg $ to_standoff_arg $ to_inline_arg $ out_arg
+      $ blob_arg $ layers_arg $ raw_arg)
+
 (* ---------------- db-save ---------------- *)
 
 let db_save_cmd =
@@ -511,4 +668,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_cmd; shred_cmd; xmark_cmd; axes_cmd; index_cmd; db_save_cmd ]))
+          [
+            query_cmd;
+            shred_cmd;
+            xmark_cmd;
+            axes_cmd;
+            index_cmd;
+            convert_cmd;
+            db_save_cmd;
+          ]))

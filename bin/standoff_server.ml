@@ -331,8 +331,9 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
        engine jobs %s\n\
        standoff-server listening on %s:%d (queue=%d cache=%s) — %d \
        document(s) loaded\n\
-       endpoints: POST /query, POST /update, POST /admin/snapshot, \
-       GET /explain, GET /metrics, GET /slow, GET /healthz\n\
+       endpoints: POST /query, POST /update, POST /ingest, \
+       POST /admin/snapshot, GET /explain, GET /metrics, GET /slow, \
+       GET /healthz\n\
        %!"
       (Pool.domain_budget ()) (Server.workers server) jobs_label host
       (Server.port server) queue

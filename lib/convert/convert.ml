@@ -1,0 +1,354 @@
+module Dom = Standoff_xml.Dom
+
+type separator = Per_element | On_empty
+
+type t = {
+  doc : Dom.document;
+  layers : (string * Dom.document) list;
+  blob : string;
+}
+
+let default_node_wrapper = "so-node"
+
+(* The separator byte every element contributes at its open position
+   (every empty subtree under [On_empty]).  Reconstruction never
+   inspects its value — placement is purely positional — so text is
+   free to contain the same byte. *)
+let sep_byte = '\n'
+
+(* ------------------------------------------------------------------ *)
+(* Inline -> stand-off                                                 *)
+
+let check_element ~start_name ~end_name ~node_wrapper ~separator e =
+  if separator = Per_element && String.equal e.Dom.tag node_wrapper then
+    invalid_arg
+      (Printf.sprintf
+         "Convert.to_standoff: element named %S collides with the node \
+          wrapper"
+         node_wrapper);
+  List.iter
+    (fun a ->
+      if
+        String.equal a.Dom.attr_name start_name
+        || String.equal a.Dom.attr_name end_name
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Convert.to_standoff: element <%s> already carries a %S \
+              attribute"
+             e.Dom.tag a.Dom.attr_name))
+    e.Dom.attrs
+
+let with_extent ~start_name ~end_name e start stop =
+  Dom.with_attr
+    (Dom.with_attr e start_name (string_of_int start))
+    end_name (string_of_int stop)
+
+(* Move text into [buf] and annotate extents.  Under [Per_element]
+   every element (and every comment/PI, via its wrapper) owns one
+   separator byte at its open position, so extents are valid regions
+   that nest strictly; under [On_empty] only empty subtrees get one —
+   the historical Standoffify layout. *)
+let rec annotate ~start_name ~end_name ~node_wrapper ~separator buf node =
+  match node with
+  | Dom.Text s ->
+      Buffer.add_string buf s;
+      None
+  | (Dom.Comment _ | Dom.Pi _) as n -> (
+      match separator with
+      | On_empty -> Some n
+      | Per_element ->
+          let start = Buffer.length buf in
+          Buffer.add_char buf sep_byte;
+          let wrapper =
+            { Dom.tag = node_wrapper; attrs = []; children = [ n ] }
+          in
+          Some (Dom.Element (with_extent ~start_name ~end_name wrapper start start)))
+  | Dom.Element e ->
+      check_element ~start_name ~end_name ~node_wrapper ~separator e;
+      let start = Buffer.length buf in
+      if separator = Per_element then Buffer.add_char buf sep_byte;
+      let children =
+        List.filter_map
+          (annotate ~start_name ~end_name ~node_wrapper ~separator buf)
+          e.Dom.children
+      in
+      if separator = On_empty && Buffer.length buf = start then
+        Buffer.add_char buf sep_byte;
+      let stop = Buffer.length buf - 1 in
+      Some
+        (Dom.Element
+           (with_extent ~start_name ~end_name { e with Dom.children } start stop))
+
+(* A layer is a flat projection: the matching elements of the full
+   stand-off tree in document order, attributes (extents included)
+   kept, children dropped. *)
+let project_layer root tags =
+  let out = ref [] in
+  let rec go e =
+    if List.exists (String.equal e.Dom.tag) tags then
+      out := Dom.Element { e with Dom.children = [] } :: !out;
+    List.iter
+      (function Dom.Element c -> go c | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> ())
+      e.Dom.children
+  in
+  go root;
+  List.rev !out
+
+let to_standoff ?(start_name = "start") ?(end_name = "end")
+    ?(node_wrapper = default_node_wrapper) ?(separator = Per_element)
+    ?(layers = []) (dom : Dom.document) =
+  List.iter
+    (fun (name, _) ->
+      if not (Dom.valid_name name) then
+        invalid_arg
+          (Printf.sprintf "Convert.to_standoff: invalid layer name %S" name))
+    layers;
+  let buf = Buffer.create 65536 in
+  let root =
+    match
+      annotate ~start_name ~end_name ~node_wrapper ~separator buf
+        (Dom.Element dom.Dom.root)
+    with
+    | Some (Dom.Element root) -> root
+    | Some _ | None -> assert false
+  in
+  let doc = { dom with Dom.root } in
+  let layers =
+    List.map
+      (fun (name, tags) ->
+        ( name,
+          Dom.document
+            (Dom.Element
+               { Dom.tag = name; attrs = []; children = project_layer root tags }) ))
+      layers
+  in
+  { doc; layers; blob = Buffer.contents buf }
+
+(* ------------------------------------------------------------------ *)
+(* Stand-off -> inline                                                 *)
+
+type ann = {
+  a_tag : string;
+  a_attrs : Dom.attribute list;  (* extents already stripped *)
+  a_payload : Dom.node list;  (* wrapper payload: the comment/PI *)
+  a_wrapper : bool;
+  a_start : int;
+  a_end : int;
+  a_seq : int;  (* input order: the deterministic tie-break *)
+  a_continuation : bool;  (* split tail: its first byte is real text *)
+}
+
+(* start ascending; longer annotation first at a shared start (it must
+   open before anything it contains); input order last, so the
+   placement of crossing or duplicate regions is deterministic. *)
+let compare_ann a b =
+  if a.a_start <> b.a_start then compare a.a_start b.a_start
+  else if a.a_end <> b.a_end then compare b.a_end a.a_end
+  else compare a.a_seq b.a_seq
+
+let extent_of ~start_name ~end_name ~blob_len e =
+  let parse what v =
+    match int_of_string_opt (String.trim v) with
+    | Some n -> n
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Convert.to_inline: <%s> has non-integer %s=%S"
+             e.Dom.tag what v)
+  in
+  match (Dom.attr e start_name, Dom.attr e end_name) with
+  | None, None -> None
+  | Some s, Some ee ->
+      let s = parse start_name s and ee = parse end_name ee in
+      if s > ee then
+        invalid_arg
+          (Printf.sprintf "Convert.to_inline: <%s> has start %d > end %d"
+             e.Dom.tag s ee);
+      if s < 0 || ee >= blob_len then
+        invalid_arg
+          (Printf.sprintf
+             "Convert.to_inline: <%s> extent [%d,%d] outside the %d-byte blob"
+             e.Dom.tag s ee blob_len);
+      Some (s, ee)
+  | Some _, None ->
+      invalid_arg
+        (Printf.sprintf "Convert.to_inline: <%s> has %S without %S" e.Dom.tag
+           start_name end_name)
+  | None, Some _ ->
+      invalid_arg
+        (Printf.sprintf "Convert.to_inline: <%s> has %S without %S" e.Dom.tag
+           end_name start_name)
+
+(* Elements with both extent attributes are annotations; elements with
+   neither are containers whose element children are scanned (the root
+   of a flat layer).  Text inside annotation documents carries no
+   placement information and is ignored. *)
+let collect ~start_name ~end_name ~node_wrapper ~blob_len docs =
+  let anns = ref [] and seq = ref 0 in
+  let rec go e =
+    let descend () =
+      List.iter
+        (function
+          | Dom.Element c -> go c
+          | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> ())
+        e.Dom.children
+    in
+    match extent_of ~start_name ~end_name ~blob_len e with
+    | None -> descend ()
+    | Some (s, ee) ->
+        let a_wrapper = String.equal e.Dom.tag node_wrapper in
+        let a_attrs =
+          List.filter
+            (fun a ->
+              not
+                (String.equal a.Dom.attr_name start_name
+                || String.equal a.Dom.attr_name end_name))
+            e.Dom.attrs
+        in
+        anns :=
+          {
+            a_tag = e.Dom.tag;
+            a_attrs;
+            a_payload = (if a_wrapper then e.Dom.children else []);
+            a_wrapper;
+            a_start = s;
+            a_end = ee;
+            a_seq = !seq;
+            a_continuation = false;
+          }
+          :: !anns;
+        incr seq;
+        if not a_wrapper then descend ()
+  in
+  List.iter (fun (d : Dom.document) -> go d.Dom.root) docs;
+  List.rev !anns
+
+type frame = {
+  f_tag : string;
+  f_attrs : Dom.attribute list;
+  f_payload : Dom.node list;
+  f_wrapper : bool;
+  f_end : int;
+  mutable f_children : Dom.node list;  (* reversed *)
+}
+
+let to_inline ?(start_name = "start") ?(end_name = "end")
+    ?(node_wrapper = default_node_wrapper) ?(consume_separator = true)
+    ?(root_name = "text") ~blob docs =
+  let blob_len = String.length blob in
+  let anns =
+    List.sort compare_ann
+      (collect ~start_name ~end_name ~node_wrapper ~blob_len docs)
+  in
+  (* The virtual root collects top-level annotations and any text the
+     annotations do not cover. *)
+  let virtual_root =
+    {
+      f_tag = "";
+      f_attrs = [];
+      f_payload = [];
+      f_wrapper = false;
+      f_end = blob_len - 1;
+      f_children = [];
+    }
+  in
+  let stack = ref [] in
+  let pos = ref 0 in
+  let current () = match !stack with f :: _ -> f | [] -> virtual_root in
+  let flush_text upto =
+    if upto >= !pos then begin
+      let f = current () in
+      f.f_children <-
+        Dom.Text (String.sub blob !pos (upto - !pos + 1)) :: f.f_children;
+      pos := upto + 1
+    end
+  in
+  let close_top () =
+    match !stack with
+    | [] -> assert false
+    | f :: rest ->
+        flush_text f.f_end;
+        stack := rest;
+        let parent = current () in
+        let nodes =
+          if f.f_wrapper then f.f_payload @ List.rev f.f_children
+          else
+            [
+              Dom.Element
+                {
+                  Dom.tag = f.f_tag;
+                  attrs = f.f_attrs;
+                  children = List.rev f.f_children;
+                };
+            ]
+        in
+        parent.f_children <- List.rev_append nodes parent.f_children
+  in
+  let open_ann a =
+    flush_text (a.a_start - 1);
+    stack :=
+      {
+        f_tag = a.a_tag;
+        f_attrs = a.a_attrs;
+        f_payload = a.a_payload;
+        f_wrapper = a.a_wrapper;
+        f_end = a.a_end;
+        f_children = [];
+      }
+      :: !stack;
+    (* The annotation's first byte is its Per_element separator; a
+       split continuation starts on real text and owns no separator.
+       [max] guards against a second annotation sharing a start with
+       an already-opened one: the byte is consumed only once. *)
+    if consume_separator && not a.a_continuation then
+      pos := max !pos (a.a_start + 1)
+  in
+  let rec insert a = function
+    | [] -> [ a ]
+    | b :: rest as l -> if compare_ann a b <= 0 then a :: l else b :: insert a rest
+  in
+  let queue = ref anns in
+  while !queue <> [] do
+    let a = List.hd !queue in
+    match !stack with
+    | f :: _ when f.f_end < a.a_start ->
+        (* the open annotation ends before [a] starts *)
+        close_top ()
+    | f :: _ when a.a_end > f.f_end ->
+        (* [a] crosses the open annotation's right boundary: split it
+           there and re-queue the tail — the standoff2inline tag-split
+           for partially overlapping layers *)
+        let head = { a with a_end = f.f_end } in
+        let tail =
+          {
+            a with
+            a_start = f.f_end + 1;
+            a_payload = [];
+            a_continuation = true;
+          }
+        in
+        queue := head :: insert tail (List.tl !queue)
+    | _ ->
+        open_ann a;
+        queue := List.tl !queue
+  done;
+  while !stack <> [] do
+    close_top ()
+  done;
+  flush_text (blob_len - 1);
+  let children = List.rev virtual_root.f_children in
+  let prolog, epilog =
+    match docs with
+    | d :: _ -> (d.Dom.prolog, d.Dom.epilog)
+    | [] -> ([], [])
+  in
+  let root =
+    match children with
+    | [ Dom.Element e ] -> e
+    | children ->
+        if not (Dom.valid_name root_name) then
+          invalid_arg
+            (Printf.sprintf "Convert.to_inline: invalid root name %S" root_name);
+        { Dom.tag = root_name; attrs = []; children }
+  in
+  { Dom.prolog; root; epilog }

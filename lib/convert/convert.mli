@@ -1,0 +1,112 @@
+(** Inline ⇄ stand-off conversion.
+
+    Real stand-off corpora are born as inline markup: a TEI or
+    ALVIS-style document is converted to stand-off for ingestion (text
+    moves to a BLOB, elements become area annotations with [start]/
+    [end] byte extents) and re-inlined on export.  This module is the
+    general form of that conversion — {!Standoff_xmark.Standoffify}'s
+    synthetic transform is a thin wrapper over {!to_standoff} with
+    [~separator:On_empty].
+
+    {2 Coordinate system}
+
+    Under the default [Per_element] separator policy, every element
+    (and every comment/PI wrapper) contributes exactly one separator
+    byte (['\n']) to the BLOB at its open position, followed by its
+    text content in document order.  Consequences:
+
+    - every extent is a valid inclusive region ([start <= end]), even
+      for empty elements;
+    - extents are {e strictly nested}: no two nodes share an extent,
+      and [extent b ⊆ extent a] holds iff [b] is a descendant-or-self
+      of [a] — so the StandOff containment axes ([select-narrow])
+      answer exactly the descendant axis of the inline original;
+    - reconstruction is unambiguous: {!to_inline} recovers the
+      canonical serialization of the original byte-for-byte.
+
+    [On_empty] reproduces {!Standoffify}'s historical blob layout (a
+    separator only when a subtree contributed no bytes); it keeps the
+    BLOB closest to the plain text but its extents can collide and its
+    output is not reconstructible, so {!to_inline} does not support
+    it. *)
+
+(** Separator policy for {!to_standoff}. *)
+type separator =
+  | Per_element
+      (** one ['\n'] per element open — strict nesting, lossless
+          round-trip (the default) *)
+  | On_empty
+      (** one ['\n'] only for empty subtrees — the historical
+          {!Standoffify} layout; not reconstructible *)
+
+type t = {
+  doc : Standoff_xml.Dom.document;
+      (** the full stand-off document: the input tree with text
+          removed and [start]/[end] extent attributes added *)
+  layers : (string * Standoff_xml.Dom.document) list;
+      (** one flat annotation document per requested layer, in request
+          order; every layer references the same {!blob} *)
+  blob : string;  (** the extracted text *)
+}
+
+val default_node_wrapper : string
+(** ["so-node"] — the reserved element name wrapping comments and
+    processing instructions so they keep a byte position. *)
+
+val to_standoff :
+  ?start_name:string ->
+  ?end_name:string ->
+  ?node_wrapper:string ->
+  ?separator:separator ->
+  ?layers:(string * string list) list ->
+  Standoff_xml.Dom.document ->
+  t
+(** [to_standoff dom] walks [dom], moves its text into a BLOB in
+    document order and returns the annotated stand-off form.
+
+    [?layers] is a list of [(layer_name, element_names)] pairs; each
+    produces a flat annotation document [<layer_name>] whose children
+    are the matching elements of [dom] in document order, attributes
+    and extents included, children dropped.
+
+    @raise Invalid_argument if any element of [dom] already carries an
+    attribute named [start_name] or [end_name], is named
+    [node_wrapper] (under [Per_element]), or if a layer name is not a
+    valid element name. *)
+
+val to_inline :
+  ?start_name:string ->
+  ?end_name:string ->
+  ?node_wrapper:string ->
+  ?consume_separator:bool ->
+  ?root_name:string ->
+  blob:string ->
+  Standoff_xml.Dom.document list ->
+  Standoff_xml.Dom.document
+(** [to_inline ~blob docs] re-inserts the annotations of [docs] into
+    [blob] as element tags and returns the resulting inline document.
+
+    Every element carrying both extent attributes is an annotation;
+    elements carrying neither are containers (their children are
+    scanned, they themselves produce no tags — the root of a flat
+    layer, say).  Annotations are placed by region with deterministic
+    tie-breaking: start ascending, then end descending (longer
+    annotations open first at a shared boundary), then input order
+    (document list order, then document order).  An annotation that
+    partially overlaps an open one is split at the boundary into two
+    elements of the same name — the [standoff2inline] placement
+    semantics for crossing layers.
+
+    [~consume_separator] (default [true]) treats the first extent byte
+    of every annotation as its {!Per_element} separator and drops it;
+    pass [false] for foreign annotations over a plain-text blob.
+
+    If the annotations do not provide a unique covering root element,
+    the result is wrapped in a synthetic [root_name] (default
+    ["text"]) element.  Elements named [node_wrapper] are replaced by
+    their children (comments/PIs restored in position).  The prolog
+    and epilog of the first input document are preserved.
+
+    @raise Invalid_argument if an annotation has malformed extents
+    (non-integer, [start > end], or outside the blob), or if exactly
+    one of the two extent attributes is present. *)

@@ -82,6 +82,8 @@ let invalidate cat doc =
         (1 + Option.value ~default:0 (Hashtbl.find_opt cat.gens name));
       cat.version <- cat.version + 1)
 
+let bump cat = locked cat (fun () -> cat.version <- cat.version + 1)
+
 let generation cat name =
   locked cat (fun () ->
       Option.value ~default:0 (Hashtbl.find_opt cat.gens name))

@@ -27,6 +27,14 @@ val annots :
     never be served again. *)
 val invalidate : t -> Standoff_store.Doc.t -> unit
 
+(** [bump cat] advances the catalogue-wide version without touching
+    any per-document entry or generation — the right invalidation for
+    a change to the *document set* (bulk ingestion): new documents
+    have no cached state to expire, existing documents' caches stay
+    warm, and the single version bump expires whole-collection results
+    exactly once per batch. *)
+val bump : t -> unit
+
 (** [generation cat name] is the number of times the document called
     [name] has been invalidated.  Monotonic; [0] for never-invalidated
     (including unknown) names, and the counter survives the cached

@@ -47,29 +47,51 @@ let config_of_record ~start_attr ~end_attr ~ptype =
     position_type = ptype;
   }
 
+let resolve_doc coll doc_name =
+  match Collection.doc_id_of_name coll doc_name with
+  | Some id -> Collection.doc coll id
+  | None ->
+      raise
+        (Recovery_error
+           (Printf.sprintf
+              "WAL names document %S, which the store does not contain"
+              doc_name))
+
 let apply_op cat coll op =
-  let doc_name = Wal.op_doc op in
-  let doc =
-    match Collection.doc_id_of_name coll doc_name with
-    | Some id -> Collection.doc coll id
-    | None ->
-        raise
-          (Recovery_error
-             (Printf.sprintf
-                "WAL names document %S, which the store does not contain"
-                doc_name))
-  in
   try
     match op with
-    | Wal.Set_region { start_attr; end_attr; ptype; pre; start_pos; end_pos; _ }
+    | Wal.Set_region { doc; start_attr; end_attr; ptype; pre; start_pos; end_pos }
       ->
+        let doc = resolve_doc coll doc in
         let config = config_of_record ~start_attr ~end_attr ~ptype in
         Update.set_region cat config doc ~pre (Region.make start_pos end_pos)
-    | Wal.Shift { start_attr; end_attr; ptype; from; by; _ } ->
+    | Wal.Shift { doc; start_attr; end_attr; ptype; from; by } ->
+        let doc = resolve_doc coll doc in
         let config = config_of_record ~start_attr ~end_attr ~ptype in
         ignore (Update.shift_annotations cat config doc ~from ~by)
-  with Invalid_argument msg ->
-    raise (Recovery_error (Printf.sprintf "WAL record does not apply: %s" msg))
+    | Wal.Ingest { docs; blobs } ->
+        (* Replaying an Ingest over a snapshot that already folded it
+           in is filtered by the LSN check; the name check is a second
+           belt over externally assembled directories. *)
+        List.iter
+          (fun (name, payload) ->
+            if Collection.doc_id_of_name coll name = None then
+              ignore (Collection.add coll (Persist.doc_of_string payload)))
+          docs;
+        List.iter
+          (fun (name, contents) ->
+            if Collection.blob coll name = None then
+              Collection.add_blob coll
+                (Standoff_store.Blob.of_string ~name contents))
+          blobs
+  with
+  | Invalid_argument msg ->
+      raise
+        (Recovery_error (Printf.sprintf "WAL record does not apply: %s" msg))
+  | Persist.Corrupt msg ->
+      raise
+        (Recovery_error
+           (Printf.sprintf "WAL ingest payload does not decode: %s" msg))
 
 let open_dir ?(policy = Wal.Always) ?(snapshot_every = 0) ?(keep = 2) ?seed dir
     =

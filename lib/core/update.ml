@@ -38,7 +38,12 @@ let set_region cat config doc ~pre region =
 
 let shift_annotations cat config doc ~from ~by =
   let annots = Annots.extract config doc in
-  let moved = ref 0 in
+  (* Two passes: validate every shift (including locating the attribute
+     rows) before touching any row.  A single interleaved pass would
+     leave earlier annotations rewritten when a later one raises —
+     with no invalidation or WAL record, so generation-stamped caches
+     would keep serving pre-update answers over a mutated store. *)
+  let pending = ref [] in
   Array.iteri
     (fun slot pre ->
       let area = annots.Annots.areas.(slot) in
@@ -49,10 +54,14 @@ let shift_annotations cat config doc ~from ~by =
         if Int64.compare start_ 0L < 0 then
           invalid_arg "Update.shift_annotations: region would become negative";
         let s_row, e_row = region_attr_rows config doc ~pre in
-        doc.Doc.attr_value.(s_row) <- Int64.to_string start_;
-        doc.Doc.attr_value.(e_row) <- Int64.to_string end_;
-        incr moved
+        pending := (s_row, e_row, start_, end_) :: !pending
       end)
     annots.Annots.ids;
-  Catalog.invalidate cat doc;
-  !moved
+  let moved = List.length !pending in
+  List.iter
+    (fun (s_row, e_row, start_, end_) ->
+      doc.Doc.attr_value.(s_row) <- Int64.to_string start_;
+      doc.Doc.attr_value.(e_row) <- Int64.to_string end_)
+    !pending;
+  if moved > 0 then Catalog.invalidate cat doc;
+  moved

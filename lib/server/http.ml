@@ -81,13 +81,13 @@ let hex_val c =
   | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
   | _ -> raise (Bad_request "invalid percent escape")
 
-let url_decode s =
+let decode ~plus_is_space s =
   let b = Buffer.create (String.length s) in
   let i = ref 0 in
   let n = String.length s in
   while !i < n do
     (match s.[!i] with
-    | '+' -> Buffer.add_char b ' '
+    | '+' when plus_is_space -> Buffer.add_char b ' '
     | '%' ->
         if !i + 2 >= n then raise (Bad_request "truncated percent escape");
         Buffer.add_char b
@@ -97,6 +97,11 @@ let url_decode s =
     incr i
   done;
   Buffer.contents b
+
+(* [+ -> space] is form encoding, which applies to query keys/values
+   only; in the path component a literal [+] is just a [+]. *)
+let url_decode s = decode ~plus_is_space:true s
+let path_decode s = decode ~plus_is_space:false s
 
 let url_encode s =
   let b = Buffer.create (String.length s) in
@@ -130,7 +135,7 @@ let parse_target target =
                      (String.sub kv (i + 1) (String.length kv - i - 1)) )
              | None -> (url_decode kv, ""))
   in
-  (url_decode path_raw, params)
+  (path_decode path_raw, params)
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
@@ -229,6 +234,7 @@ let reason = function
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
   | 413 -> "Content Too Large"
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"

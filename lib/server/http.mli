@@ -109,6 +109,10 @@ val response_header : response -> string -> string option
 (** Percent-decoding, with [+] as space (query components). *)
 val url_decode : string -> string
 
+(** Percent-decoding only — [+] stays a literal [+] (path component;
+    [+] -> space is form encoding and applies to query strings only). *)
+val path_decode : string -> string
+
 val url_encode : string -> string
 
 (** [parse_target t] splits a request-target into its decoded path and

@@ -6,6 +6,10 @@ module Metrics = Standoff_obs.Metrics
 module Trace = Standoff_obs.Trace
 module Slow_log = Standoff_obs.Slow_log
 module Collection = Standoff_store.Collection
+module Doc = Standoff_store.Doc
+module Parser = Standoff_xml.Parser
+module Serializer = Standoff_xml.Serializer
+module Convert = Standoff_convert.Convert
 module Config = Standoff.Config
 module Catalog = Standoff.Catalog
 module Durable = Standoff.Durable
@@ -529,6 +533,123 @@ let handle_update t req =
                  (t.durable <> None))
           with Invalid_argument msg -> json_error ~request_id 400 msg))
 
+(* Bulk ingestion.  Body framing: with [?name=], the whole body is one
+   XML document of that name; without it, the body is a sequence of
+   frames, each a header line [<name> <decimal-length>] followed by
+   exactly [length] bytes of XML (whitespace between frames is
+   skipped).  The scan is a single forward cursor and each part is
+   parsed, converted and shredded as it is encountered — all before
+   the write lock is taken, so concurrent queries keep flowing while a
+   batch is prepared.  The batch then goes through [Engine.ingest] in
+   one exclusive section: one region-index and DataGuide build per
+   document, one catalogue version bump, one WAL record. *)
+let scan_frames body on_part =
+  let n = String.length body in
+  let pos = ref 0 in
+  let skip_ws () =
+    while
+      !pos < n
+      && match body.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  skip_ws ();
+  if !pos >= n then raise (Bad_param "empty ingest body");
+  while !pos < n do
+    let nl =
+      match String.index_from_opt body !pos '\n' with
+      | Some i -> i
+      | None -> raise (Bad_param "truncated ingest frame header")
+    in
+    let header = String.trim (String.sub body !pos (nl - !pos)) in
+    let name, len =
+      match String.rindex_opt header ' ' with
+      | Some i -> (
+          let name = String.trim (String.sub header 0 i) in
+          let len_s =
+            String.sub header (i + 1) (String.length header - i - 1)
+          in
+          match int_of_string_opt len_s with
+          | Some l when l >= 0 && name <> "" -> (name, l)
+          | _ ->
+              raise
+                (Bad_param
+                   (Printf.sprintf "malformed ingest frame header %S" header)))
+      | None ->
+          raise
+            (Bad_param
+               (Printf.sprintf
+                  "malformed ingest frame header %S (want \"<name> <length>\")"
+                  header))
+    in
+    if nl + 1 + len > n then
+      raise
+        (Bad_param (Printf.sprintf "ingest frame %S: payload truncated" name));
+    on_part name (String.sub body (nl + 1) len);
+    pos := nl + 1 + len;
+    skip_ws ()
+  done
+
+let handle_ingest t req =
+  let request_id = fresh_request_id t in
+  let convert =
+    match Option.value ~default:"standoff" (Http.param req "convert") with
+    | "standoff" -> `Standoff
+    | "none" -> `None
+    | v -> raise (Bad_param (Printf.sprintf "unknown convert=%S" v))
+  in
+  let docs = ref [] and blobs = ref [] in
+  let add_part name payload =
+    match convert with
+    | `None -> docs := Doc.parse ~name payload :: !docs
+    | `Standoff ->
+        let conv = Convert.to_standoff (Parser.parse_string payload) in
+        docs := Doc.of_dom ~name conv.Convert.doc :: !docs;
+        blobs := (name ^ ".blob", conv.Convert.blob) :: !blobs
+  in
+  match
+    (match Http.param req "name" with
+    | Some name ->
+        if String.trim req.Http.body = "" then
+          raise (Bad_param "empty ingest body");
+        add_part name req.Http.body
+    | None -> scan_frames req.Http.body add_part)
+  with
+  | exception Parser.Parse_error { line; col; msg } ->
+      json_error ~request_id 400
+        (Printf.sprintf "parse error at line %d, col %d: %s" line col msg)
+  | exception Invalid_argument msg -> json_error ~request_id 400 msg
+  | () ->
+      let docs = List.rev !docs and blobs = List.rev !blobs in
+      Rw_lock.write t.lock (fun () ->
+          let cat = Engine.catalog t.eng in
+          try
+            let n = Engine.ingest t.eng docs blobs in
+            (match t.durable with
+            | Some d ->
+                ignore
+                  (Durable.maybe_snapshot d ~generation:(Catalog.version cat))
+            | None -> ());
+            json_reply 200
+              ~headers:[ ("X-Request-Id", request_id) ]
+              (Printf.sprintf
+                 "{\"ok\": true, \"ingested\": %d, \"docs\": [%s], \
+                  \"version\": %d, \"durable\": %b}\n"
+                 n
+                 (String.concat ", "
+                    (List.map
+                       (fun (d : Doc.t) ->
+                         Printf.sprintf "\"%s\""
+                           (Metrics.json_escape d.Doc.doc_name))
+                       docs))
+                 (Catalog.version cat)
+                 (t.durable <> None))
+          with Invalid_argument msg ->
+            (* Engine.ingest validates the whole batch before touching
+               anything, so a name conflict rejects it atomically. *)
+            json_error ~request_id 409 msg)
+
 (* Operator-triggered compaction: snapshot now, under the writer lock.
    409 when the server runs without a data directory. *)
 let handle_snapshot t _req =
@@ -574,6 +695,7 @@ let known_paths =
   [
     ("/query", [ "POST" ]);
     ("/update", [ "POST" ]);
+    ("/ingest", [ "POST" ]);
     ("/admin/snapshot", [ "POST" ]);
     ("/explain", [ "GET"; "POST" ]);
     ("/metrics", [ "GET" ]);
@@ -595,6 +717,7 @@ let route t (req : Http.request) =
   | ("GET" | "POST"), "/explain" -> handle_explain t req
   | "POST", "/query" -> handle_query t req
   | "POST", "/update" -> handle_update t req
+  | "POST", "/ingest" -> handle_ingest t req
   | "POST", "/admin/snapshot" -> handle_snapshot t req
   | meth, path -> (
       match List.assoc_opt path known_paths with

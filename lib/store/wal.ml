@@ -69,8 +69,15 @@ type op =
       from : int64;
       by : int64;
     }
+  | Ingest of {
+      docs : (string * string) list;  (* name, Persist doc payload *)
+      blobs : (string * string) list;  (* name, contents *)
+    }
 
-let op_doc = function Set_region { doc; _ } | Shift { doc; _ } -> doc
+let op_doc = function
+  | Set_region { doc; _ } | Shift { doc; _ } -> doc
+  | Ingest { docs = (name, _) :: _; _ } -> name
+  | Ingest { docs = []; _ } -> ""
 
 let encode_op w op =
   let open Codec.Writer in
@@ -92,6 +99,18 @@ let encode_op w op =
       string w ptype;
       varint64 w from;
       varint64 w by
+  | Ingest { docs; blobs } ->
+      byte w 3;
+      let pairs ps =
+        varint w (List.length ps);
+        List.iter
+          (fun (name, payload) ->
+            string w name;
+            string w payload)
+          ps
+      in
+      pairs docs;
+      pairs blobs
 
 let decode_op r =
   let open Codec.Reader in
@@ -113,6 +132,21 @@ let decode_op r =
       let from = varint64 r in
       let by = varint64 r in
       Shift { doc; start_attr; end_attr; ptype; from; by }
+  | 3 ->
+      let pairs () =
+        let n = varint r in
+        let rec go k acc =
+          if k = 0 then List.rev acc
+          else
+            let name = string r in
+            let payload = string r in
+            go (k - 1) ((name, payload) :: acc)
+        in
+        go n []
+      in
+      let docs = pairs () in
+      let blobs = pairs () in
+      Ingest { docs; blobs }
   | b -> raise (Corrupt (Printf.sprintf "unknown WAL record tag %d" b))
 
 let put_le32 b off v =

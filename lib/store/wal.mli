@@ -30,9 +30,18 @@ type op =
       from : int64;
       by : int64;
     }
+  | Ingest of {
+      docs : (string * string) list;
+          (** (name, {!Standoff_store.Persist.doc_to_string} payload) *)
+      blobs : (string * string) list;  (** (name, raw contents) *)
+    }
+      (** A whole batch of new documents and blobs as one record — the
+          bulk-load path logs (and fsyncs) once per batch, not once
+          per document. *)
 
 val op_doc : op -> string
-(** Document name the operation targets. *)
+(** Document name the operation targets (the first document of a
+    batch; [""] for an empty batch). *)
 
 type fsync_policy =
   | Always  (** fsync after every append: acked implies durable *)

@@ -1,31 +1,11 @@
 module Dom = Standoff_xml.Dom
 module Prng = Standoff_util.Prng
+module Convert = Standoff_convert.Convert
 
 type result = {
   doc : Dom.document;
   blob : string;
 }
-
-(* Pass 1: move text into the blob and annotate extents.  Each element
-   is guaranteed a non-empty region: if its subtree contributed no
-   bytes, one separator byte is emitted on its behalf. *)
-let rec annotate buf node =
-  match node with
-  | Dom.Text s ->
-      Buffer.add_string buf s;
-      None
-  | Dom.Comment _ | Dom.Pi _ -> Some node
-  | Dom.Element e ->
-      let start = Buffer.length buf in
-      let children = List.filter_map (annotate buf) e.Dom.children in
-      if Buffer.length buf = start then Buffer.add_char buf '\n';
-      let stop = Buffer.length buf - 1 in
-      let e =
-        Dom.with_attr
-          (Dom.with_attr { e with Dom.children } "start" (string_of_int start))
-          "end" (string_of_int stop)
-      in
-      Some (Dom.Element e)
 
 (* Pass 2: coarse permutation.  The grandchildren of the root (the
    entity subtrees) are collected, shuffled, and dealt back across the
@@ -68,12 +48,12 @@ let permute_coarse ~seed root =
     { root with Dom.children }
   end
 
+(* Pass 1 — move text into the blob and annotate extents — is the
+   general conversion with the historical [On_empty] separator policy:
+   a separator byte only when a subtree contributed no bytes, which
+   keeps the blob byte-identical to what this module always produced. *)
 let transform ?(seed = 42L) ?(permute = true) (dom : Dom.document) =
-  let buf = Buffer.create 65536 in
-  let annotated =
-    match annotate buf (Dom.Element dom.Dom.root) with
-    | Some (Dom.Element root) -> root
-    | Some _ | None -> assert false
-  in
+  let conv = Convert.to_standoff ~separator:Convert.On_empty dom in
+  let annotated = conv.Convert.doc.Dom.root in
   let root = if permute then permute_coarse ~seed annotated else annotated in
-  { doc = { dom with Dom.root }; blob = Buffer.contents buf }
+  { doc = { dom with Dom.root }; blob = conv.Convert.blob }

@@ -229,6 +229,67 @@ let shift_annotations t config doc ~from ~by =
          });
   moved
 
+let ingest t ?(config = Standoff.Config.default) docs blobs =
+  (* Two passes, like the in-place updates: validate the whole batch
+     against the live collection before mutating anything, so a
+     conflicting name in the middle of a batch rejects the batch
+     whole — no partial ingest ever reaches the store or the WAL. *)
+  let coll = t.coll in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Doc.t) ->
+      let name = d.Doc.doc_name in
+      if Hashtbl.mem seen name then
+        invalid_arg
+          (Printf.sprintf "Engine.ingest: duplicate document %S in batch" name);
+      Hashtbl.add seen name ();
+      if Standoff_store.Collection.doc_id_of_name coll name <> None then
+        invalid_arg
+          (Printf.sprintf "Engine.ingest: document %S already exists" name))
+    docs;
+  let seen_blobs = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen_blobs name then
+        invalid_arg
+          (Printf.sprintf "Engine.ingest: duplicate blob %S in batch" name);
+      Hashtbl.add seen_blobs name ();
+      if Standoff_store.Collection.blob coll name <> None then
+        invalid_arg (Printf.sprintf "Engine.ingest: blob %S already exists" name))
+    blobs;
+  List.iter (fun d -> ignore (Standoff_store.Collection.add coll d)) docs;
+  List.iter
+    (fun (name, contents) ->
+      Standoff_store.Collection.add_blob coll
+        (Standoff_store.Blob.of_string ~name contents))
+    blobs;
+  (* Warm the per-document structures while we still hold the batch:
+     the region index (through the catalogue, so later queries share
+     it) and the DataGuide, each built exactly once per document per
+     batch instead of on first query. *)
+  List.iter
+    (fun (d : Doc.t) ->
+      ignore (Standoff.Catalog.annots t.cat config d);
+      ignore
+        (Standoff_store.Dataguide.get
+           ~generation:(Standoff.Catalog.generation t.cat d.Doc.doc_name)
+           d))
+    docs;
+  (* One catalogue-wide version bump and one WAL record for the whole
+     batch: ingesting N documents costs one invalidation, not N. *)
+  Standoff.Catalog.bump t.cat;
+  notify t
+    (Standoff_store.Wal.Ingest
+       {
+         docs =
+           List.map
+             (fun (d : Doc.t) ->
+               (d.Doc.doc_name, Standoff_store.Persist.doc_to_string d))
+             docs;
+         blobs;
+       });
+  List.length docs
+
 (* STANDOFF_TRACE=1 forces a trace collector onto every run that was
    not handed one explicitly (CI uses this to catch
    instrumentation-only crashes). *)

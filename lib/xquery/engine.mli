@@ -169,6 +169,24 @@ val shift_annotations :
   by:int64 ->
   int
 
+(** [ingest t docs blobs] adds a whole batch of new documents and
+    blobs to the collection at once — the bulk-load fast path.  The
+    batch is validated first (duplicate names within the batch or
+    against the collection raise [Invalid_argument] before anything is
+    mutated), then every document's region index (under [?config],
+    default {!Standoff.Config.default}) and DataGuide are built once,
+    the catalogue version is bumped {e once}, and the durability hook
+    receives {e one} batched {!Standoff_store.Wal.Ingest} record — so
+    ingesting N documents costs one invalidation and one WAL fsync,
+    not N.  Returns the number of documents added.  The caller
+    provides write exclusion, as with the other updates. *)
+val ingest :
+  t ->
+  ?config:Standoff.Config.t ->
+  Standoff_store.Doc.t list ->
+  (string * string) list ->
+  int
+
 (** [set_strategy t s] pins the engine-wide strategy. *)
 val set_strategy : t -> Standoff.Config.strategy -> unit
 

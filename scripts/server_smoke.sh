@@ -168,4 +168,52 @@ status=0
 wait $server_pid || status=$?
 [ "$status" = 0 ] || { cat "$dlog" >&2; fail "snapshot-boot server exited $status on SIGTERM"; }
 
+# ------------------------------------------------------------------
+# Bulk ingestion: one POST /ingest batch is one WAL record, and the
+# whole batch survives kill -9.
+
+ingestdir="$workdir/ingest-data"
+ilog="$workdir/ingest.log"
+
+echo "== ingest: batch of 3 framed documents"
+"$BIN" --port "$PORT" --workers 2 --data-dir "$ingestdir" --fsync always \
+  >"$ilog" 2>&1 &
+server_pid=$!
+wait_up $server_pid "$ilog"
+d1='<doc><p><w>alpha</w> <w>beta</w></p></doc>'
+d2='<doc><p><w>gamma</w></p></doc>'
+d3='<doc><p><w>delta</w> <w>epsilon</w> <w>zeta</w></p></doc>'
+batch="$workdir/batch.txt"
+{
+  printf '%s %d\n%s\n' doc1.xml "${#d1}" "$d1"
+  printf '%s %d\n%s\n' doc2.xml "${#d2}" "$d2"
+  printf '%s %d\n%s\n' doc3.xml "${#d3}" "$d3"
+} >"$batch"
+resp=$(curl -fsS -X POST --data-binary @"$batch" "$BASE/ingest")
+echo "$resp" | grep -q '"ingested": 3' \
+  || fail "ingest answered '$resp', expected 3 documents"
+IPROBE='count(doc("doc1.xml")//p/select-narrow::w)'
+got=$(curl -fsS -X POST --data-binary "$IPROBE" "$BASE/query")
+[ "$got" = "2" ] || fail "ingest probe answered '$got', expected '2'"
+kill -9 $server_pid
+wait $server_pid 2>/dev/null || true
+
+echo "== ingest: recovery replays the batch as one WAL record"
+"$BIN" --port "$PORT" --workers 2 --data-dir "$ingestdir" --fsync always \
+  >"$ilog" 2>&1 &
+server_pid=$!
+wait_up $server_pid "$ilog"
+grep -q 'replayed 1 WAL record' "$ilog" \
+  || { cat "$ilog" >&2; fail "restart did not replay exactly 1 WAL record"; }
+after=$(curl -fsS -X POST --data-binary "$IPROBE" "$BASE/query")
+[ "$after" = "2" ] || fail "post-crash ingest probe answered '$after', expected '2'"
+# A second copy of doc1 must be refused batch-wide.
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary @"$batch" "$BASE/ingest")
+[ "$code" = 409 ] || fail "duplicate ingest batch answered $code, expected 409"
+kill -TERM $server_pid
+status=0
+wait $server_pid || status=$?
+[ "$status" = 0 ] || { cat "$ilog" >&2; fail "ingest server exited $status on SIGTERM"; }
+
 echo "PASS: server smoke test"

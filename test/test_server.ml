@@ -284,6 +284,63 @@ let test_update_then_query () =
       check_status "missing params" 400
         (oneshot p ~meth:"POST" ~target:"/update?doc=upd.xml" ""))
 
+let test_ingest_endpoint () =
+  let engine =
+    Engine.create ~jobs:1 ~cache:Engine.Cache_off (fresh_collection ())
+  in
+  with_server ~engine (fun srv ->
+      let p = Server.port srv in
+      let contains needle hay =
+        let n = String.length needle and m = String.length hay in
+        let rec scan i =
+          i + n <= m && (String.sub hay i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      let frame name xml =
+        Printf.sprintf "%s %d\n%s\n" name (String.length xml) xml
+      in
+      let body =
+        frame "t1.xml" "<p>The <w>quick</w> <w>fox</w></p>"
+        ^ frame "t2.xml" "<p><w>jumps</w></p>"
+      in
+      let r = oneshot p ~meth:"POST" ~target:"/ingest" body in
+      check_status "bulk ingest" 200 r;
+      Alcotest.(check bool) "both documents counted" true
+        (contains "\"ingested\": 2" r.Http.r_body);
+      let q =
+        oneshot p ~meth:"POST" ~target:"/query"
+          "count(doc(\"t1.xml\")//p/select-narrow::w)"
+      in
+      check_status "query an ingested document" 200 q;
+      Alcotest.(check string) "converted extents answer containment" "2\n"
+        q.Http.r_body;
+      (* the extracted text rides along as <name>.blob *)
+      Alcotest.(check bool) "blob stored" true
+        (Collection.blob (Engine.collection engine) "t2.xml.blob" <> None);
+      (* conflicts reject the whole batch atomically *)
+      check_status "duplicate batch conflicts" 409
+        (oneshot p ~meth:"POST" ~target:"/ingest" body);
+      check_status "fresh batch after conflict still works" 200
+        (oneshot p ~meth:"POST" ~target:"/ingest"
+           (frame "t3.xml" "<p><w>over</w></p>"));
+      (* ?name= ingests the raw body as one document, unconverted *)
+      check_status "raw single-document ingest" 200
+        (oneshot p ~meth:"POST" ~target:"/ingest?name=raw.xml&convert=none"
+           region_doc_xml);
+      let q2 =
+        oneshot p ~meth:"POST" ~target:"/query"
+          "count(doc(\"raw.xml\")//p/select-narrow::c)"
+      in
+      Alcotest.(check string) "raw ingest queryable" "1\n" q2.Http.r_body;
+      check_status "malformed frame header" 400
+        (oneshot p ~meth:"POST" ~target:"/ingest" "nonsense");
+      check_status "empty body" 400 (oneshot p ~meth:"POST" ~target:"/ingest" "");
+      check_status "unknown convert mode" 400
+        (oneshot p ~meth:"POST" ~target:"/ingest?convert=wat" "x 1\ny");
+      check_status "GET not allowed" 405
+        (oneshot p ~meth:"GET" ~target:"/ingest" ""))
+
 let test_concurrent_interleave () =
   (* Queries hammering from several threads while an update lands in
      the middle: every response is one of the two valid answers, and
@@ -607,7 +664,19 @@ let test_url_codec () =
     "param" (Some "loop-lifted")
     (List.assoc_opt "strategy" params);
   Alcotest.(check (option string)) "param2" (Some "4")
-    (List.assoc_opt "jobs" params)
+    (List.assoc_opt "jobs" params);
+  (* [+ -> space] is form encoding: it applies to query keys/values
+     only, never to the path — a document named "a+b.xml" must stay
+     routable. *)
+  Alcotest.(check string) "path keeps +" "/docs/a+b.xml"
+    (Http.path_decode "/docs/a+b.xml");
+  Alcotest.(check string) "path percent-decodes" "/docs/a b%.xml"
+    (Http.path_decode "/docs/a%20b%25.xml");
+  let path, params = Http.parse_target "/docs/a+b.xml?q=x+y%2B" in
+  Alcotest.(check string) "target path keeps +" "/docs/a+b.xml" path;
+  Alcotest.(check (option string))
+    "query still form-decodes" (Some "x y+")
+    (List.assoc_opt "q" params)
 
 let () =
   Alcotest.run "server"
@@ -633,6 +702,8 @@ let () =
         ] );
       ( "interleave",
         [
+          Alcotest.test_case "bulk ingest over HTTP" `Quick
+            test_ingest_endpoint;
           Alcotest.test_case "query-update-query over HTTP" `Quick
             test_update_then_query;
           Alcotest.test_case "concurrent clients vs update" `Quick

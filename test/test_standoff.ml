@@ -14,6 +14,7 @@ module Region_index = Standoff.Region_index
 module Spec = Standoff.Spec
 module Join = Standoff.Join
 module Catalog = Standoff.Catalog
+module Engine = Standoff_xquery.Engine
 
 (* ------------------------------------------------------------ *)
 (* Configuration                                                 *)
@@ -321,6 +322,45 @@ let test_update_shift () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* A failed shift must leave no trace: the shift validates every
+   annotation before rewriting any row, so a mid-batch refusal cannot
+   leave earlier annotations moved with no invalidation — which would
+   let generation-stamped caches serve pre-update answers over a
+   mutated store. *)
+let test_update_shift_failure_is_atomic () =
+  let coll = Standoff_store.Collection.create () in
+  ignore
+    (Standoff_store.Collection.load_string coll ~name:"s.xml"
+       "<t><a start=\"10\" end=\"19\"/><b start=\"0\" end=\"9\"/></t>");
+  let eng = Engine.create coll in
+  let d =
+    Standoff_store.Collection.doc coll
+      (Option.get (Standoff_store.Collection.doc_id_of_name coll "s.xml"))
+  in
+  let q = "count(doc(\"s.xml\")//t/select-wide::a)" in
+  let run () = (Engine.run eng ~rollback_constructed:true q).Engine.serialized in
+  let before = run () in
+  let v0 = Catalog.version (Engine.catalog eng) in
+  (* Shifting everything from 0 by -5 moves <a> (10 -> 5) fine but
+     would drive <b> negative.  In document order <a> precedes <b>, so
+     a single-pass shift has already rewritten <a> when it refuses. *)
+  Alcotest.(check bool) "shift refused" true
+    (match
+       Engine.shift_annotations eng Config.default d ~from:0L ~by:(-5L)
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check (option string)) "a untouched after failed shift"
+    (Some "10")
+    (Doc.attribute d 2 "start");
+  Alcotest.(check (option string)) "b untouched after failed shift"
+    (Some "0")
+    (Doc.attribute d 3 "start");
+  Alcotest.(check int) "no invalidation for a no-op" v0
+    (Catalog.version (Engine.catalog eng));
+  Alcotest.(check string) "queries still answer the pre-shift state"
+    before (run ())
+
 (* ------------------------------------------------------------ *)
 (* Agreement on random documents                                 *)
 
@@ -604,6 +644,8 @@ let () =
           Alcotest.test_case "set_region" `Quick test_update_set_region;
           Alcotest.test_case "bad targets" `Quick test_update_rejects_bad_targets;
           Alcotest.test_case "shift" `Quick test_update_shift;
+          Alcotest.test_case "failed shift is atomic" `Quick
+            test_update_shift_failure_is_atomic;
         ] );
       ( "agreement",
         [
