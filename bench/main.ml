@@ -16,6 +16,7 @@
      main.exe serve [opts]             HTTP server: latency/throughput, 503 probe
      main.exe persist [opts]           WAL throughput, recovery time, snapshots
      main.exe ingest [opts]            bulk ingestion vs per-document loads
+     main.exe router [opts]            shard router: 1 process vs N shards
      main.exe micro                    Bechamel micro-benchmarks
 
    figure-6 options:
@@ -1550,6 +1551,272 @@ let bench_serve ?(scale = 0.02) ?(clients = 8) ?(requests = 40)
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Shard router: aggregate update/ingest throughput, 1 process vs N
+   shard processes behind the router.  Real OS processes with
+   fsync=always, so the single-process baseline is bound by its one
+   writer lock and one WAL while the shards fsync N logs
+   concurrently — the scale-out the router exists to buy.             *)
+
+module Router = Standoff_router.Router
+
+type rt_row = {
+  rt_label : string;
+  rt_ingest_dps : float;  (* documents ingested per second *)
+  rt_update_ups : float;  (* acknowledged updates per second *)
+  rt_errors : int;
+}
+
+let bench_router ?(shards = 4) ?(docs = 256) ?(clients = 8) ?(updates = 100)
+    ?json () =
+  section "Shard router: multi-process scale-out";
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "standoff_server.exe"))
+  in
+  if not (Sys.file_exists exe) then begin
+    Printf.eprintf "router: %s not found (dune build bin first)\n" exe;
+    exit 1
+  end;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let root = Filename.temp_file "standoff-bench-router" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  at_exit (fun () ->
+      try rm_rf root with Sys_error _ | Unix.Unix_error _ -> ());
+  let doc_name i = Printf.sprintf "doc-%03d.xml" i in
+  let batch =
+    let buf = Buffer.create (docs * 64) in
+    for i = 0 to docs - 1 do
+      let payload =
+        Printf.sprintf "<d><w start=\"0\" end=\"5\"/>hello %d</d>" i
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n%s\n" (doc_name i) (String.length payload)
+           payload)
+    done;
+    Buffer.contents buf
+  in
+  let connect port =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO 60.0;
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+  in
+  let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let oneshot port ~meth ~target body =
+    let fd = connect port in
+    Fun.protect
+      ~finally:(fun () -> close_noerr fd)
+      (fun () ->
+        Http.write_request fd ~meth ~target body;
+        Http.read_response (Http.reader fd))
+  in
+  let wait_ready ?(timeout_s = 30.0) port =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      let ok =
+        match oneshot port ~meth:"GET" ~target:"/healthz?ready=1" "" with
+        | { Http.status = 200; _ } -> true
+        | _ -> false
+        | exception _ -> false
+      in
+      if ok then true
+      else if Unix.gettimeofday () > deadline then false
+      else begin
+        Thread.delay 0.1;
+        go ()
+      end
+    in
+    go ()
+  in
+  let free_port () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> close_noerr fd)
+      (fun () ->
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> failwith "free_port")
+  in
+  (* The measured load against one front port: a framed bulk ingest,
+     then [clients] keep-alive connections hammering /update across
+     the corpus (every document carries its annotation at pre=2). *)
+  let measure label port =
+    let t0 = Unix.gettimeofday () in
+    let resp =
+      oneshot port ~meth:"POST" ~target:"/ingest?convert=none" batch
+    in
+    let ingest_s = Unix.gettimeofday () -. t0 in
+    if resp.Http.status <> 200 then begin
+      Printf.eprintf "router bench: %s ingest failed (%d): %s\n" label
+        resp.Http.status resp.Http.r_body;
+      exit 1
+    end;
+    let errors = Atomic.make 0 in
+    let client c () =
+      let fd = connect port in
+      let reader = Http.reader fd in
+      Fun.protect
+        ~finally:(fun () -> close_noerr fd)
+        (fun () ->
+          for i = 0 to updates - 1 do
+            let d = doc_name (((c * updates) + i) mod docs) in
+            let target =
+              Printf.sprintf "/update?doc=%s&pre=2&start=%d&end=%d" d (i mod 4)
+                ((i mod 4) + 5)
+            in
+            match
+              Http.write_request fd ~meth:"POST" ~target "";
+              (Http.read_response reader).Http.status
+            with
+            | 200 -> ()
+            | _ -> Atomic.incr errors
+            | exception _ ->
+                Atomic.incr errors
+          done)
+    in
+    let t1 = Unix.gettimeofday () in
+    let threads = List.init clients (fun c -> Thread.create (client c) ()) in
+    List.iter Thread.join threads;
+    let update_s = Unix.gettimeofday () -. t1 in
+    let row =
+      {
+        rt_label = label;
+        rt_ingest_dps = float_of_int docs /. ingest_s;
+        rt_update_ups = float_of_int (clients * updates) /. update_s;
+        rt_errors = Atomic.get errors;
+      }
+    in
+    Printf.printf "%-14s%14.1f docs/s%14.1f upd/s%9d errors\n" label
+      row.rt_ingest_dps row.rt_update_ups row.rt_errors;
+    flush stdout;
+    row
+  in
+  Printf.printf
+    "%d docs, %d clients x %d updates, fsync=always, shard exe: real \
+     processes\n\n"
+    docs clients updates;
+  Printf.printf "%-14s%20s%20s%16s\n" "topology" "ingest" "updates" "";
+  Printf.printf "%s\n" (String.make 64 '-');
+  (* Baseline: one standoff-server process, its own WAL, no router. *)
+  let single =
+    let port = free_port () in
+    let argv =
+      [|
+        exe; "--host"; "127.0.0.1"; "--port"; string_of_int port;
+        "--data-dir"; Filename.concat root "single"; "--fsync"; "always";
+      |]
+    in
+    let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid = Unix.create_process exe argv Unix.stdin dev_null Unix.stderr in
+    Unix.close dev_null;
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (pid, Unix.WEXITED 0)))
+      (fun () ->
+        if not (wait_ready port) then begin
+          Printf.eprintf "router bench: single server never became ready\n";
+          exit 1
+        end;
+        measure "1 process" port)
+  in
+  (* Routed: [shards] managed shard processes behind the router. *)
+  let routed =
+    let specs =
+      List.init shards (fun i ->
+          let name = Printf.sprintf "shard-%d" i in
+          let sport = free_port () in
+          let argv =
+            [|
+              exe; "--host"; "127.0.0.1"; "--port"; string_of_int sport;
+              "--data-dir"; Filename.concat root name; "--fsync"; "always";
+            |]
+          in
+          {
+            Router.sp_name = name;
+            sp_host = "127.0.0.1";
+            sp_port = sport;
+            sp_spawn = Some (exe, argv);
+          })
+    in
+    let router =
+      Router.create ~config:{ Router.default_config with port = 0 } specs
+    in
+    Router.start router;
+    Fun.protect
+      ~finally:(fun () -> Router.stop router)
+      (fun () ->
+        if not (wait_ready (Router.port router)) then begin
+          Printf.eprintf "router bench: shards never became ready\n";
+          exit 1
+        end;
+        measure (Printf.sprintf "%d shards" shards) (Router.port router))
+  in
+  let speedup_update = routed.rt_update_ups /. single.rt_update_ups in
+  let speedup_ingest = routed.rt_ingest_dps /. single.rt_ingest_dps in
+  (* The 2x gate needs somewhere for the parallelism to come from: N
+     concurrent WAL fsyncs always, N CPUs ideally.  On boxes whose
+     domain budget cannot host the shard count the speedup is reported
+     but not enforced — the same convention as the serve sweep's
+     monotonicity check. *)
+  let enforce = Pool.domain_budget () >= shards in
+  let no_errors = single.rt_errors = 0 && routed.rt_errors = 0 in
+  let pass =
+    no_errors
+    && ((not enforce) || (speedup_update >= 2.0 && speedup_ingest >= 2.0))
+  in
+  Printf.printf
+    "\nspeedup at %d shards: updates %.2fx, ingest %.2fx (gate: >= 2.0x%s)\n\
+     router criteria (no errors, >= 2x aggregate throughput%s): %s\n"
+    shards speedup_update speedup_ingest
+    (if enforce then "" else " [not enforced: domain budget < shard count]")
+    (if enforce then "" else " [informational]")
+    (if pass then "PASS" else "FAIL");
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n\
+        \  \"shards\": %d,\n\
+        \  \"docs\": %d,\n\
+        \  \"clients\": %d,\n\
+        \  \"updates_per_client\": %d,\n\
+        \  \"fsync\": \"always\",\n\
+        \  \"domain_budget\": %d,\n\
+        \  \"speedup_update\": %.2f,\n\
+        \  \"speedup_ingest\": %.2f,\n\
+        \  \"gate_enforced\": %b,\n\
+        \  \"pass\": %b,\n\
+        \  \"rows\": [\n"
+        shards docs clients updates (Pool.domain_budget ()) speedup_update
+        speedup_ingest enforce pass;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"topology\": \"%s\", \"ingest_docs_per_s\": %.1f, \
+             \"updates_per_s\": %.1f, \"errors\": %d}%s\n"
+            r.rt_label r.rt_ingest_dps r.rt_update_ups r.rt_errors
+            (if i = 1 then "" else ","))
+        [ single; routed ];
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json;
+  if not pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Durability: WAL append throughput per fsync policy, recovery time
    vs WAL length, snapshot write + snapshot-based recovery             *)
 
@@ -2289,6 +2556,37 @@ let parse_ingest_args args =
   go args;
   (!docs, !json)
 
+let parse_router_args args =
+  let shards = ref 4 in
+  let docs = ref 256 in
+  let clients = ref 8 in
+  let updates = ref 100 in
+  let json = ref (Some "BENCH_router.json") in
+  let rec go = function
+    | [] -> ()
+    | "--shards" :: v :: rest ->
+        shards := max 1 (int_of_string v);
+        go rest
+    | "--docs" :: v :: rest ->
+        docs := max 1 (int_of_string v);
+        go rest
+    | "--clients" :: v :: rest ->
+        clients := max 1 (int_of_string v);
+        go rest
+    | "--updates" :: v :: rest ->
+        updates := max 1 (int_of_string v);
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | "--no-json" :: rest ->
+        json := None;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "router: unknown argument %s" arg)
+  in
+  go args;
+  (!shards, !docs, !clients, !updates, !json)
+
 let parse_scale_jobs_args ~cmd ~default_scale args =
   let scale = ref default_scale in
   let jobs = ref (Config.default_jobs ()) in
@@ -2348,6 +2646,9 @@ let () =
   | _ :: "ingest" :: rest ->
       let docs, json = parse_ingest_args rest in
       bench_ingest ~docs ?json ()
+  | _ :: "router" :: rest ->
+      let shards, docs, clients, updates, json = parse_router_args rest in
+      bench_router ~shards ~docs ~clients ~updates ?json ()
   | _ :: "micro" :: _ -> micro ()
   | [ _ ] | _ :: "all" :: _ ->
       table_3_1 ();
@@ -2364,7 +2665,7 @@ let () =
         "unknown command %s (expected: table-3-1 | figure-4 | figure-6 | \
          staircase-vs-standoff | active-set | scaling | planner | \
          parallel-scaling | obs-overhead | cache | serve | persist | ingest | \
-         micro | all)\n"
+         router | micro | all)\n"
         cmd;
       exit 1
   | [] -> assert false

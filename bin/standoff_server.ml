@@ -223,6 +223,19 @@ let fsync_arg =
            batch[:N] (fsync every N appends; bounded loss window), or \
            never (leave it to the OS).  Only meaningful with --data-dir.")
 
+let auth_token_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "auth-token" ]
+        ~env:(Cmd.Env.info "STANDOFF_AUTH_TOKEN")
+        ~docv:"TOKEN"
+        ~doc:
+          "Require $(b,Authorization: Bearer) TOKEN on /query, /update, \
+           /ingest and /admin/* (401 otherwise; constant-time compare).  \
+           /healthz and /metrics stay open.  Defaults to \
+           \\$(b,STANDOFF_AUTH_TOKEN), else no authentication.")
+
 let snapshot_every_arg =
   Arg.(
     value & opt int 1000
@@ -235,8 +248,36 @@ let snapshot_every_arg =
 
 let serve docs blobs db xmark host port workers queue max_body keep_alive
     timeout_ms max_timeout_ms socket_timeout grace strategy jobs cache slow_ms
-    data_dir fsync snapshot_every =
+    auth_token data_dir fsync snapshot_every =
   try
+    let config =
+      {
+        Server.default_config with
+        host;
+        port;
+        workers;
+        queue_capacity = queue;
+        max_body_bytes = max_body;
+        max_requests_per_connection = keep_alive;
+        default_timeout_ms = timeout_ms;
+        max_timeout_ms;
+        socket_timeout_s = socket_timeout;
+        grace_s = grace;
+        auth_token;
+      }
+    in
+    (* Deferred boot: bind and serve before recovery, so the process is
+       observable (alive, not ready) through a long WAL replay —
+       /healthz answers 200 and engine-backed endpoints answer 503
+       until the engine is installed below. *)
+    let server = Server.create_deferred ~config () in
+    (* Handlers only flag the request; the actual stop runs on the
+       main thread (a signal handler must not join domains). *)
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Server.start server;
     let seed () =
       let coll = load_collection ?db docs blobs in
       (match xmark with
@@ -297,29 +338,7 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
            (fun e ->
              Printf.eprintf "slow query: %s\n%!"
                (Standoff_obs.Slow_log.entry_to_string e)));
-    let config =
-      {
-        Server.default_config with
-        host;
-        port;
-        workers;
-        queue_capacity = queue;
-        max_body_bytes = max_body;
-        max_requests_per_connection = keep_alive;
-        default_timeout_ms = timeout_ms;
-        max_timeout_ms;
-        socket_timeout_s = socket_timeout;
-        grace_s = grace;
-      }
-    in
-    let server = Server.create ~config ?durable engine in
-    (* Handlers only flag the request; the actual stop runs on the
-       main thread (a signal handler must not join domains). *)
-    let stop_requested = Atomic.make false in
-    let request_stop _ = Atomic.set stop_requested true in
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
-    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
-    Server.start server;
+    Server.install_engine server ?durable engine;
     let module Pool = Standoff_util.Pool in
     let jobs_label =
       match Engine.jobs engine with
@@ -329,7 +348,7 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
     Printf.printf
       "standoff-server: domain budget %d -> %d connection worker(s) + \
        engine jobs %s\n\
-       standoff-server listening on %s:%d (queue=%d cache=%s) — %d \
+       standoff-server listening on %s:%d (queue=%d cache=%s auth=%s) — %d \
        document(s) loaded\n\
        endpoints: POST /query, POST /update, POST /ingest, \
        POST /admin/snapshot, GET /explain, GET /metrics, GET /slow, \
@@ -338,6 +357,7 @@ let serve docs blobs db xmark host port workers queue max_body keep_alive
       (Pool.domain_budget ()) (Server.workers server) jobs_label host
       (Server.port server) queue
       (Engine.cache_mode_to_string (Engine.cache_mode engine))
+      (if auth_token = None then "off" else "bearer")
       (Collection.doc_count coll);
     while not (Atomic.get stop_requested) do
       Thread.delay 0.1
@@ -391,5 +411,5 @@ let () =
             $ port_arg $ workers_arg $ queue_arg $ max_body_arg
             $ keep_alive_arg $ timeout_ms_arg $ max_timeout_ms_arg
             $ socket_timeout_arg $ grace_arg $ strategy_arg $ jobs_arg
-            $ cache_arg $ slow_ms_arg $ data_dir_arg $ fsync_arg
-            $ snapshot_every_arg)))
+            $ cache_arg $ slow_ms_arg $ auth_token_arg $ data_dir_arg
+            $ fsync_arg $ snapshot_every_arg)))

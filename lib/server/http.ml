@@ -1,5 +1,6 @@
 exception Bad_request of string
 exception Payload_too_large of int
+exception Not_implemented of string
 exception Closed
 
 type request = {
@@ -190,9 +191,16 @@ let read_headers r =
 
 let assoc_header headers name = List.assoc_opt (String.lowercase_ascii name) headers
 
+(* A request body framed with [Transfer-Encoding: chunked] is valid
+   HTTP/1.1 that this server simply does not serve: answering 501 (and
+   closing, since the body boundary is unknown) beats dropping the
+   connection.  Any other transfer coding is a syntax-level reject. *)
 let body_length headers ~max_body =
   match assoc_header headers "transfer-encoding" with
-  | Some _ -> raise (Bad_request "transfer-encoding not supported")
+  | Some v when String.lowercase_ascii (String.trim v) = "chunked" ->
+      raise (Not_implemented "chunked request bodies are not supported")
+  | Some v ->
+      raise (Bad_request (Printf.sprintf "unsupported transfer-encoding %S" v))
   | None -> (
       match assoc_header headers "content-length" with
       | None -> 0
@@ -231,6 +239,7 @@ let reason = function
   | 201 -> "Created"
   | 204 -> "No Content"
   | 400 -> "Bad Request"
+  | 401 -> "Unauthorized"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
@@ -238,7 +247,9 @@ let reason = function
   | 413 -> "Content Too Large"
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"
+  | 502 -> "Bad Gateway"
   | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
   | _ -> "Unknown"
 
 let write_all fd s =
@@ -267,6 +278,157 @@ let write_response fd ~status ?(headers = [])
   write_all fd (Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
+(* Chunked transfer encoding, write side.  The head announces
+   [Transfer-Encoding: chunked] instead of a [Content-Length]; the
+   body then streams through a [chunk_writer], which coalesces small
+   emissions into chunks of about [threshold] bytes — the per-
+   connection peak buffering is the threshold, never the whole
+   response. *)
+
+let write_response_head fd ~status ?(headers = [])
+    ?(content_type = "text/plain; charset=utf-8") ~keep_alive () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b "Transfer-Encoding: chunked\r\n";
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n"
+     else "Connection: close\r\n");
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  write_all fd (Buffer.contents b)
+
+type chunk_writer = {
+  cw_fd : Unix.file_descr;
+  cw_buf : Buffer.t;
+  cw_threshold : int;
+  mutable cw_bytes : int;  (** payload bytes written so far *)
+  mutable cw_chunks : int;  (** HTTP chunks emitted so far *)
+}
+
+let chunk_writer ?(threshold = 8192) fd =
+  {
+    cw_fd = fd;
+    cw_buf = Buffer.create (min threshold 8192);
+    cw_threshold = max 1 threshold;
+    cw_bytes = 0;
+    cw_chunks = 0;
+  }
+
+let chunk_flush w =
+  let len = Buffer.length w.cw_buf in
+  if len > 0 then begin
+    write_all w.cw_fd (Printf.sprintf "%x\r\n" len);
+    write_all w.cw_fd (Buffer.contents w.cw_buf);
+    write_all w.cw_fd "\r\n";
+    Buffer.clear w.cw_buf;
+    w.cw_chunks <- w.cw_chunks + 1
+  end
+
+let chunk w s =
+  Buffer.add_string w.cw_buf s;
+  w.cw_bytes <- w.cw_bytes + String.length s;
+  if Buffer.length w.cw_buf >= w.cw_threshold then chunk_flush w
+
+(* The last-chunk terminator: its presence is what lets a client
+   distinguish a complete chunked response from a truncated one. *)
+let chunk_end w =
+  chunk_flush w;
+  write_all w.cw_fd "0\r\n\r\n"
+
+let chunk_writer_bytes w = w.cw_bytes
+let chunk_writer_chunks w = w.cw_chunks
+
+(* ------------------------------------------------------------------ *)
+(* Chunked transfer encoding, read side (responses only: requests
+   framed this way are answered 501 above).  [iter] hands the payload
+   to [emit] in blocks no larger than the reader's buffer, so piping a
+   chunked body (the router's job) never materializes it. *)
+
+module Chunked = struct
+  let chunk_size r =
+    let line = read_line r in
+    let size_str =
+      match String.index_opt line ';' with
+      | Some i -> String.sub line 0 i (* chunk extensions: ignored *)
+      | None -> line
+    in
+    let size_str = String.trim size_str in
+    let is_hex = function
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+      | _ -> false
+    in
+    if size_str = "" || not (String.for_all is_hex size_str) then
+      raise (Bad_request "malformed chunk size");
+    match int_of_string_opt ("0x" ^ size_str) with
+    | Some n when n >= 0 -> n
+    | _ -> raise (Bad_request "malformed chunk size")
+
+  (* Stream [size] payload bytes to [emit] without assembling them. *)
+  let blocks r size emit =
+    let remaining = ref size in
+    while !remaining > 0 do
+      if r.pos >= r.len then refill r;
+      let take = min !remaining (r.len - r.pos) in
+      emit (Bytes.sub_string r.buf r.pos take);
+      r.pos <- r.pos + take;
+      remaining := !remaining - take
+    done
+
+  let iter ?(max_body = max_int) r emit =
+    let total = ref 0 in
+    let rec go () =
+      let size = chunk_size r in
+      if size = 0 then begin
+        (* Trailer section: drop until the blank line. *)
+        let rec drop () = if read_line r <> "" then drop () in
+        drop ()
+      end
+      else begin
+        total := !total + size;
+        if !total > max_body then raise (Payload_too_large max_body);
+        blocks r size emit;
+        (match read_line r with
+        | "" -> ()
+        | _ -> raise (Bad_request "missing chunk terminator"));
+        go ()
+      end
+    in
+    go ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Bearer-token authentication helpers, shared by the server and the
+   router.  The comparison is constant-time in the length of the
+   presented token: every byte is folded into the accumulator whether
+   or not an earlier byte already mismatched, so timing reveals
+   nothing about how long a prefix matched. *)
+
+let const_time_eq a b =
+  let la = String.length a and lb = String.length b in
+  let acc = ref (la lxor lb) in
+  for i = 0 to la - 1 do
+    acc :=
+      !acc
+      lor (Char.code a.[i] lxor Char.code b.[if lb = 0 then 0 else i mod lb])
+  done;
+  lb > 0 && !acc = 0
+
+let bearer_token headers =
+  match assoc_header headers "authorization" with
+  | None -> None
+  | Some v -> (
+      let v = String.trim v in
+      match String.index_opt v ' ' with
+      | Some i
+        when String.lowercase_ascii (String.sub v 0 i) = "bearer" ->
+          Some (String.trim (String.sub v (i + 1) (String.length v - i - 1)))
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
 (* Client side                                                         *)
 
 type response = {
@@ -289,7 +451,12 @@ let write_request fd ~meth ~target ?(headers = []) body =
   Buffer.add_string b body;
   write_all fd (Buffer.contents b)
 
-let read_response r =
+type response_head = {
+  h_status : int;
+  h_headers : (string * string) list;
+}
+
+let read_response_head r =
   let status_line = read_line r in
   let status =
     match String.split_on_char ' ' status_line with
@@ -300,23 +467,49 @@ let read_response r =
         | None -> raise (Bad_request "malformed status code"))
     | _ -> raise (Bad_request "malformed status line")
   in
-  let headers = read_headers r in
-  let body =
-    match assoc_header headers "content-length" with
+  { h_status = status; h_headers = read_headers r }
+
+let head_is_chunked head =
+  match assoc_header head.h_headers "transfer-encoding" with
+  | Some v -> String.lowercase_ascii (String.trim v) = "chunked"
+  | None -> false
+
+(* Stream a response body to [emit] in bounded blocks — chunked,
+   [Content-Length]-delimited, or close-delimited, whichever the head
+   announced.  This is the router's pipe: it forwards shard bytes to
+   the client as they arrive, holding at most one reader buffer. *)
+let iter_response_body ?(max_body = max_int) r head emit =
+  if head_is_chunked head then Chunked.iter ~max_body r emit
+  else
+    match assoc_header head.h_headers "content-length" with
     | Some v -> (
         match int_of_string_opt (String.trim v) with
-        | Some n when n >= 0 -> read_exact r n
+        | Some n when n >= 0 ->
+            if n > max_body then raise (Payload_too_large max_body);
+            Chunked.blocks r n emit
         | _ -> raise (Bad_request "malformed content-length"))
-    | None ->
+    | None -> (
         (* Read-to-EOF fallback for peers that close to delimit. *)
-        let b = Buffer.create 256 in
-        (try
-           while true do
-             Buffer.add_char b (read_byte r)
-           done
-         with Closed -> ());
-        Buffer.contents b
-  in
-  { status; r_headers = headers; r_body = body }
+        let total = ref 0 in
+        try
+          while true do
+            if r.pos >= r.len then refill r;
+            let take = r.len - r.pos in
+            total := !total + take;
+            if !total > max_body then raise (Payload_too_large max_body);
+            emit (Bytes.sub_string r.buf r.pos take);
+            r.pos <- r.len
+          done
+        with Closed -> ())
+
+let read_response r =
+  let head = read_response_head r in
+  let b = Buffer.create 256 in
+  iter_response_body r head (Buffer.add_string b);
+  {
+    status = head.h_status;
+    r_headers = head.h_headers;
+    r_body = Buffer.contents b;
+  }
 
 let response_header resp name = assoc_header resp.r_headers name

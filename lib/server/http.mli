@@ -1,19 +1,27 @@
 (** A deliberately small HTTP/1.1 wire layer over [Unix] file
     descriptors: enough of RFC 9112 for the query service — request
-    line, headers, [Content-Length] bodies, keep-alive — and nothing
-    more (no chunked transfer encoding, no obsolete line folding, no
-    trailers; requests using them are rejected cleanly).
+    line, headers, [Content-Length] bodies, keep-alive, and chunked
+    transfer encoding on the response side (written via
+    {!chunk_writer}, read via {!iter_response_body}) — and nothing
+    more (no obsolete line folding, no trailers; chunked {e request}
+    bodies are answered 501 via {!Not_implemented}).
 
     Both directions are here: the server side ({!read_request} /
-    {!write_response}) and the client side ({!write_request} /
-    {!read_response}), the latter shared by the test suite and the
-    [bench serve] load generator, so the bytes the tests speak are
+    {!write_response} / {!chunk_writer}) and the client side
+    ({!write_request} / {!read_response} / {!read_response_head}),
+    the latter shared by the router's proxy path, the test suite and
+    the [bench serve] load generator, so the bytes the tests speak are
     produced by the same code they exercise. *)
 
 (** A syntactically invalid request (malformed request line, bad
     header, unsupported transfer encoding, bad [Content-Length]).
     The server answers 400. *)
 exception Bad_request of string
+
+(** Valid HTTP this implementation chooses not to serve (a chunked
+    request body).  The server answers 501 and closes — the body
+    boundary is unknowable, so the connection cannot be reused. *)
+exception Not_implemented of string
 
 (** A body larger than the configured cap; the argument is the cap.
     The server answers 413. *)
@@ -44,6 +52,7 @@ val reader : Unix.file_descr -> reader
 
 (** [read_request ~max_body r] reads one full request.
     @raise Bad_request on syntax errors
+    @raise Not_implemented on a chunked request body
     @raise Payload_too_large when [Content-Length] exceeds [max_body]
     @raise Closed on EOF before a complete request
     @raise Unix.Unix_error ([EAGAIN]/[EWOULDBLOCK]) when the socket's
@@ -78,6 +87,62 @@ val write_response :
   string ->
   unit
 
+(** {1 Chunked responses (streaming write side)}
+
+    [write_response_head] writes a head announcing
+    [Transfer-Encoding: chunked]; the body then streams through a
+    {!chunk_writer}.  Small emissions coalesce into chunks of about
+    [threshold] bytes (default 8 KiB), so the per-connection peak
+    buffering is the threshold — never the whole response.  The
+    terminating [0]-chunk written by {!chunk_end} is what lets a
+    client distinguish completion from truncation: a stream aborted
+    mid-way (a deadline firing during serialization, a dead shard) is
+    detectable because the terminator never arrives. *)
+
+val write_response_head :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  keep_alive:bool ->
+  unit ->
+  unit
+
+type chunk_writer
+
+val chunk_writer : ?threshold:int -> Unix.file_descr -> chunk_writer
+
+(** [chunk w s] appends [s] to the current chunk, flushing it as one
+    HTTP chunk once it reaches the threshold. *)
+val chunk : chunk_writer -> string -> unit
+
+(** [chunk_flush w] forces the buffered bytes out as one chunk. *)
+val chunk_flush : chunk_writer -> unit
+
+(** [chunk_end w] flushes and writes the last-chunk terminator. *)
+val chunk_end : chunk_writer -> unit
+
+(** Payload bytes emitted so far (excluding chunk framing). *)
+val chunk_writer_bytes : chunk_writer -> int
+
+(** HTTP chunks written so far. *)
+val chunk_writer_chunks : chunk_writer -> int
+
+(** {1 Bearer-token authentication helpers}
+
+    Shared by the server and the router so both enforce the token the
+    same way. *)
+
+(** [const_time_eq a b] compares without short-circuiting: the time
+    taken depends only on the length of [a] (the presented token),
+    never on how long a prefix matched.  [false] when [b] is empty. *)
+val const_time_eq : string -> string -> bool
+
+(** [bearer_token headers] extracts the token of an
+    [Authorization: Bearer <token>] header (names lowercased, as
+    {!read_request} returns them). *)
+val bearer_token : (string * string) list -> string option
+
 (** {1 Client side} *)
 
 type response = {
@@ -96,13 +161,37 @@ val write_request :
   string ->
   unit
 
-(** [read_response r] reads one full response (the body must carry
-    [Content-Length], which this module's server side always sends).
+(** [read_response r] reads one full response — [Content-Length]-
+    delimited, chunked, or close-delimited — assembling the body.
     @raise Closed on EOF before a complete response
     @raise Bad_request on syntax errors. *)
 val read_response : reader -> response
 
 val response_header : response -> string -> string option
+
+(** {2 Streaming read side}
+
+    The router's pipe: read the head, decide what to tell the client,
+    then forward body bytes as they arrive. *)
+
+type response_head = {
+  h_status : int;
+  h_headers : (string * string) list;  (** names lowercased *)
+}
+
+val read_response_head : reader -> response_head
+
+(** Whether the head announced [Transfer-Encoding: chunked]. *)
+val head_is_chunked : response_head -> bool
+
+(** [iter_response_body ?max_body r head emit] streams the body that
+    follows [head] to [emit] in blocks bounded by the reader's buffer
+    — chunk framing is decoded, never forwarded.
+    @raise Payload_too_large past [max_body] (default: unlimited)
+    @raise Bad_request on malformed chunk framing
+    @raise Closed on EOF before a complete chunked body. *)
+val iter_response_body :
+  ?max_body:int -> reader -> response_head -> (string -> unit) -> unit
 
 (** {1 Encoding helpers} *)
 

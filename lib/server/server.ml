@@ -40,6 +40,15 @@ let m_request_seconds =
     ~buckets:Metrics.duration_buckets
     ~help:"Wall-clock request latency (parse to response written)"
 
+let m_streamed =
+  Metrics.counter "standoff_server_streamed_total"
+    ~help:"Responses delivered via chunked streaming"
+
+let m_stream_truncated =
+  Metrics.counter "standoff_server_stream_truncated_total"
+    ~help:
+      "Streamed responses aborted mid-body (no terminating chunk was sent)"
+
 (* Registration is memoized by (name, labels), so calling this per
    response costs one lock + hashtable hit, not a new metric. *)
 let count_response code =
@@ -180,6 +189,7 @@ type config = {
   socket_timeout_s : float;
   grace_s : float;
   retry_after_s : int;
+  auth_token : string option;
 }
 
 (* Half the domain budget goes to connection workers, the rest stays
@@ -202,16 +212,25 @@ let default_config =
     socket_timeout_s = 30.0;
     grace_s = 10.0;
     retry_after_s = 1;
+    auth_token = None;
   }
 
 type state = Created | Running | Stopping | Stopped
 
 type t = {
   cfg : config;
-  eng : Engine.t;
-  durable : Durable.t option;
+  mutable eng : Engine.t;
+      (* replaced once by [install_engine] on a deferred boot; the
+         [ready] atomic set after it provides the synchronization, so
+         no worker dereferences the placeholder past installation *)
+  mutable durable : Durable.t option;
       (* durability coordinator; [None] means purely in-memory (no
          --data-dir), in which case /admin/snapshot answers 409 *)
+  ready : bool Atomic.t;
+      (* readiness: false between [create_deferred] and
+         [install_engine] — the WAL-replay window — during which
+         engine-backed endpoints answer 503 and [/healthz?ready=1]
+         reports "recovering" *)
   lock : Rw_lock.t;
   listen_fd : Unix.file_descr;
   (* Self-pipe waking the acceptor out of [select]: closing a listening
@@ -245,14 +264,7 @@ let running t =
   Mutex.unlock t.state_m;
   r
 
-let create ?(config = default_config) ?durable eng =
-  (* Every successful in-place update flows through the engine's
-     durability hook into the WAL; under the Always policy the record
-     is on disk before the HTTP response is written, so an
-     acknowledged update survives any crash. *)
-  (match durable with
-  | Some d -> Engine.set_on_update eng (Some (fun op -> ignore (Durable.log d op)))
-  | None -> ());
+let make ?(config = default_config) ~ready eng =
   let config =
     {
       config with
@@ -279,7 +291,8 @@ let create ?(config = default_config) ?durable eng =
   {
     cfg = config;
     eng;
-    durable;
+    durable = None;
+    ready = Atomic.make ready;
     lock = Rw_lock.create ();
     listen_fd = fd;
     wake_r;
@@ -297,21 +310,72 @@ let create ?(config = default_config) ?durable eng =
     next_request = Atomic.make 0;
   }
 
+(* Point the engine's durability hook at the WAL: every successful
+   in-place update flows through it, and under the Always policy the
+   record is on disk before the HTTP response is written — so an
+   acknowledged update survives any crash. *)
+let wire_durability eng durable =
+  match durable with
+  | Some d ->
+      Engine.set_on_update eng (Some (fun op -> ignore (Durable.log d op)))
+  | None -> ()
+
+let create ?config ?durable eng =
+  wire_durability eng durable;
+  let t = make ?config ~ready:true eng in
+  t.durable <- durable;
+  t
+
+(* Deferred boot: bind and serve before the store is recovered.  Every
+   engine-backed endpoint answers 503 and [/healthz?ready=1] says
+   "recovering" until [install_engine] swaps the real engine in — this
+   is how a shard stays observable (alive, not ready) through a long
+   WAL replay instead of refusing connections. *)
+let create_deferred ?config () =
+  make ?config ~ready:false (Engine.create (Collection.create ()))
+
+let install_engine t ?durable eng =
+  if Atomic.get t.ready then
+    invalid_arg "Standoff_server.Server.install_engine: already installed";
+  wire_durability eng durable;
+  t.eng <- eng;
+  t.durable <- durable;
+  (* The atomic store publishes the plain field writes above: a worker
+     observing [ready = true] sees the installed engine. *)
+  Atomic.set t.ready true
+
+let ready t =
+  Atomic.get t.ready && not (Atomic.get t.stopping)
+
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)
 
+(* A reply body is either fully materialized ([Full], written with a
+   [Content-Length]) or a stream ([Stream], written with chunked
+   transfer encoding as the producer emits).  A stream that fails
+   before its first byte downgrades to the buffered error [on_error]
+   maps the exception to; one that fails mid-body is aborted without
+   the terminating chunk, which is the truncation signal on the
+   wire. *)
 type reply = {
   status : int;
   headers : (string * string) list;
   content_type : string;
-  body : string;
+  body : body;
+}
+
+and body = Full of string | Stream of stream
+
+and stream = {
+  sf : (string -> unit) -> unit;
+  on_error : exn -> reply;  (** must be total and return a [Full] body *)
 }
 
 let text_reply ?(headers = []) status body =
-  { status; headers; content_type = "text/plain; charset=utf-8"; body }
+  { status; headers; content_type = "text/plain; charset=utf-8"; body = Full body }
 
 let json_reply ?(headers = []) status body =
-  { status; headers; content_type = "application/json"; body }
+  { status; headers; content_type = "application/json"; body = Full body }
 
 let json_error ?request_id ?(extra = "") status msg =
   let rid =
@@ -388,6 +452,18 @@ let dataguide_param req =
       | "on" | "1" | "true" | "yes" -> Some true
       | v -> raise (Bad_param (Printf.sprintf "malformed dataguide=%S" v)))
 
+(* [?stream=1] asks for the result via chunked transfer encoding,
+   serialized item by item — bounded buffering however large the
+   answer.  Bytes are identical to the buffered form. *)
+let stream_param req =
+  match Http.param req "stream" with
+  | None -> false
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "off" | "0" | "false" | "no" -> false
+      | "on" | "1" | "true" | "yes" -> true
+      | v -> raise (Bad_param (Printf.sprintf "malformed stream=%S" v)))
+
 let deadline_of t req =
   let requested = float_param req "timeout-ms" in
   let effective =
@@ -414,10 +490,34 @@ let handle_query t req =
     let jobs = int_param req "jobs" in
     let use_cache = use_cache_param req in
     let dataguide = dataguide_param req in
+    let stream = stream_param req in
     let context_doc = Http.param req "context" in
     let deadline, timeout_ms = deadline_of t req in
     let trace = Trace.create () in
     Trace.set_str (Trace.root trace) "request_id" request_id;
+    (* Total error mapper, shared between the buffered path and a
+       stream failing before its first emitted byte. *)
+    let query_error = function
+      | Timing.Deadline_exceeded ->
+          (* The engine's cleanup finished the collector, so the partial
+             trace is a well-formed span tree — and since the deadline is
+             also checked during serialization, no half-written result
+             ever reaches this point. *)
+          let extra =
+            Printf.sprintf ", \"timeout_ms\": %g, \"trace\": %s"
+              (Option.value ~default:0.0 timeout_ms)
+              (Trace.to_json trace)
+          in
+          json_error ~request_id ~extra 408 "deadline exceeded"
+      | Err.Error msg -> json_error ~request_id 400 msg
+      | Lexer.Syntax_error { line; col; msg } ->
+          json_error ~request_id 400
+            (Printf.sprintf "syntax error at line %d, col %d: %s" line col msg)
+      | exn ->
+          Printf.eprintf "standoff-server: internal error on %s: %s\n%!"
+            req.Http.target (Printexc.to_string exn);
+          json_error ~request_id 500 "internal server error"
+    in
     try
       (* Prepare under the shared lock (it reads collection statistics),
          then decide which side the evaluation needs: a constructing
@@ -428,38 +528,54 @@ let handle_query t req =
             Engine.prepare t.eng ?strategy ?dataguide ~trace req.Http.body)
       in
       let constructs = Engine.prepared_constructs prepared in
-      let run () =
-        Engine.run_prepared t.eng ~deadline ?context_doc
-          ~rollback_constructed:constructs ~use_cache ?jobs ~trace prepared
-      in
-      let result =
-        if constructs then Rw_lock.write t.lock run
-        else Rw_lock.read t.lock run
-      in
-      let cache_attr =
-        match result.Engine.trace with
-        | Some root -> Option.value ~default:"off" (Trace.str_attr root "cache")
-        | None -> "off"
-      in
-      text_reply 200
-        ~headers:(with_rid [ ("X-Standoff-Cache", cache_attr) ])
-        (result.Engine.serialized ^ "\n")
-    with
-    | Timing.Deadline_exceeded ->
-        (* The engine's cleanup finished the collector, so the partial
-           trace is a well-formed span tree — and since the deadline is
-           also checked during serialization, no half-written result
-           ever reaches this point. *)
-        let extra =
-          Printf.sprintf ", \"timeout_ms\": %g, \"trace\": %s"
-            (Option.value ~default:0.0 timeout_ms)
-            (Trace.to_json trace)
+      if stream then
+        (* The run happens lazily inside the stream body, so evaluation
+           errors raised before the first emitted byte still downgrade
+           to ordinary buffered error replies via [on_error]; a failure
+           after it aborts the chunk stream, which is the truncation
+           signal.  The lock is held across the emit loop: region reads
+           and constructed-node rollback must not interleave with
+           updates, exactly as on the buffered path. *)
+        let sf emit =
+          let run () =
+            ignore
+              (Engine.run_prepared t.eng ~deadline ?context_doc
+                 ~rollback_constructed:constructs ~use_cache ?jobs ~emit
+                 ~trace prepared);
+            (* The buffered path appends one newline; keep the bytes
+               identical. *)
+            emit "\n"
+          in
+          if constructs then Rw_lock.write t.lock run
+          else Rw_lock.read t.lock run
         in
-        json_error ~request_id ~extra 408 "deadline exceeded"
-    | Err.Error msg -> json_error ~request_id 400 msg
-    | Lexer.Syntax_error { line; col; msg } ->
-        json_error ~request_id 400
-          (Printf.sprintf "syntax error at line %d, col %d: %s" line col msg)
+        {
+          status = 200;
+          headers = with_rid [ ("X-Standoff-Stream", "1") ];
+          content_type = "text/plain; charset=utf-8";
+          body = Stream { sf; on_error = query_error };
+        }
+      else
+        let run () =
+          Engine.run_prepared t.eng ~deadline ?context_doc
+            ~rollback_constructed:constructs ~use_cache ?jobs ~trace prepared
+        in
+        let result =
+          if constructs then Rw_lock.write t.lock run
+          else Rw_lock.read t.lock run
+        in
+        let cache_attr =
+          match result.Engine.trace with
+          | Some root ->
+              Option.value ~default:"off" (Trace.str_attr root "cache")
+          | None -> "off"
+        in
+        text_reply 200
+          ~headers:(with_rid [ ("X-Standoff-Cache", cache_attr) ])
+          (result.Engine.serialized ^ "\n")
+    with
+    | (Timing.Deadline_exceeded | Err.Error _ | Lexer.Syntax_error _) as exn ->
+        query_error exn
 
 (* The update endpoint: the region mutations of [Standoff.Update],
    exposed over the wire.  Always exclusive: an in-place attribute
@@ -703,40 +819,151 @@ let known_paths =
     ("/healthz", [ "GET" ]);
   ]
 
+(* Paths behind the bearer token when one is configured.  Health and
+   metrics stay open — probes and scrapers don't carry credentials —
+   and so does /explain, which never touches document content. *)
+let protected_path path =
+  match path with
+  | "/query" | "/update" | "/ingest" -> true
+  | _ ->
+      String.length path >= 7 && String.sub path 0 7 = "/admin/"
+
+let authorized t (req : Http.request) =
+  match t.cfg.auth_token with
+  | None -> true
+  | Some token when protected_path req.Http.path -> (
+      match Http.bearer_token req.Http.headers with
+      | Some presented -> Http.const_time_eq token presented
+      | None -> false)
+  | Some _ -> true
+
+let unauthorized =
+  {
+    (json_error 401 "missing or invalid bearer token") with
+    headers = [ ("WWW-Authenticate", "Bearer") ];
+  }
+
+(* Endpoints that dereference the engine are gated on readiness: during
+   a deferred boot's WAL replay (and during graceful drain) they answer
+   503 so a load balancer retries elsewhere instead of hitting the
+   placeholder engine. *)
+let engine_backed path =
+  match path with
+  | "/query" | "/update" | "/ingest" | "/explain" -> true
+  | _ -> String.length path >= 7 && String.sub path 0 7 = "/admin/"
+
+let handle_healthz t req =
+  (* Liveness (bare GET /healthz) answers 200 for as long as the
+     process serves HTTP at all; readiness (?ready=1) is the signal a
+     router or load balancer keys traffic on. *)
+  let want_ready =
+    match Http.param req "ready" with
+    | None -> false
+    | Some v -> (
+        match String.lowercase_ascii (String.trim v) with
+        | "off" | "0" | "false" | "no" -> false
+        | _ -> true)
+  in
+  if not want_ready then text_reply 200 "ok\n"
+  else if Atomic.get t.stopping then
+    text_reply 503
+      ~headers:[ ("Retry-After", string_of_int t.cfg.retry_after_s) ]
+      "draining\n"
+  else if not (Atomic.get t.ready) then
+    text_reply 503
+      ~headers:[ ("Retry-After", string_of_int t.cfg.retry_after_s) ]
+      "recovering\n"
+  else text_reply 200 "ready\n"
+
 let route t (req : Http.request) =
-  match (req.Http.meth, req.Http.path) with
-  | "GET", "/healthz" -> text_reply 200 "ok\n"
-  | "GET", "/metrics" ->
-      {
-        status = 200;
-        headers = [];
-        content_type = "text/plain; version=0.0.4; charset=utf-8";
-        body = Metrics.expose ();
-      }
-  | "GET", "/slow" -> json_reply 200 (Slow_log.to_json () ^ "\n")
-  | ("GET" | "POST"), "/explain" -> handle_explain t req
-  | "POST", "/query" -> handle_query t req
-  | "POST", "/update" -> handle_update t req
-  | "POST", "/ingest" -> handle_ingest t req
-  | "POST", "/admin/snapshot" -> handle_snapshot t req
-  | meth, path -> (
-      match List.assoc_opt path known_paths with
-      | Some allowed ->
-          {
-            (json_error 405 ("method not allowed: " ^ meth)) with
-            headers = [ ("Allow", String.concat ", " allowed) ];
-          }
-      | None -> json_error 404 ("no such endpoint: " ^ path))
+  if not (authorized t req) then unauthorized
+  else if engine_backed req.Http.path && not (Atomic.get t.ready) then
+    {
+      (json_error 503 "recovering: store replay in progress") with
+      headers = [ ("Retry-After", string_of_int t.cfg.retry_after_s) ];
+    }
+  else
+    match (req.Http.meth, req.Http.path) with
+    | "GET", "/healthz" -> handle_healthz t req
+    | "GET", "/metrics" ->
+        {
+          status = 200;
+          headers = [];
+          content_type = "text/plain; version=0.0.4; charset=utf-8";
+          body = Full (Metrics.expose ());
+        }
+    | "GET", "/slow" -> json_reply 200 (Slow_log.to_json () ^ "\n")
+    | ("GET" | "POST"), "/explain" -> handle_explain t req
+    | "POST", "/query" -> handle_query t req
+    | "POST", "/update" -> handle_update t req
+    | "POST", "/ingest" -> handle_ingest t req
+    | "POST", "/admin/snapshot" -> handle_snapshot t req
+    | meth, path -> (
+        match List.assoc_opt path known_paths with
+        | Some allowed ->
+            {
+              (json_error 405 ("method not allowed: " ^ meth)) with
+              headers = [ ("Allow", String.concat ", " allowed) ];
+            }
+        | None -> json_error 404 ("no such endpoint: " ^ path))
 
 (* ------------------------------------------------------------------ *)
 (* Connection serving                                                  *)
 
 let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let send_reply fd ~keep_alive reply =
-  count_response reply.status;
-  Http.write_response fd ~status:reply.status ~headers:reply.headers
-    ~content_type:reply.content_type ~keep_alive reply.body
+(* Write a reply; returns whether the connection can be kept alive.
+   [Full] bodies go out with a [Content-Length] as before.  [Stream]
+   bodies commit to a chunked head lazily, on the producer's first
+   emitted byte: a producer failing before then downgrades to the
+   buffered reply [on_error] maps the exception to, while a failure
+   after it aborts without the terminating chunk — truncation the
+   client can detect — and forces the connection closed. *)
+let rec send_reply fd ~keep_alive reply =
+  match reply.body with
+  | Full body ->
+      count_response reply.status;
+      Http.write_response fd ~status:reply.status ~headers:reply.headers
+        ~content_type:reply.content_type ~keep_alive body;
+      keep_alive
+  | Stream { sf; on_error } -> (
+      let writer = ref None in
+      let force_writer () =
+        match !writer with
+        | Some w -> w
+        | None ->
+            Http.write_response_head fd ~status:reply.status
+              ~headers:reply.headers ~content_type:reply.content_type
+              ~keep_alive ();
+            let w = Http.chunk_writer fd in
+            writer := Some w;
+            w
+      in
+      let emit s = Http.chunk (force_writer ()) s in
+      match sf emit with
+      | () ->
+          (* An empty stream still owes the client a (zero-length)
+             chunked body. *)
+          Http.chunk_end (force_writer ());
+          count_response reply.status;
+          Metrics.incr m_streamed;
+          keep_alive
+      | exception exn -> (
+          match !writer with
+          | None -> send_reply fd ~keep_alive (on_error exn)
+          | Some _ ->
+              count_response reply.status;
+              Metrics.incr m_streamed;
+              Metrics.incr m_stream_truncated;
+              (match exn with
+              | Unix.Unix_error _ | Http.Closed ->
+                  (* The client went away mid-stream; nothing to tell. *)
+                  ()
+              | exn ->
+                  Printf.eprintf
+                    "standoff-server: stream aborted mid-body: %s\n%!"
+                    (Printexc.to_string exn));
+              false))
 
 (* Serve every request a connection carries.  Never closes [fd] — the
    worker loop owns the close (under [conn_m], so [stop]'s force-
@@ -744,7 +971,11 @@ let send_reply fd ~keep_alive reply =
 let serve_connection t fd =
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.socket_timeout_s;
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.socket_timeout_s
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.socket_timeout_s;
+     (* Streamed replies go out as head + chunks in separate small
+        writes; TCP_NODELAY keeps Nagle from stalling each on the
+        peer's delayed ACK. *)
+     Unix.setsockopt fd Unix.TCP_NODELAY true
    with Unix.Unix_error _ -> ());
   let reader = Http.reader fd in
   let served = ref 0 in
@@ -761,13 +992,19 @@ let serve_connection t fd =
            connection; there is no request to answer. *)
         ()
     | exception Http.Bad_request msg -> (
-        try send_reply fd ~keep_alive:false (json_error 400 msg)
+        try ignore (send_reply fd ~keep_alive:false (json_error 400 msg))
+        with Unix.Unix_error _ -> ())
+    | exception Http.Not_implemented msg -> (
+        (* Chunked request bodies: answer 501 instead of dropping the
+           connection, so clients get a diagnosable refusal. *)
+        try ignore (send_reply fd ~keep_alive:false (json_error 501 msg))
         with Unix.Unix_error _ -> ())
     | exception Http.Payload_too_large cap -> (
         try
-          send_reply fd ~keep_alive:false
-            (json_error 413
-               (Printf.sprintf "request body exceeds %d bytes" cap))
+          ignore
+            (send_reply fd ~keep_alive:false
+               (json_error 413
+                  (Printf.sprintf "request body exceeds %d bytes" cap)))
         with Unix.Unix_error _ -> ())
     | req -> (
         incr served;
@@ -789,7 +1026,7 @@ let serve_connection t fd =
         in
         Metrics.observe m_request_seconds (Timing.now () -. t0);
         match send_reply fd ~keep_alive reply with
-        | () -> continue := keep_alive
+        | ka -> continue := ka
         | exception Unix.Unix_error _ -> ())
   done
 

@@ -14,7 +14,14 @@
       {!Standoff_xquery.Engine.run} plus a trailing newline), [400] on
       static/dynamic query errors, [408] with a partial-trace JSON body
       when the deadline fires.  Every response carries [X-Request-Id]
-      and [X-Standoff-Cache: hit|miss|off].
+      and [X-Standoff-Cache: hit|miss|off].  With [?stream=1] the
+      result goes out via chunked transfer encoding, serialized item
+      by item with bounded buffering (the response carries
+      [X-Standoff-Stream: 1] and no [Content-Length]); the bytes are
+      identical to the buffered form.  An error before the first
+      emitted byte still produces the ordinary buffered error status;
+      one mid-stream aborts the body without the terminating chunk, the
+      standard truncation signal.
     - [POST /update] — in-place region updates:
       [?doc=NAME&pre=N&start=S&end=E] rewrites one annotation's region;
       [?doc=NAME&op=shift&from=F&by=B] shifts annotations.  Runs under
@@ -32,7 +39,19 @@
     - [GET /metrics] — the process-wide
       {!Standoff_obs.Metrics.expose} Prometheus text.
     - [GET /slow] — the slow-query log as JSON.
-    - [GET /healthz] — liveness.
+    - [GET /healthz] — liveness: 200 for as long as the process serves
+      HTTP at all.  [GET /healthz?ready=1] — readiness: 503
+      ["recovering"] while the store is being replayed (deferred boot,
+      see {!create_deferred}), 503 ["draining"] during graceful
+      shutdown, 200 ["ready"] otherwise.
+
+    When [config.auth_token] is set, [POST /query], [/update],
+    [/ingest] and everything under [/admin/] require
+    [Authorization: Bearer <token>] and answer [401] (with
+    [WWW-Authenticate: Bearer]) otherwise; the comparison is
+    constant-time.  [/healthz] and [/metrics] stay open so probes and
+    scrapers need no credentials.  A request with a chunked body is
+    refused with [501] (bodies must carry [Content-Length]).
 
     Production behaviors: admission control (a bounded pending
     connection queue; the acceptor sheds load with
@@ -71,6 +90,10 @@ type config = {
   socket_timeout_s : float;  (** receive/send timeout on connections *)
   grace_s : float;  (** {!stop}'s default drain budget *)
   retry_after_s : int;  (** the [Retry-After] value on shed 503s *)
+  auth_token : string option;
+      (** when set, [/query], [/update], [/ingest] and [/admin/*]
+          require [Authorization: Bearer <token>]; compared in
+          constant time.  Default [None] (no authentication) *)
 }
 
 val default_config : config
@@ -87,6 +110,28 @@ type t
     @raise Unix.Unix_error when binding fails. *)
 val create :
   ?config:config -> ?durable:Standoff.Durable.t -> Standoff_xquery.Engine.t -> t
+
+(** [create_deferred ?config ()] binds and listens like {!create}, but
+    over a placeholder engine and with readiness off: after {!start},
+    [/healthz] answers 200 while every engine-backed endpoint answers
+    [503 Retry-After] and [/healthz?ready=1] says ["recovering"].  The
+    caller performs store recovery (typically
+    {!Standoff.Durable.recover}, which may replay a long WAL) and then
+    calls {!install_engine} — so a shard stays observable through
+    recovery instead of refusing connections.
+    @raise Unix.Unix_error when binding fails. *)
+val create_deferred : ?config:config -> unit -> t
+
+(** [install_engine t ?durable engine] publishes the recovered engine
+    and flips the server ready; pair of {!create_deferred}.  Wires the
+    durability hook exactly as {!create} does.
+    @raise Invalid_argument if an engine was already installed. *)
+val install_engine :
+  t -> ?durable:Standoff.Durable.t -> Standoff_xquery.Engine.t -> unit
+
+(** Whether the server would answer [/healthz?ready=1] with 200: the
+    engine is installed and no drain is in progress. *)
+val ready : t -> bool
 
 (** The bound port — the configured one, or the kernel-chosen one when
     the configuration said [0]. *)

@@ -582,8 +582,21 @@ let set_root_attrs trace prepared ~jobs ~cache =
       Trace.set_str root "cache" cache
   | None -> ()
 
+(* Feed a string already materialized (a cached result) to a streaming
+   sink in bounded slices, so the sink's own coalescing buffer never
+   has to swallow it whole. *)
+let emit_sliced emit s =
+  let n = String.length s in
+  let step = 65536 in
+  let i = ref 0 in
+  while !i < n do
+    emit (String.sub s !i (min step (n - !i)));
+    i := !i + step
+  done
+
 let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
-    ?(rollback_constructed = false) ?(use_cache = true) ?jobs ?trace prepared =
+    ?(rollback_constructed = false) ?(use_cache = true) ?jobs ?emit ?trace
+    prepared =
   (* [jobs] overrides the engine-wide parallelism for this one run (the
      HTTP server maps a per-request [?jobs=] knob onto it); the engine
      field is left alone so concurrent runs are unaffected.  With no
@@ -617,9 +630,15 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
       Option.iter (fun tr -> ignore (Trace.finish tr)) trace;
       account t prepared trace ~jobs ~seconds:(Timing.now () -. t0)
         ~failed:false;
+      (* A streaming caller gets the cached bytes through its sink, in
+         slices, and an empty [serialized] — same contract as a
+         streamed evaluation. *)
+      (match emit with
+      | Some emit -> emit_sliced emit cr.cr_serialized
+      | None -> ());
       {
         items = cr.cr_items;
-        serialized = cr.cr_serialized;
+        serialized = (if emit = None then cr.cr_serialized else "");
         config = cr.cr_config;
         trace = Option.map Trace.root trace;
       }
@@ -674,15 +693,23 @@ let run_prepared t ?(deadline = Timing.no_deadline) ?context_doc
              turns this into a well-formed 408). *)
           let serialized =
             phase_span trace "serialize" (fun () ->
-                Serialize.sequence ~deadline t.coll items)
+                match emit with
+                | None -> Serialize.sequence ~deadline t.coll items
+                | Some emit ->
+                    (* Streamed: each item flushes through the caller's
+                       sink at the serializer's deadline checkpoints —
+                       the whole result is never materialized here. *)
+                    Serialize.sequence_emit ~deadline t.coll items ~emit;
+                    "")
           in
           failed := false;
           (* Cache only runs that constructed nothing: items referring
              to scratch documents would dangle once those documents are
              rolled back, and the document set the key captured no
-             longer matches anyway. *)
+             longer matches anyway.  Streamed runs are never inserted
+             either — their serialization was handed away, not kept. *)
           (match key with
-          | Some k when Collection.checkpoint t.coll = mark ->
+          | Some k when emit = None && Collection.checkpoint t.coll = mark ->
               Lru.add t.result_cache ~generation k
                 {
                   cr_items = items;

@@ -279,6 +279,16 @@ val prepare :
     The deadline covers serialization too: a timeout firing while the
     result is rendered raises like one firing during evaluation, and no
     partial output escapes.
+
+    With [emit], the run {e streams}: the serialized result is handed
+    to the callback item by item ({!Serialize.sequence_emit}) instead
+    of being materialized, and [result.serialized] is [""].  A result-
+    cache hit feeds the cached bytes through [emit] in bounded slices;
+    a streamed miss is never inserted into the result cache (its bytes
+    were handed away).  A deadline firing mid-stream raises after a
+    clean prefix has been emitted — the caller owns signalling
+    truncation (the HTTP server's chunked encoding does it by omitting
+    the terminator).
     @raise Err.Error on dynamic errors
     @raise Standoff_util.Timing.Deadline_exceeded on timeout. *)
 val run_prepared :
@@ -288,6 +298,7 @@ val run_prepared :
   ?rollback_constructed:bool ->
   ?use_cache:bool ->
   ?jobs:int ->
+  ?emit:(string -> unit) ->
   ?trace:Standoff_obs.Trace.t ->
   prepared ->
   result

@@ -12,21 +12,29 @@ let item coll = function
   | (Item.Bool _ | Item.Int _ | Item.Float _ | Item.Str _) as atom ->
       Atomic.atomic_to_string (Atomic.atomize coll atom)
 
-let sequence ?(deadline = Standoff_util.Timing.no_deadline) coll items =
-  let buf = Buffer.create 256 in
+(* The streaming form: each item is rendered and handed to [emit]
+   (separator first) at the per-item deadline checkpoint — the natural
+   flush seam.  A caller that wires [emit] to a chunked HTTP writer
+   streams arbitrarily large results with bounded buffering; the
+   deadline firing mid-sequence aborts between items, so the bytes
+   already emitted are a clean prefix of the full serialization. *)
+let sequence_emit ?(deadline = Standoff_util.Timing.no_deadline) coll items
+    ~emit =
   let prev_atomic = ref false in
   List.iteri
     (fun i it ->
-      (* A deadline firing mid-serialization must abort the whole run:
-         the buffer is local, so no partial output can escape to a
-         caller (a server response, say) — the exception is the only
-         observable outcome. *)
       Standoff_util.Timing.checkpoint deadline;
       let atomic = not (Item.is_node it) in
       if i > 0 then
-        if atomic && !prev_atomic then Buffer.add_char buf ' '
-        else Buffer.add_char buf '\n';
-      Buffer.add_string buf (item coll it);
+        emit (if atomic && !prev_atomic then " " else "\n");
+      emit (item coll it);
       prev_atomic := atomic)
-    items;
+    items
+
+let sequence ?deadline coll items =
+  let buf = Buffer.create 256 in
+  (* The buffer is local, so a deadline firing mid-serialization
+     discards all partial output with the raise — the exception is the
+     only observable outcome. *)
+  sequence_emit ?deadline coll items ~emit:(Buffer.add_string buf);
   Buffer.contents buf

@@ -16,3 +16,23 @@ val sequence :
   Standoff_store.Collection.t ->
   Standoff_relalg.Item.t list ->
   string
+
+(** [sequence_emit ?deadline coll items ~emit] is the streaming form
+    of {!sequence}: each item's bytes (separator first) are handed to
+    [emit] as they are rendered, at the same per-item deadline
+    checkpoints — so a caller wiring [emit] to a chunked HTTP writer
+    streams large results without ever holding the whole serialization.
+    Byte-concatenating every [emit] argument reproduces {!sequence}'s
+    output exactly.  A deadline firing mid-sequence raises between
+    items: the bytes already emitted are a clean prefix, and the caller
+    (who may have shipped them) is responsible for signalling
+    truncation — the chunked encoding's missing terminator does that on
+    the wire.
+    @raise Standoff_util.Timing.Deadline_exceeded when [deadline] has
+    passed. *)
+val sequence_emit :
+  ?deadline:Standoff_util.Timing.deadline ->
+  Standoff_store.Collection.t ->
+  Standoff_relalg.Item.t list ->
+  emit:(string -> unit) ->
+  unit

@@ -113,7 +113,9 @@ let test_malformed_headers () =
       check_status "bad content-length" 400
         (raw_roundtrip p
            "POST /query HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
-      check_status "chunked rejected" 400
+      (* Chunked request bodies are unimplemented, not malformed: the
+         answer is a diagnosable 501, never a dropped connection. *)
+      check_status "chunked request body answers 501" 501
         (raw_roundtrip p
            "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"))
 
@@ -249,6 +251,118 @@ let test_deadline_408_partial_trace () =
       Alcotest.(check bool)
         "trace attached" true
         (contains "\"trace\"" r.Http.r_body))
+
+(* ---------------- streaming ---------------- *)
+
+let test_stream_byte_identical () =
+  (* ?stream=1 switches the reply to chunked transfer-encoding whose
+     reassembled bytes are exactly the buffered reply's body. *)
+  with_server (fun srv ->
+      let p = Server.port srv in
+      let buffered = oneshot p ~meth:"POST" ~target:"/query" narrow_words in
+      check_status "buffered" 200 buffered;
+      let streamed =
+        oneshot p ~meth:"POST" ~target:"/query?stream=1" narrow_words
+      in
+      check_status "streamed" 200 streamed;
+      Alcotest.(check (option string))
+        "streamed reply is chunked" (Some "chunked")
+        (Http.response_header streamed "transfer-encoding");
+      Alcotest.(check (option string))
+        "marked as a stream" (Some "1")
+        (Http.response_header streamed "x-standoff-stream");
+      Alcotest.(check string) "bodies byte-identical" buffered.Http.r_body
+        streamed.Http.r_body;
+      (* Keep-alive survives a chunked reply: same connection, two
+         streamed requests. *)
+      let fd = connect p in
+      let reader = Http.reader fd in
+      Fun.protect
+        ~finally:(fun () -> close_noerr fd)
+        (fun () ->
+          let r1 =
+            request reader fd ~meth:"POST" ~target:"/query?stream=1"
+              narrow_words
+          in
+          let r2 =
+            request reader fd ~meth:"POST" ~target:"/query?stream=1"
+              narrow_words
+          in
+          Alcotest.(check string) "keep-alive reuse" r1.Http.r_body
+            r2.Http.r_body);
+      (* An error before the first byte downgrades to a buffered error
+         reply, not a broken chunk stream. *)
+      let bad =
+        oneshot p ~meth:"POST" ~target:"/query?stream=1" "count(((("
+      in
+      check_status "pre-stream error is a plain reply" 400 bad;
+      Alcotest.(check (option string))
+        "no chunking on the error path" None
+        (Http.response_header bad "transfer-encoding"))
+
+(* ---------------- bearer auth ---------------- *)
+
+let test_auth_token () =
+  let config = { default_test_config with auth_token = Some "sesame" } in
+  with_server ~config (fun srv ->
+      let p = Server.port srv in
+      let r = oneshot p ~meth:"POST" ~target:"/query" narrow_count in
+      check_status "no token" 401 r;
+      Alcotest.(check bool)
+        "challenge present" true
+        (Http.response_header r "www-authenticate" <> None);
+      let with_token tok =
+        let fd = connect p in
+        Fun.protect
+          ~finally:(fun () -> close_noerr fd)
+          (fun () ->
+            request (Http.reader fd) fd
+              ~headers:[ ("Authorization", "Bearer " ^ tok) ]
+              ~meth:"POST" ~target:"/query" narrow_count)
+      in
+      check_status "wrong token" 401 (with_token "sesamee");
+      check_status "prefix token" 401 (with_token "sesam");
+      (* liveness stays open; the protected surface opens with the
+         right token *)
+      check_status "healthz unauthenticated" 200
+        (oneshot p ~meth:"GET" ~target:"/healthz" "");
+      let r = with_token "sesame" in
+      check_status "right token" 200 r;
+      Alcotest.(check string) "answer" "1\n" r.Http.r_body)
+
+(* ---------------- readiness ---------------- *)
+
+let test_readiness_split () =
+  (* A deferred server accepts connections before its engine is
+     installed: alive (200 on /healthz), not ready (503 on ?ready=1),
+     engine endpoints 503 — then everything opens on install. *)
+  let config = default_test_config in
+  let server = Server.create_deferred ~config () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let p = Server.port server in
+      check_status "alive while recovering" 200
+        (oneshot p ~meth:"GET" ~target:"/healthz" "");
+      let r = oneshot p ~meth:"GET" ~target:"/healthz?ready=1" "" in
+      check_status "not ready while recovering" 503 r;
+      let q = oneshot p ~meth:"POST" ~target:"/query" narrow_count in
+      check_status "query parked during recovery" 503 q;
+      Alcotest.(check bool)
+        "retry-after present" true
+        (Http.response_header q "retry-after" <> None);
+      Alcotest.(check bool) "not ready" false (Server.ready server);
+      let engine =
+        Engine.create ~jobs:1 ~cache:Engine.Cache_off (fresh_collection ())
+      in
+      Server.install_engine server engine;
+      Alcotest.(check bool) "ready after install" true (Server.ready server);
+      check_status "ready probe opens" 200
+        (oneshot p ~meth:"GET" ~target:"/healthz?ready=1" "");
+      let r = oneshot p ~meth:"POST" ~target:"/query" narrow_count in
+      check_status "query served after install" 200 r;
+      Alcotest.(check string) "answer" "1\n" r.Http.r_body)
 
 (* ---------------- query/update interleave ---------------- *)
 
@@ -699,6 +813,15 @@ let () =
           Alcotest.test_case "explain endpoint" `Quick test_explain;
           Alcotest.test_case "deadline 408 with partial trace" `Quick
             test_deadline_408_partial_trace;
+          Alcotest.test_case "?stream=1 chunked and byte-identical" `Quick
+            test_stream_byte_identical;
+        ] );
+      ( "auth",
+        [ Alcotest.test_case "bearer token gate" `Quick test_auth_token ] );
+      ( "readiness",
+        [
+          Alcotest.test_case "liveness vs readiness during deferred boot"
+            `Quick test_readiness_split;
         ] );
       ( "interleave",
         [
